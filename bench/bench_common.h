@@ -1,0 +1,49 @@
+// Shared helpers for the per-figure/table bench harnesses.
+//
+// Every harness prints (a) the series the paper plots, (b) the paper's
+// headline numbers for side-by-side comparison, and (c) the scale it ran at.
+// Scale: PCC scenario benches replay minutes of scaled-down traffic instead
+// of the paper's one-hour 2.77M-conn/min traces; set SILKROAD_BENCH_SCALE
+// (default 1.0, e.g. 4.0 for a longer, denser run) to trade time for
+// fidelity. Analytic benches (memory/cost models) are exact and unscaled.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/distributions.h"
+
+namespace silkroad::bench {
+
+inline double scale_factor() {
+  const char* env = std::getenv("SILKROAD_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_note) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_note.c_str());
+  std::printf("=====================================================================\n");
+}
+
+/// Prints a CDF as "value  cumulative%" rows at standard grid points.
+inline void print_cdf(const sim::EmpiricalCdf& cdf, const char* value_label,
+                      const std::vector<double>& percentiles = {
+                          0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+  std::printf("%-14s %12s\n", "CDF%", value_label);
+  for (const double p : percentiles) {
+    std::printf("%-14.0f %12.4g\n", 100 * p, cdf.quantile(p));
+  }
+}
+
+/// Fraction of samples in `cdf` exceeding `threshold`, in percent.
+inline double percent_above(const sim::EmpiricalCdf& cdf, double threshold) {
+  return 100.0 * (1.0 - cdf.cdf(threshold));
+}
+
+}  // namespace silkroad::bench

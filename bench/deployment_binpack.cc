@@ -1,0 +1,85 @@
+// §5.3 (Figure 11 scenario): network-wide VIP-to-layer assignment. Compares
+// the bin-packing heuristic against single-layer placements on a pod with
+// skewed VIP demands, and sweeps incremental deployment.
+#include "bench_common.h"
+#include "deploy/topology.h"
+#include "deploy/vip_assignment.h"
+#include "sim/random.h"
+
+using namespace silkroad;
+using namespace silkroad::deploy;
+
+namespace {
+
+std::vector<VipDemand> make_demands(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<VipDemand> demands;
+  for (int v = 0; v < n; ++v) {
+    VipDemand d;
+    d.vip = {net::IpAddress::v4(0x14000000 + static_cast<std::uint32_t>(v)), 443};
+    d.active_connections = static_cast<std::uint64_t>(rng.pareto(5e4, 1.05));
+    if (d.active_connections > 60'000'000) d.active_connections = 60'000'000;
+    d.traffic_gbps = std::min(rng.pareto(3.0, 1.1), 3000.0);
+    d.dips = 50 + rng.uniform_int(400);
+    d.ipv6 = rng.bernoulli(0.5);
+    demands.push_back(d);
+  }
+  return demands;
+}
+
+double single_layer_bottleneck(const ClosTopology& topo, Layer layer,
+                               const std::vector<VipDemand>& demands) {
+  const double n = static_cast<double>(topo.enabled_count(layer));
+  if (n == 0) return 1e18;
+  double total = 0;
+  for (const auto& d : demands) total += static_cast<double>(d.sram_bytes());
+  return total / n / static_cast<double>((50u << 20));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "§5.3 — Network-wide VIP assignment (bin packing across layers)",
+      "objective: minimize the maximum SRAM utilization across switches "
+      "subject to forwarding-capacity and SRAM budgets; supports "
+      "incremental deployment");
+
+  ClosTopology topo(48, 16, 4, /*sram=*/50u << 20, /*gbps=*/6400);
+  const auto demands = make_demands(300, 42);
+
+  const auto assignment = assign_vips(topo, demands);
+  std::printf("\n-- 300 VIPs (Pareto conns & volume), 48 ToR / 16 Agg / 4 "
+              "Core --\n%s\n",
+              format_assignment(topo, assignment).c_str());
+
+  std::printf("bottleneck SRAM utilization:\n");
+  std::printf("  %-22s %8.1f%%\n", "bin-packing (ours)",
+              100 * assignment.max_sram_utilization);
+  for (const Layer layer : kAllLayers) {
+    std::printf("  %-22s %8.1f%%\n",
+                (std::string("all on ") + to_string(layer)).c_str(),
+                100 * single_layer_bottleneck(topo, layer, demands));
+  }
+
+  std::printf("\n-- incremental deployment sweep (SilkRoad-enabled ToRs) --\n");
+  std::printf("%-14s %16s %14s\n", "enabled ToRs", "bottleneck SRAM",
+              "unassigned");
+  for (const int tors : {4, 8, 16, 32, 48}) {
+    ClosTopology partial = topo;
+    partial.enable_only(Layer::kToR, tors);
+    const auto inc = assign_vips(partial, demands);
+    std::printf("%-14d %15.1f%% %14llu\n", tors,
+                100 * inc.max_sram_utilization,
+                static_cast<unsigned long long>(inc.unassigned));
+  }
+
+  std::printf("\n-- switch-failure blast radius (broken connections) --\n");
+  std::printf("%-26s %18s\n", "stale-version fraction", "broken conns");
+  for (const double stale : {0.0, 0.01, 0.05, 0.20}) {
+    std::printf("%-26.2f %18llu\n", stale,
+                static_cast<unsigned long long>(switch_failure_broken_conns(
+                    topo, assignment, demands, /*failed=*/0, stale)));
+  }
+  return 0;
+}

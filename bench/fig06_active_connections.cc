@@ -1,0 +1,31 @@
+// Figure 6: CDF (across clusters) of active connections per ToR switch, at
+// the median and 99th-percentile minute snapshot.
+#include "bench_common.h"
+#include "workload/cluster_model.h"
+
+using namespace silkroad;
+
+int main() {
+  bench::print_header(
+      "Figure 6 — Active connections per ToR switch across clusters",
+      "most loaded PoPs/Backends ~10M+ connections; Frontends far fewer "
+      "(PoPs merge user-facing connections into few persistent ones)");
+
+  const auto clusters = workload::generate_population({});
+  for (const auto type :
+       {workload::ClusterType::kPoP, workload::ClusterType::kFrontend,
+        workload::ClusterType::kBackend}) {
+    std::vector<double> p99s, p50s;
+    for (const auto& c : clusters) {
+      if (c.type != type) continue;
+      p99s.push_back(static_cast<double>(c.active_conns_per_tor_p99));
+      p50s.push_back(static_cast<double>(c.active_conns_per_tor_p50));
+    }
+    std::printf("\n-- %s: p99-minute active connections per ToR --\n",
+                workload::to_string(type));
+    bench::print_cdf(sim::EmpiricalCdf::from_samples(std::move(p99s)), "conns");
+    std::printf("-- %s: median-minute --\n", workload::to_string(type));
+    bench::print_cdf(sim::EmpiricalCdf::from_samples(std::move(p50s)), "conns");
+  }
+  return 0;
+}

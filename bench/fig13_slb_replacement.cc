@@ -1,0 +1,42 @@
+// Figure 13: how many SLB servers one SilkRoad switch replaces, per cluster:
+// #SLBs = peak pps / 12 Mpps; #SilkRoads = max(conns/10M, tbps/6.4).
+#include "bench_common.h"
+#include "core/memory_model.h"
+#include "workload/cluster_model.h"
+
+using namespace silkroad;
+
+int main() {
+  bench::print_header(
+      "Figure 13 — Ratio of #SLBs to #SilkRoads per cluster",
+      "PoPs 2-3x; Frontends 11x median; Backends 3x median, 277x peak; "
+      "plus ~1/500 power and ~1/250 capital cost");
+
+  const auto clusters = workload::generate_population({});
+  for (const auto type :
+       {workload::ClusterType::kPoP, workload::ClusterType::kFrontend,
+        workload::ClusterType::kBackend}) {
+    std::vector<double> ratios;
+    for (const auto& c : clusters) {
+      if (c.type != type) continue;
+      const std::uint64_t cluster_conns =
+          c.active_conns_per_tor_p99 * static_cast<std::uint64_t>(c.tor_switches);
+      const auto slbs = core::slbs_required(c.peak_mpps);
+      const auto silkroads =
+          core::silkroads_required(cluster_conns, c.peak_gbps / 1000.0);
+      ratios.push_back(static_cast<double>(slbs) /
+                       static_cast<double>(silkroads));
+    }
+    const auto cdf = sim::EmpiricalCdf::from_samples(std::move(ratios));
+    std::printf("\n-- %s: #SLB / #SilkRoad --\n", workload::to_string(type));
+    bench::print_cdf(cdf, "ratio");
+    std::printf("median %.1f, peak %.1f\n", cdf.quantile(0.5), cdf.quantile(1.0));
+  }
+
+  const auto cmp = core::cost_comparison();
+  std::printf(
+      "\ncost model (per equal packet rate): power ratio 1/%.0f, capital "
+      "ratio 1/%.0f (paper: ~1/500 power, ~1/250 cost)\n",
+      cmp.power_ratio, cmp.cost_ratio);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 14: memory saving from the digest and version compressions, per
+// cluster, vs the naive 5-tuple -> DIP ConnTable.
+#include "bench_common.h"
+#include "core/memory_model.h"
+#include "workload/cluster_model.h"
+
+using namespace silkroad;
+
+int main() {
+  bench::print_header(
+      "Figure 14 — ConnTable memory saving from digest + version",
+      "every cluster saves >40%; PoPs ~85% (digest+version); Frontends ~50% "
+      "(digest only); Backends 60-95%");
+
+  const auto clusters = workload::generate_population({});
+  std::vector<double> digest_only_savings, both_savings;
+  for (const auto& c : clusters) {
+    const std::size_t conns = c.active_conns_per_tor_p99;
+    const auto naive =
+        core::conn_table_bytes(conns, core::naive_entry(c.ipv6));
+    const auto digest =
+        core::conn_table_bytes(conns, core::digest_entry(c.ipv6));
+    const auto both =
+        core::conn_table_bytes(conns, core::digest_version_entry());
+    digest_only_savings.push_back(100.0 * core::memory_saving(naive, digest));
+    both_savings.push_back(100.0 * core::memory_saving(naive, both));
+  }
+  std::printf("\n-- saving with digest only (%%)--\n");
+  bench::print_cdf(sim::EmpiricalCdf::from_samples(digest_only_savings), "%");
+  std::printf("\n-- saving with digest + version (%%)--\n");
+  const auto both_cdf = sim::EmpiricalCdf::from_samples(both_savings);
+  bench::print_cdf(both_cdf, "%");
+  std::printf("\nminimum saving across clusters: %.1f%% (paper: >40%%)\n",
+              both_cdf.quantile(0.0 + 1e-9));
+
+  // Digest-width ablation (paper §6.1 trade-off): FP rate vs SRAM for one
+  // PoP at 2.77M new connections/minute.
+  std::printf("\n-- digest width ablation (PoP, 10M-entry table) --\n");
+  std::printf("%-12s %12s %22s\n", "digest bits", "SRAM (MB)",
+              "expected FP per 2.77M conns");
+  for (const unsigned bits : {12u, 16u, 20u, 24u}) {
+    const auto bytes = core::conn_table_bytes(
+        10'000'000, core::digest_version_entry(bits));
+    // A new flow false-hits if any of the ~16 slots it addresses holds its
+    // digest: p ~ 16 * occupancy * 2^-bits.
+    const double p_fp = 16.0 * 0.9 / std::pow(2.0, bits);
+    std::printf("%-12u %12.1f %22.1f\n", bits, bytes / 1e6, p_fp * 2.77e6);
+  }
+  std::printf("(paper: 16-bit digest w/ 32 MB -> ~270 FPs/min (0.01%%); "
+              "24-bit w/ 42.8 MB -> 1.1/min)\n");
+  return 0;
+}

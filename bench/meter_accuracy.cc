@@ -1,0 +1,70 @@
+// §5.2 metering experiment: offer 10 Gbps to a VIP and measure color-marking
+// accuracy across rate thresholds and burst sizes; the paper observes <1%
+// average error. Also sizes 40K meter instances against the SRAM budget.
+#include <cmath>
+
+#include "bench_common.h"
+#include "asic/meter.h"
+
+using namespace silkroad;
+
+namespace {
+
+/// Offers `offered_gbps` of 1000-B packets for `seconds`; returns the green
+/// share measured against the configured CIR.
+double measure_green_share(double cir_gbps, double offered_gbps,
+                           std::uint64_t burst_bytes, double seconds) {
+  asic::TwoRateThreeColorMeter meter({.cir_bps = cir_gbps * 1e9,
+                                      .eir_bps = cir_gbps * 1e9,
+                                      .cbs_bytes = burst_bytes,
+                                      .ebs_bytes = burst_bytes});
+  const std::uint32_t pkt = 1000;
+  const double pps = offered_gbps * 1e9 / (pkt * 8);
+  const sim::Time gap =
+      static_cast<sim::Time>(static_cast<double>(sim::kSecond) / pps);
+  const std::uint64_t packets =
+      static_cast<std::uint64_t>(pps * seconds);
+  sim::Time t = 0;
+  std::uint64_t green = 0;
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    t += gap;
+    if (meter.mark(t, pkt) == asic::MeterColor::kGreen) ++green;
+  }
+  return static_cast<double>(green) / static_cast<double>(packets);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "§5.2 — Per-VIP meter accuracy at 10 Gbps offered load",
+      "<1% average color-marking error across thresholds and burst sizes; "
+      "40K meters consume ~1% of ASIC SRAM");
+
+  std::printf("\n%-14s %-14s %14s %14s %10s\n", "CIR (Gbps)", "burst (KB)",
+              "expected green", "measured", "error");
+  double total_error = 0;
+  int cases = 0;
+  for (const double cir : {1.0, 2.0, 5.0, 8.0}) {
+    for (const std::uint64_t burst_kb : {32u, 128u, 512u}) {
+      const double expected = std::min(1.0, cir / 10.0);
+      const double measured =
+          measure_green_share(cir, 10.0, burst_kb * 1024, 0.2);
+      const double error = std::fabs(measured - expected);
+      total_error += error;
+      ++cases;
+      std::printf("%-14.1f %-14llu %13.2f%% %13.2f%% %9.3f%%\n", cir,
+                  static_cast<unsigned long long>(burst_kb), 100 * expected,
+                  100 * measured, 100 * error);
+    }
+  }
+  std::printf("\naverage error: %.3f%% (paper: <1%%)\n",
+              100 * total_error / cases);
+
+  const double meters_bytes =
+      40000.0 * asic::TwoRateThreeColorMeter::sram_bits_per_instance() / 8;
+  std::printf("40K meter instances: %.2f MB = %.2f%% of a 60 MB SRAM budget "
+              "(paper: ~1%%)\n",
+              meters_bytes / 1e6, 100 * meters_bytes / 60e6);
+  return 0;
+}

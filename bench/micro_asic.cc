@@ -1,0 +1,127 @@
+// Microbenchmarks of the ASIC-model data structures (google-benchmark):
+// hashing, cuckoo insert/lookup at increasing occupancy, bloom filter ops,
+// Maglev table build, meter marking. These correspond to the §5.2 control-
+// plane cost discussion (hash computation dominates the switch CPU's ~200K
+// insertions/second; cuckoo search is the second-largest cost).
+#include <benchmark/benchmark.h>
+
+#include "asic/bloom_filter.h"
+#include "asic/cuckoo_table.h"
+#include "asic/meter.h"
+#include "lb/dip_pool.h"
+#include "lb/maglev.h"
+#include "net/hash.h"
+
+using namespace silkroad;
+
+namespace {
+
+net::FiveTuple make_flow(std::uint32_t client) {
+  return net::FiveTuple{{net::IpAddress::v4(0x0B000000 + client), 1234},
+                        {net::IpAddress::v4(0x14000001), 80},
+                        net::Protocol::kTcp};
+}
+
+void BM_HashFiveTuple(benchmark::State& state) {
+  const auto flow = make_flow(1);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::hash_five_tuple(flow, seed++));
+  }
+}
+BENCHMARK(BM_HashFiveTuple);
+
+void BM_ConnectionDigest(benchmark::State& state) {
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::connection_digest(make_flow(i++), 16));
+  }
+}
+BENCHMARK(BM_ConnectionDigest);
+
+void BM_CuckooInsert(benchmark::State& state) {
+  // Fill to the requested occupancy (in %), then measure insert+erase pairs
+  // at that load — the regime the switch CPU's 200K/s figure lives in.
+  const double occupancy = static_cast<double>(state.range(0)) / 100.0;
+  asic::CuckooConfig config;
+  config.buckets_per_stage = 4096;
+  asic::DigestCuckooTable table(config);
+  const auto target = static_cast<std::uint32_t>(
+      static_cast<double>(table.capacity()) * occupancy);
+  for (std::uint32_t i = 0; i < target; ++i) table.insert(make_flow(i), 1);
+  std::uint32_t next = target;
+  for (auto _ : state) {
+    table.insert(make_flow(next), 1);
+    table.erase(make_flow(next));
+    ++next;
+  }
+  state.counters["moves/op"] = benchmark::Counter(
+      static_cast<double>(table.total_moves()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CuckooInsert)->Arg(50)->Arg(80)->Arg(90)->Arg(95);
+
+void BM_CuckooLookup(benchmark::State& state) {
+  asic::CuckooConfig config;
+  config.buckets_per_stage = 4096;
+  asic::DigestCuckooTable table(config);
+  for (std::uint32_t i = 0; i < table.capacity() * 9 / 10; ++i) {
+    table.insert(make_flow(i), 1);
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(make_flow(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_CuckooLookup);
+
+void BM_BloomInsertQuery(benchmark::State& state) {
+  asic::BloomFilter bloom(static_cast<std::size_t>(state.range(0)), 3);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    bloom.insert(make_flow(i));
+    benchmark::DoNotOptimize(bloom.maybe_contains(make_flow(i + 1)));
+    ++i;
+  }
+}
+BENCHMARK(BM_BloomInsertQuery)->Arg(8)->Arg(256)->Arg(1024);
+
+void BM_MaglevBuild(benchmark::State& state) {
+  std::vector<net::Endpoint> backends;
+  for (int i = 0; i < state.range(0); ++i) {
+    backends.push_back({net::IpAddress::v4(0x0A000000 + static_cast<std::uint32_t>(i)), 20});
+  }
+  for (auto _ : state) {
+    lb::MaglevTable table(backends, 65537);
+    benchmark::DoNotOptimize(table.table_size());
+  }
+}
+BENCHMARK(BM_MaglevBuild)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_DipPoolSelect(benchmark::State& state) {
+  std::vector<net::Endpoint> dips;
+  for (int i = 0; i < 64; ++i) {
+    dips.push_back({net::IpAddress::v4(0x0A000000 + static_cast<std::uint32_t>(i)), 20});
+  }
+  lb::DipPool pool(dips, lb::PoolSemantics::kStableResilient);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.select(make_flow(i++)));
+  }
+}
+BENCHMARK(BM_DipPoolSelect);
+
+void BM_MeterMark(benchmark::State& state) {
+  asic::TwoRateThreeColorMeter meter(
+      {.cir_bps = 1e9, .eir_bps = 1e9, .cbs_bytes = 65536, .ebs_bytes = 65536});
+  sim::Time t = 0;
+  for (auto _ : state) {
+    t += 800;
+    benchmark::DoNotOptimize(meter.mark(t, 100));
+  }
+}
+BENCHMARK(BM_MeterMark);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// §5.1-§5.2: pipeline placement feasibility — does SilkRoad fit alongside
+// the baseline switch.p4 on a 32-stage PISA chip, and how does the stage
+// footprint scale with the connection count? (The throughput claim follows:
+// logic that places, runs at line rate.)
+#include "bench_common.h"
+#include "asic/pipeline.h"
+
+using namespace silkroad;
+using namespace silkroad::asic;
+
+int main() {
+  bench::print_header(
+      "§5.2 — Pipeline placement: switch.p4 + silkroad.p4",
+      "the prototype compiles SilkRoad on top of switch.p4 and fits up to "
+      "10M connections in on-chip SRAM; added pipeline latency is tens of ns");
+
+  const ChipModel chip;
+  std::printf("\nchip: %d stages, %.1f MB SRAM, %.1f MB TCAM\n", chip.stages,
+              chip.totals().sram_bytes / 1e6, chip.totals().tcam_bytes / 1e6);
+
+  std::printf("\n-- baseline switch.p4 alone --\n");
+  const auto base = PipelineProgram::baseline_switch_p4().place(chip);
+  std::printf("%s", format_placement(base).c_str());
+
+  std::printf("\n-- combined placement vs connection scale --\n");
+  std::printf("%-16s %12s %14s %12s\n", "connections", "fits?",
+              "stages used", "SRAM (MB)");
+  for (const std::size_t conns :
+       {std::size_t{1'000'000}, std::size_t{5'000'000}, std::size_t{10'000'000},
+        std::size_t{12'000'000}, std::size_t{16'000'000}}) {
+    auto combined = PipelineProgram::baseline_switch_p4();
+    combined.merge(PipelineProgram::silkroad_p4(conns));
+    const auto placement = combined.place(chip);
+    std::printf("%-16zu %12s %14d %12.1f\n", conns,
+                placement.fits ? "yes" : "NO", placement.stages_used,
+                combined.total_resources().sram_bytes / 1e6);
+  }
+  std::printf("\n(paper: 10M fits; the capacity cliff just above it is the "
+              "SRAM envelope, exactly the Table 1 story)\n");
+
+  std::printf("\n-- combined placement detail at 10M connections --\n");
+  auto combined = PipelineProgram::baseline_switch_p4();
+  combined.merge(PipelineProgram::silkroad_p4(10'000'000));
+  std::printf("%s", format_placement(combined.place(chip)).c_str());
+  return 0;
+}

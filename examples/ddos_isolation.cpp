@@ -1,0 +1,89 @@
+// Performance isolation (paper §5.2): per-VIP meters throttle a VIP under a
+// DDoS flood without affecting neighbours — contrast with an SLB, where the
+// flooded VIP's packets burn the same CPU that serves everyone else.
+//
+//   ./build/examples/ddos_isolation
+#include <cstdio>
+
+#include "core/silkroad_switch.h"
+
+using namespace silkroad;
+
+int main() {
+  sim::Simulator sim;
+  core::SilkRoadSwitch::Config config;
+  config.conn_table = core::SilkRoadSwitch::conn_table_for(100'000);
+  core::SilkRoadSwitch lb(sim, config);
+
+  const net::Endpoint victim = *net::Endpoint::parse("20.0.0.1:80");
+  const net::Endpoint bystander = *net::Endpoint::parse("20.0.0.2:80");
+  for (const auto& vip : {victim, bystander}) {
+    std::vector<net::Endpoint> dips;
+    for (int d = 0; d < 8; ++d) {
+      dips.push_back({net::IpAddress::v4(0x0A000000u + static_cast<std::uint32_t>(
+                                             (vip.ip.v4_value() & 0xFF) * 16 + d)),
+                      8080});
+    }
+    lb.add_vip(vip, dips);
+    // 2 Gbps committed + 2 Gbps excess per VIP; enforce (drop red).
+    lb.attach_meter(vip,
+                    {.cir_bps = 2e9, .eir_bps = 2e9,
+                     .cbs_bytes = 256 * 1024, .ebs_bytes = 256 * 1024},
+                    /*enforce=*/true);
+  }
+
+  // Offer 10 Gbps to the victim and 1 Gbps to the bystander for one second
+  // of simulated time (1500-byte packets).
+  const std::uint32_t pkt = 1500;
+  const double victim_pps = 10e9 / (pkt * 8);
+  const double bystander_pps = 1e9 / (pkt * 8);
+  std::uint64_t victim_sent = 0, victim_ok = 0;
+  std::uint64_t bystander_sent = 0, bystander_ok = 0;
+  const sim::Time horizon = sim::kSecond;
+  sim::Time tv = 0, tb = 0;
+  const sim::Time victim_gap =
+      static_cast<sim::Time>(static_cast<double>(sim::kSecond) / victim_pps);
+  const sim::Time bystander_gap =
+      static_cast<sim::Time>(static_cast<double>(sim::kSecond) / bystander_pps);
+  std::uint32_t attacker = 0, client = 0;
+  while (tv < horizon || tb < horizon) {
+    if (tv <= tb) {
+      tv += victim_gap;
+      sim.run_until(tv);
+      net::Packet p;
+      p.flow = {{net::IpAddress::v4(0x66000000u + attacker++ % 5000), 1000},
+                victim,
+                net::Protocol::kUdp};
+      p.size_bytes = pkt;
+      ++victim_sent;
+      if (lb.process_packet(p).dip) ++victim_ok;
+    } else {
+      tb += bystander_gap;
+      sim.run_until(tb);
+      net::Packet p;
+      p.flow = {{net::IpAddress::v4(0x42000000u + client++ % 200), 2000},
+                bystander,
+                net::Protocol::kTcp};
+      p.syn = (client % 50 == 0);
+      p.size_bytes = pkt;
+      ++bystander_sent;
+      if (lb.process_packet(p).dip) ++bystander_ok;
+    }
+  }
+
+  std::printf("victim VIP:    offered 10.0 Gbps, delivered %5.2f Gbps "
+              "(meter: 2+2 Gbps) — %llu of %llu packets\n",
+              10.0 * static_cast<double>(victim_ok) / static_cast<double>(victim_sent),
+              static_cast<unsigned long long>(victim_ok),
+              static_cast<unsigned long long>(victim_sent));
+  std::printf("bystander VIP: offered  1.0 Gbps, delivered %5.2f Gbps "
+              "— %llu of %llu packets\n",
+              1.0 * static_cast<double>(bystander_ok) /
+                  static_cast<double>(bystander_sent),
+              static_cast<unsigned long long>(bystander_ok),
+              static_cast<unsigned long long>(bystander_sent));
+  std::printf("\nthe flood is clipped to its own meter; the bystander VIP "
+              "keeps 100%% delivery (paper §5.2: <1%% marking error, 40K "
+              "meters ~ 1%% of SRAM)\n");
+  return 0;
+}

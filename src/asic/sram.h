@@ -1,0 +1,69 @@
+// SRAM geometry model of a match-action switching ASIC.
+//
+// Exact-match tables are instantiated on SRAM blocks spread across physical
+// pipeline stages. Entries are packed into fixed-width SRAM words ("word
+// packing", RMT §: the paper and our evaluation use 112-bit words, so a
+// 28-bit SilkRoad ConnTable entry packs exactly 4 per word).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace silkroad::asic {
+
+/// Width of one SRAM word in bits (matches the RMT/Tofino-class value the
+/// paper assumes in §6: "we consider the SRAM word of 112 bits").
+inline constexpr std::size_t kSramWordBits = 112;
+
+/// One physical SRAM block: 1K words of 112 bits (14 KB per block), the unit
+/// in which memory is allocated to tables.
+inline constexpr std::size_t kSramBlockWords = 1024;
+
+constexpr std::size_t bits_to_bytes(std::size_t bits) noexcept {
+  return (bits + 7) / 8;
+}
+
+/// How many entries of `entry_bits` fit in one SRAM word.
+constexpr std::size_t entries_per_word(std::size_t entry_bits) noexcept {
+  return entry_bits == 0 ? 0 : kSramWordBits / entry_bits;
+}
+
+/// SRAM words needed to hold `entries` entries of `entry_bits` each. Narrow
+/// entries pack several per word (no straddling); entries wider than a word
+/// stitch whole words from parallel blocks, as wide exact-match keys do in
+/// real ASICs.
+constexpr std::size_t words_for_entries(std::size_t entries,
+                                        std::size_t entry_bits) noexcept {
+  if (entry_bits == 0) return 0;
+  const std::size_t per_word = entries_per_word(entry_bits);
+  if (per_word == 0) {
+    const std::size_t words_per_entry =
+        (entry_bits + kSramWordBits - 1) / kSramWordBits;
+    return entries * words_per_entry;
+  }
+  return (entries + per_word - 1) / per_word;
+}
+
+/// Bytes of SRAM consumed by `entries` packed entries.
+constexpr std::size_t sram_bytes_for_entries(std::size_t entries,
+                                             std::size_t entry_bits) noexcept {
+  return bits_to_bytes(words_for_entries(entries, entry_bits) * kSramWordBits);
+}
+
+/// Generation of switching ASIC (paper Table 1): switching capacity and the
+/// SRAM envelope available for match-action tables.
+struct AsicGeneration {
+  const char* name;
+  int year;
+  double capacity_tbps;
+  std::size_t sram_mb_low;
+  std::size_t sram_mb_high;
+};
+
+inline constexpr AsicGeneration kAsicGenerations[] = {
+    {"<1.6 Tbps (Trident II / FlexPipe)", 2012, 1.6, 10, 20},
+    {"3.2 Tbps (Tomahawk / XPliant)", 2014, 3.2, 30, 60},
+    {"6.4+ Tbps (Tofino / Tomahawk II / Spectrum)", 2016, 6.5, 50, 100},
+};
+
+}  // namespace silkroad::asic

@@ -1,0 +1,70 @@
+#include "core/health_checker.h"
+
+namespace silkroad::core {
+
+void HealthChecker::watch(const net::Endpoint& vip, const net::Endpoint& dip) {
+  const Key key{vip, dip};
+  if (targets_.contains(key)) return;
+  targets_.emplace(key, Target{});
+  schedule_probe(key);
+}
+
+void HealthChecker::unwatch(const net::Endpoint& vip,
+                            const net::Endpoint& dip) {
+  const auto it = targets_.find(Key{vip, dip});
+  if (it == targets_.end()) return;
+  it->second.next_probe.cancel();
+  targets_.erase(it);
+}
+
+void HealthChecker::schedule_probe(const Key& key) {
+  const auto it = targets_.find(key);
+  if (it == targets_.end()) return;
+  it->second.next_probe =
+      sim_.schedule_after(config_.probe_interval, [this, key] {
+        probe_once(key);
+      });
+}
+
+void HealthChecker::probe_once(const Key& key) {
+  const auto it = targets_.find(key);
+  if (it == targets_.end()) return;
+  Target& target = it->second;
+  ++probes_sent_;
+  const bool alive = probe_(key.dip);
+  if (alive) {
+    if (target.declared_dead) {
+      // The server answered again (rebooted): hand it back through the
+      // normal add-DIP update path so versioning (and reuse) applies.
+      target.declared_dead = false;
+      ++recoveries_;
+      workload::DipUpdate update;
+      update.at = sim_.now();
+      update.vip = key.vip;
+      update.dip = key.dip;
+      update.action = workload::UpdateAction::kAddDip;
+      update.cause = workload::UpdateCause::kFailure;
+      lb_.request_update(update);
+      if (on_recovery_) on_recovery_(key.vip, key.dip);
+    }
+    target.missed = 0;
+  } else if (!target.declared_dead) {
+    if (++target.missed >= config_.failure_threshold) {
+      target.declared_dead = true;
+      ++failures_;
+      lb_.handle_dip_failure(key.vip, key.dip, config_.resilient_in_place);
+      if (on_failure_) on_failure_(key.vip, key.dip);
+    }
+  }
+  schedule_probe(key);
+}
+
+double HealthChecker::probe_bandwidth_bps() const {
+  if (targets_.empty()) return 0.0;
+  const double probes_per_sec =
+      static_cast<double>(targets_.size()) /
+      sim::to_seconds(config_.probe_interval);
+  return probes_per_sec * config_.probe_bytes * 8.0;
+}
+
+}  // namespace silkroad::core

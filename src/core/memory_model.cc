@@ -1,0 +1,90 @@
+#include "core/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silkroad::core {
+
+EntryLayout naive_entry(bool ipv6) {
+  EntryLayout layout;
+  layout.match_bits = ipv6 ? 37 * 8 : 13 * 8;   // full 5-tuple
+  layout.action_bits = ipv6 ? 18 * 8 : 6 * 8;   // DIP address + port
+  layout.overhead_bits = 2 * 8;                 // "a couple bytes" of packing
+  return layout;
+}
+
+EntryLayout digest_entry(bool ipv6, unsigned digest_bits) {
+  EntryLayout layout;
+  layout.match_bits = digest_bits;
+  layout.action_bits = ipv6 ? 18 * 8 : 6 * 8;
+  layout.overhead_bits = 6;
+  return layout;
+}
+
+EntryLayout digest_version_entry(unsigned digest_bits, unsigned version_bits) {
+  EntryLayout layout;
+  layout.match_bits = digest_bits;
+  layout.action_bits = version_bits;
+  layout.overhead_bits = 6;
+  return layout;
+}
+
+std::size_t conn_table_bytes(std::size_t connections,
+                             const EntryLayout& layout) {
+  return asic::sram_bytes_for_entries(connections, layout.total());
+}
+
+std::size_t dip_pool_table_bytes(std::size_t dips, std::size_t versions,
+                                 bool ipv6) {
+  const std::size_t member_bytes = (ipv6 ? 16u : 4u) + 2u /*port*/ + 2u /*slot*/;
+  return dips * versions * member_bytes;
+}
+
+SilkRoadFootprint silkroad_footprint(std::size_t connections, std::size_t dips,
+                                     std::size_t versions, bool ipv6,
+                                     unsigned digest_bits,
+                                     unsigned version_bits,
+                                     std::size_t transit_bytes) {
+  (void)ipv6;  // the digest+version entry is family-independent
+  SilkRoadFootprint fp;
+  fp.conn_table = conn_table_bytes(
+      connections, digest_version_entry(digest_bits, version_bits));
+  fp.dip_pool_table = dip_pool_table_bytes(dips, versions, ipv6);
+  fp.transit_table = transit_bytes;
+  return fp;
+}
+
+double memory_saving(std::size_t bytes_naive, std::size_t bytes_compact) {
+  if (bytes_naive == 0) return 0.0;
+  return 1.0 - static_cast<double>(bytes_compact) /
+                   static_cast<double>(bytes_naive);
+}
+
+std::uint64_t slbs_required(double peak_mpps, const SlbModel& slb) {
+  if (peak_mpps <= 0) return 0;
+  return static_cast<std::uint64_t>(std::ceil(peak_mpps / slb.mpps));
+}
+
+std::uint64_t silkroads_required(std::uint64_t peak_connections,
+                                 double peak_tbps, const SilkRoadModel& sr) {
+  const std::uint64_t by_conns = sr.max_connections == 0
+                                     ? 1
+                                     : (peak_connections + sr.max_connections - 1) /
+                                           sr.max_connections;
+  const std::uint64_t by_tput = sr.capacity_tbps <= 0
+                                    ? 1
+                                    : static_cast<std::uint64_t>(
+                                          std::ceil(peak_tbps / sr.capacity_tbps));
+  return std::max<std::uint64_t>({1, by_conns, by_tput});
+}
+
+CostComparison cost_comparison(const SlbModel& slb, const SilkRoadModel& sr) {
+  // Normalize to the packet rate one SilkRoad ASIC sustains.
+  const double slbs_per_switch = sr.gpps * 1000.0 / slb.mpps;
+  CostComparison cmp;
+  cmp.power_ratio = slbs_per_switch * slb.watts / sr.watts;
+  cmp.cost_ratio = slbs_per_switch * slb.cost_usd / sr.cost_usd;
+  return cmp;
+}
+
+}  // namespace silkroad::core

@@ -1,0 +1,99 @@
+// Analytic SRAM / cost model (paper §4.2, §6.1 — Figs. 12, 13, 14, Table 1).
+//
+// Computes, for a given connection count and address family, the ConnTable
+// memory under the three designs the paper compares (naive 5-tuple->DIP,
+// digest->DIP, digest->version), DIPPoolTable overhead, how many SLB servers
+// one SilkRoad switch replaces, and the power/cost ratios of §6.1.
+#pragma once
+
+#include <cstdint>
+
+#include "asic/sram.h"
+
+namespace silkroad::core {
+
+struct EntryLayout {
+  unsigned match_bits = 0;
+  unsigned action_bits = 0;
+  unsigned overhead_bits = 0;
+  unsigned total() const noexcept {
+    return match_bits + action_bits + overhead_bits;
+  }
+};
+
+/// Naive ConnTable entry: full 5-tuple key -> full DIP action (37 B + 18 B
+/// for IPv6, 13 B + 6 B for IPv4), plus ~2 B packing overhead ("a couple
+/// bytes", paper footnote 1).
+EntryLayout naive_entry(bool ipv6);
+
+/// Digest compression only: 16-bit (default) digest key, full DIP action.
+EntryLayout digest_entry(bool ipv6, unsigned digest_bits = 16);
+
+/// SilkRoad entry: digest key + 6-bit version action + 6-bit overhead
+/// (exactly 28 bits at the defaults: 4 entries per 112-bit word, §6.1).
+EntryLayout digest_version_entry(unsigned digest_bits = 16,
+                                 unsigned version_bits = 6);
+
+/// SRAM bytes for `connections` entries of `layout`, word-packed.
+std::size_t conn_table_bytes(std::size_t connections, const EntryLayout& layout);
+
+/// DIPPoolTable bytes: `versions` concurrently-active pools over `dips`
+/// members (address+port each, plus a 2-byte slot header).
+std::size_t dip_pool_table_bytes(std::size_t dips, std::size_t versions,
+                                 bool ipv6);
+
+struct SilkRoadFootprint {
+  std::size_t conn_table = 0;
+  std::size_t dip_pool_table = 0;
+  std::size_t transit_table = 0;
+  std::size_t total() const noexcept {
+    return conn_table + dip_pool_table + transit_table;
+  }
+};
+
+/// Full SilkRoad SRAM footprint for a ToR switch carrying `connections`
+/// across `dips` DIPs with `versions` active pool versions.
+SilkRoadFootprint silkroad_footprint(std::size_t connections, std::size_t dips,
+                                     std::size_t versions, bool ipv6,
+                                     unsigned digest_bits = 16,
+                                     unsigned version_bits = 6,
+                                     std::size_t transit_bytes = 256);
+
+/// Fractional memory saving of design B vs design A (Fig. 14).
+double memory_saving(std::size_t bytes_naive, std::size_t bytes_compact);
+
+// --- Fig. 13 / §6.1 cost math ----------------------------------------------
+
+struct SlbModel {
+  double mpps = 12.0;       ///< 8-core state of the art, 52-B packets [20]
+  double watts = 200.0;     ///< Intel Xeon E5-2660 class
+  double cost_usd = 3000.0;
+};
+
+struct SilkRoadModel {
+  double capacity_tbps = 6.4;
+  double gpps = 10.0;                 ///< ~10 Gpps at 52-B packets
+  std::uint64_t max_connections = 10'000'000;
+  double watts = 300.0;
+  double cost_usd = 10'000.0;
+};
+
+/// SLB servers required for a cluster's peak packet rate.
+std::uint64_t slbs_required(double peak_mpps, const SlbModel& slb = {});
+
+/// SilkRoad switches required for peak connections and throughput.
+std::uint64_t silkroads_required(std::uint64_t peak_connections,
+                                 double peak_tbps,
+                                 const SilkRoadModel& sr = {});
+
+struct CostComparison {
+  double power_ratio = 0;  ///< SLB watts per unit work / SilkRoad watts
+  double cost_ratio = 0;   ///< SLB dollars per unit work / SilkRoad dollars
+};
+
+/// §6.1: processing the same packet rate in ASIC vs SLB — the paper derives
+/// ~1/500 the power and ~1/250 the capital cost.
+CostComparison cost_comparison(const SlbModel& slb = {},
+                               const SilkRoadModel& sr = {});
+
+}  // namespace silkroad::core

@@ -1,0 +1,584 @@
+#include "core/silkroad_switch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace silkroad::core {
+
+asic::CuckooConfig SilkRoadSwitch::conn_table_for(std::size_t connections,
+                                                  unsigned digest_bits,
+                                                  double occupancy) {
+  asic::CuckooConfig config;
+  config.digest_bits = digest_bits;
+  config.value_bits = 6;
+  config.overhead_bits = 6;
+  config.stages = 4;
+  const unsigned entry_bits =
+      config.digest_bits + config.value_bits + config.overhead_bits;
+  config.ways = asic::entries_per_word(entry_bits);
+  if (config.ways == 0) config.ways = 1;
+  const double slots_needed =
+      static_cast<double>(connections) / (occupancy <= 0 ? 0.9 : occupancy);
+  const std::size_t buckets_total = static_cast<std::size_t>(
+      std::ceil(slots_needed / static_cast<double>(config.ways)));
+  config.buckets_per_stage =
+      std::max<std::size_t>(1, (buckets_total + config.stages - 1) / config.stages);
+  return config;
+}
+
+SilkRoadSwitch::SilkRoadSwitch(sim::Simulator& simulator, const Config& config)
+    : sim_(simulator),
+      config_(config),
+      conn_table_(config.conn_table),
+      learning_filter_(simulator, config.learning,
+                       [this](std::vector<asic::LearnEvent> batch) {
+                         on_learning_flush(std::move(batch));
+                       }),
+      cpu_(simulator, config.cpu),
+      transit_(config.transit_table_bytes, config.transit_hashes) {}
+
+SilkRoadSwitch::VipState* SilkRoadSwitch::find_vip(const net::Endpoint& vip) {
+  const auto it = vips_.find(vip);
+  return it == vips_.end() ? nullptr : &it->second;
+}
+
+const SilkRoadSwitch::VipState* SilkRoadSwitch::find_vip(
+    const net::Endpoint& vip) const {
+  const auto it = vips_.find(vip);
+  return it == vips_.end() ? nullptr : &it->second;
+}
+
+void SilkRoadSwitch::add_vip(const net::Endpoint& vip,
+                             const std::vector<net::Endpoint>& dips) {
+  VipVersionManager::Config vm_config;
+  vm_config.version_bits = config_.version_bits;
+  vm_config.enable_reuse = config_.enable_version_reuse;
+  vm_config.semantics = config_.pool_semantics;
+  VipState state;
+  state.versions = std::make_unique<VipVersionManager>(vip, dips, vm_config);
+  vips_.insert_or_assign(vip, std::move(state));
+}
+
+void SilkRoadSwitch::attach_meter(
+    const net::Endpoint& vip, const asic::TwoRateThreeColorMeter::Config& meter,
+    bool enforce) {
+  VipState* state = find_vip(vip);
+  if (state == nullptr) return;
+  state->meter.emplace(meter);
+  state->meter_enforce = enforce;
+}
+
+const VipVersionManager* SilkRoadSwitch::version_manager(
+    const net::Endpoint& vip) const {
+  const VipState* state = find_vip(vip);
+  return state == nullptr ? nullptr : state->versions.get();
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+std::uint32_t SilkRoadSwitch::version_for_miss(const net::Endpoint& vip,
+                                               VipState& state,
+                                               const net::Packet& packet,
+                                               bool* redirected_to_cpu) {
+  const std::uint32_t current = state.versions->current_version();
+  if (phase_ == Phase::kIdle || !(update_vip_ == vip)) return current;
+
+  if (phase_ == Phase::kStep1) {
+    // Write-only phase: remember every ConnTable-missing flow of this VIP so
+    // it keeps resolving to the old version after the flip.
+    if (config_.use_transit_table) {
+      transit_.insert(packet.flow);
+      transit_members_.insert(packet.flow);
+    }
+    return current;  // still the old version
+  }
+
+  // Step 2 (read-only): the flip is done, `current` is the new version.
+  if (!config_.use_transit_table) return current;
+  if (transit_.maybe_contains(packet.flow)) {
+    if (transit_members_.contains(packet.flow) ||
+        pending_.contains(packet.flow)) {
+      return update_old_version_;  // genuine member: pinned to the old pool
+    }
+    // Bloom false positive: a brand-new flow matched the filter and is
+    // routed via the *old* pool — stale routing that can land it on a
+    // removed DIP. A SYN taking this path is additionally redirected to the
+    // switch CPU (§4.3), which is the hook a production control plane uses
+    // to repair it; the hazard this models is what Fig. 18 sizes the filter
+    // against.
+    ++stats_.transit_false_positives;
+    if (packet.syn && redirected_to_cpu != nullptr) {
+      *redirected_to_cpu = true;
+    }
+    return update_old_version_;
+  }
+  return update_new_version_;
+}
+
+void SilkRoadSwitch::learn_new_flow(const net::Endpoint& vip, VipState& state,
+                                    const net::FiveTuple& flow,
+                                    std::uint32_t version) {
+  ++stats_.learns;
+  learning_filter_.learn(flow, version);
+  pending_.emplace(flow, PendingConn{vip, version, false});
+  state.versions->acquire(version);
+  state.conns_by_version[version].insert(flow);
+  track_digest(flow);
+}
+
+void SilkRoadSwitch::track_digest(const net::FiveTuple& flow) {
+  digest_groups_[conn_table_.digest_of(flow)].push_back(flow);
+}
+
+void SilkRoadSwitch::untrack_digest(const net::FiveTuple& flow) {
+  const auto it = digest_groups_.find(conn_table_.digest_of(flow));
+  if (it == digest_groups_.end()) return;
+  auto& group = it->second;
+  group.erase(std::remove(group.begin(), group.end(), flow), group.end());
+  if (group.empty()) digest_groups_.erase(it);
+}
+
+void SilkRoadSwitch::resolve_digest_conflicts(const net::FiveTuple& inserted) {
+  const auto it = digest_groups_.find(conn_table_.digest_of(inserted));
+  if (it == digest_groups_.end()) return;
+  // Digest collisions are rare (~1e-4 of flows at 16 bits), so this loop is
+  // almost always a single iteration over the inserted flow itself.
+  for (const auto& flow : it->second) {
+    const auto hit = conn_table_.lookup(flow);
+    if (hit && conn_table_.is_false_positive(flow, hit->slot)) {
+      if (!conn_table_.relocate_for(flow, hit->slot)) {
+        ++stats_.relocation_failures;
+      }
+    }
+  }
+}
+
+lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
+  VipState* state = find_vip(packet.flow.dst);
+  if (state == nullptr) return {};
+  ++stats_.packets;
+  lb::PacketResult result;
+  result.added_latency = config_.pipeline_latency;
+
+  if (state->meter) {
+    const auto color = state->meter->mark(sim_.now(), packet.size_bytes);
+    if (color == asic::MeterColor::kRed) {
+      ++stats_.meter_drops;
+      if (state->meter_enforce) return result;  // dropped
+    }
+  }
+
+  const net::Endpoint vip = packet.flow.dst;
+
+  if (auto hit = conn_table_.lookup(packet.flow)) {
+    if (conn_table_.is_false_positive(packet.flow, hit->slot)) {
+      if (packet.syn) {
+        // §4.2: a SYN hitting an existing entry signals a digest collision.
+        // The switch CPU relocates the resident entry to another stage and
+        // re-injects the SYN, which then follows the normal miss path. The
+        // few-ms redirect delays connection setup but packets before the
+        // re-injected SYN do not exist, so consistency is unaffected.
+        ++stats_.syn_false_positives;
+        result.redirected_to_cpu = true;
+        result.added_latency += config_.syn_redirect_delay;
+        if (!conn_table_.relocate_for(packet.flow, hit->slot)) {
+          ++stats_.relocation_failures;
+          // No conflict-free placement: pin the new flow in the slow-path
+          // exact table instead.
+          const std::uint32_t version =
+              version_for_miss(vip, *state, packet, nullptr);
+          const auto dip = state->versions->select(version, packet.flow);
+          if (dip) {
+            software_table_[packet.flow] = *dip;
+            ++stats_.software_fallback_conns;
+          }
+          result.dip = dip;
+          return result;
+        }
+        // Fall through to the miss path below.
+      } else {
+        // Mid-flow false hit: the ASIC cannot distinguish it, so the packet
+        // follows the collided entry's version (a pending flow's transient
+        // mis-steering; vanishingly rare at 16-bit digests).
+        ++stats_.non_syn_false_hits;
+        auto dip = state->versions->select(hit->value, packet.flow);
+        if (!dip) {
+          dip = state->versions->select(state->versions->current_version(),
+                                        packet.flow);
+        }
+        if (packet.fin) {
+          if (const auto p = pending_.find(packet.flow); p != pending_.end()) {
+            p->second.dead = true;
+          }
+        }
+        result.dip = dip;
+        return result;
+      }
+    } else {
+      ++stats_.conn_table_hits;
+      conn_table_.touch(hit->slot, sim_.now());  // hardware hit bit
+      result.dip = state->versions->select(hit->value, packet.flow);
+      if (packet.fin) enqueue_erase(packet.flow, vip, hit->value);
+      return result;
+    }
+  }
+
+  // --- ConnTable miss --------------------------------------------------------
+  ++stats_.conn_table_misses;
+
+  if (const auto sw = software_table_.find(packet.flow);
+      sw != software_table_.end()) {
+    result.dip = sw->second;
+    result.redirected_to_cpu = true;  // slow-path flow: every packet via CPU
+    result.added_latency += config_.syn_redirect_delay;
+    if (packet.fin) software_table_.erase(sw);
+    return result;
+  }
+
+  const bool was_redirected = result.redirected_to_cpu;
+  const std::uint32_t version =
+      version_for_miss(vip, *state, packet, &result.redirected_to_cpu);
+  if (result.redirected_to_cpu && !was_redirected) {
+    result.added_latency += config_.syn_redirect_delay;
+  }
+  const auto dip = state->versions->select(version, packet.flow);
+  if (!dip) return result;  // empty pool: nothing to balance to
+  result.dip = dip;
+
+  if (packet.fin) {
+    // Flow ended before its entry landed: cancel the pending insertion.
+    if (const auto p = pending_.find(packet.flow); p != pending_.end()) {
+      p->second.dead = true;
+    }
+    return result;
+  }
+  if (!pending_.contains(packet.flow)) {
+    learn_new_flow(vip, *state, packet.flow, version);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Control plane: learning + insertion
+// ---------------------------------------------------------------------------
+
+void SilkRoadSwitch::on_learning_flush(std::vector<asic::LearnEvent> batch) {
+  for (auto& event : batch) {
+    // Shard by flow so multi-pipe CPUs keep per-flow operation order (§5.2).
+    cpu_.enqueue([this, event] { complete_insertion(event); },
+                 net::FiveTupleHash{}(event.flow));
+  }
+}
+
+void SilkRoadSwitch::complete_insertion(const asic::LearnEvent& event) {
+  const auto p = pending_.find(event.flow);
+  if (p == pending_.end()) return;  // already resolved (evicted / duplicate)
+  const PendingConn info = p->second;
+  pending_.erase(p);
+  VipState* state = find_vip(info.vip);
+  if (state == nullptr) return;
+
+  if (info.dead) {
+    // The flow finished while queued; nothing to install.
+    untrack_digest(event.flow);
+    release_conn(info.vip, event.flow, info.version);
+  } else {
+    const auto res = conn_table_.insert(event.flow, info.version);
+    if (res.inserted) {
+      ++stats_.inserts;
+      conn_table_.touch_exact(event.flow, sim_.now());
+      resolve_digest_conflicts(event.flow);
+      arm_aging_sweep();
+    } else {
+      ++stats_.insert_failures;
+      untrack_digest(event.flow);
+      const auto dip = state->versions->select(info.version, event.flow);
+      if (dip) {
+        software_table_[event.flow] = *dip;
+        ++stats_.software_fallback_conns;
+      }
+      release_conn(info.vip, event.flow, info.version);
+    }
+  }
+  note_pending_resolved(info.vip, event.flow);
+}
+
+void SilkRoadSwitch::enqueue_erase(const net::FiveTuple& flow,
+                                   const net::Endpoint& vip,
+                                   std::uint32_t version) {
+  cpu_.enqueue(
+      [this, flow, vip, version] {
+        aging_queue_.erase(flow);
+        if (conn_table_.erase(flow)) {
+          ++stats_.erases;
+          untrack_digest(flow);
+          release_conn(vip, flow, version);
+        }
+      },
+      net::FiveTupleHash{}(flow));
+}
+
+void SilkRoadSwitch::release_conn(const net::Endpoint& vip,
+                                  const net::FiveTuple& flow,
+                                  std::uint32_t version) {
+  VipState* state = find_vip(vip);
+  if (state == nullptr) return;
+  state->versions->release(version);
+  const auto it = state->conns_by_version.find(version);
+  if (it != state->conns_by_version.end()) {
+    it->second.erase(flow);
+    if (it->second.empty()) state->conns_by_version.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control plane: 3-step PCC update protocol
+// ---------------------------------------------------------------------------
+
+void SilkRoadSwitch::request_update(const workload::DipUpdate& update) {
+  ++stats_.updates_requested;
+  update_queue_.push_back(update);
+  // Defer the start by one event: requests landing at the same instant
+  // (rolling-reboot bursts) are then all queued before the control plane
+  // picks them up and can be staged as one atomic batch.
+  sim_.schedule_after(0, [this] { try_start_next_update(); });
+}
+
+void SilkRoadSwitch::try_start_next_update() {
+  while (phase_ == Phase::kIdle && !update_queue_.empty()) {
+    const workload::DipUpdate update = update_queue_.front();
+    update_queue_.pop_front();
+    VipState* state = find_vip(update.vip);
+    if (state == nullptr) continue;
+
+    // Coalesce a same-instant burst for the same VIP (e.g., a rolling-reboot
+    // batch) into one atomic staged version — one flip, one version number.
+    std::vector<workload::DipUpdate> batch{update};
+    while (!update_queue_.empty() &&
+           update_queue_.front().vip == update.vip &&
+           update_queue_.front().at == update.at) {
+      batch.push_back(update_queue_.front());
+      update_queue_.pop_front();
+    }
+
+    auto staged = state->versions->stage_update_batch(batch);
+    if (!staged) {
+      // Version-number exhaustion: evict the least-used version by moving
+      // its flows to exact DIP mappings (§4.2 fallback), then retry.
+      if (evict_version_for(update.vip, *state)) {
+        staged = state->versions->stage_update_batch(batch);
+      }
+      if (!staged) continue;  // cannot stage (degenerate config); drop
+    }
+
+    update_vip_ = update.vip;
+    update_old_version_ = state->versions->current_version();
+    update_new_version_ = staged->target_version;
+
+    if (update_new_version_ == update_old_version_) {
+      // Dead-slot substitution landed in the current version: the pool
+      // mutation is already in place and no VIPTable flip is needed.
+      ++stats_.updates_completed;
+      if (risk_cb_) risk_cb_(update.vip);
+      continue;
+    }
+
+    if (!config_.use_transit_table) {
+      // Ablation (Figs. 16/17): flip immediately. Flows pending insertion
+      // flap to the new version until their (old-version) entries land.
+      state->versions->commit(update_new_version_);
+      ++stats_.updates_completed;
+      if (risk_cb_) risk_cb_(update.vip);
+      continue;
+    }
+
+    // Step 1 (t_req): record new flows in the TransitTable; flip only after
+    // every flow that arrived before t_req has its entry installed.
+    phase_ = Phase::kStep1;
+    awaiting_pre_.clear();
+    transit_members_.clear();
+    for (const auto& [flow, info] : pending_) {
+      if (info.vip == update.vip && !info.dead) awaiting_pre_.insert(flow);
+    }
+    if (awaiting_pre_.empty()) {
+      execute_flip();
+      // execute_flip may already finish the update (no transit members), in
+      // which case phase_ is Idle again and the loop continues naturally.
+    }
+  }
+}
+
+void SilkRoadSwitch::execute_flip() {
+  VipState* state = find_vip(update_vip_);
+  assert(state != nullptr);
+  state->versions->commit(update_new_version_);
+  phase_ = Phase::kStep2;
+  if (risk_cb_) risk_cb_(update_vip_);
+  if (transit_members_.empty()) finish_update();
+}
+
+void SilkRoadSwitch::finish_update() {
+  transit_.clear();
+  transit_members_.clear();
+  awaiting_pre_.clear();
+  phase_ = Phase::kIdle;
+  ++stats_.updates_completed;
+  try_start_next_update();
+}
+
+void SilkRoadSwitch::note_pending_resolved(const net::Endpoint& vip,
+                                           const net::FiveTuple& flow) {
+  if (phase_ == Phase::kIdle || !(update_vip_ == vip)) return;
+  if (phase_ == Phase::kStep1) {
+    transit_members_.erase(flow);
+    awaiting_pre_.erase(flow);
+    if (awaiting_pre_.empty()) execute_flip();
+  } else {
+    transit_members_.erase(flow);
+    if (transit_members_.empty()) finish_update();
+  }
+}
+
+bool SilkRoadSwitch::evict_version_for(const net::Endpoint& /*vip*/,
+                                       VipState& state) {
+  const auto victim = state.versions->eviction_candidate();
+  if (!victim) return false;
+  const auto it = state.conns_by_version.find(*victim);
+  if (it != state.conns_by_version.end()) {
+    for (const auto& flow : it->second) {
+      const auto dip = state.versions->select(*victim, flow);
+      if (dip) {
+        software_table_[flow] = *dip;
+        ++stats_.software_fallback_conns;
+      }
+      if (conn_table_.erase(flow)) {
+        ++stats_.erases;
+        untrack_digest(flow);
+      }
+      if (const auto p = pending_.find(flow); p != pending_.end()) {
+        p->second.dead = true;  // insertion will be skipped
+      }
+    }
+    state.conns_by_version.erase(it);
+  }
+  state.versions->force_destroy(*victim);
+  ++stats_.versions_evicted;
+  return true;
+}
+
+void SilkRoadSwitch::arm_aging_sweep() {
+  if (config_.idle_timeout == 0 || aging_armed_) return;
+  aging_armed_ = true;
+  sim_.schedule_after(config_.aging_sweep_period, [this] { aging_sweep(); });
+}
+
+void SilkRoadSwitch::aging_sweep() {
+  aging_armed_ = false;
+  const sim::Time now = sim_.now();
+  if (now > config_.idle_timeout) {
+    const sim::Time cutoff = now - config_.idle_timeout;
+    for (const auto& flow : conn_table_.collect_idle(cutoff)) {
+      if (!aging_queue_.insert(flow).second) continue;  // erase already queued
+      const auto version = conn_table_.exact_value(flow);
+      if (!version) continue;
+      ++stats_.aged_out;
+      // The VIP is the flow's destination endpoint by construction.
+      enqueue_erase(flow, flow.dst, *version);
+    }
+  }
+  if (conn_table_.size() > 0 || !pending_.empty()) {
+    arm_aging_sweep();
+  }
+}
+
+void SilkRoadSwitch::handle_dip_failure(const net::Endpoint& vip,
+                                        const net::Endpoint& dip,
+                                        bool resilient_in_place) {
+  VipState* state = find_vip(vip);
+  if (state == nullptr) return;
+  if (!resilient_in_place) {
+    workload::DipUpdate update;
+    update.at = sim_.now();
+    update.vip = vip;
+    update.dip = dip;
+    update.action = workload::UpdateAction::kRemoveDip;
+    update.cause = workload::UpdateCause::kFailure;
+    request_update(update);
+    return;
+  }
+  // §7 alternative: mark the DIP dead in every pool version; resilient
+  // hashing diverts its flows without a version flip. Flows that targeted
+  // the failed DIP re-map (they are broken by the server loss regardless).
+  state->versions->mark_dip_down(dip);
+  if (risk_cb_) risk_cb_(vip);
+}
+
+std::string SilkRoadSwitch::debug_report() const {
+  char buf[256];
+  std::string out;
+  const auto usage = memory_usage();
+  std::snprintf(buf, sizeof buf,
+                "silkroad switch: %zu VIPs, %zu connections installed "
+                "(%.1f%% of %zu slots), %zu pending, %zu software\n",
+                vips_.size(), conn_table_.size(),
+                100.0 * conn_table_.occupancy(), conn_table_.capacity(),
+                pending_.size(), software_table_.size());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "memory: ConnTable %.2f MB, DIPPoolTable %.1f KB, "
+                "TransitTable %zu B\n",
+                usage.conn_table_bytes / 1e6,
+                usage.dip_pool_table_bytes / 1e3, usage.transit_table_bytes);
+  out += buf;
+  const char* phase = phase_ == Phase::kIdle    ? "idle"
+                      : phase_ == Phase::kStep1 ? "step1 (recording)"
+                                                : "step2 (draining)";
+  std::snprintf(buf, sizeof buf,
+                "control plane: update %s, %zu queued, CPU queue %zu deep "
+                "(%zu pipe%s)\n",
+                phase, update_queue_.size(), cpu_.queue_depth(),
+                cpu_.pipe_count(), cpu_.pipe_count() == 1 ? "" : "s");
+  out += buf;
+  for (const auto& [vip, state] : vips_) {
+    const auto& mgr = *state.versions;
+    const auto* pool = mgr.pool(mgr.current_version());
+    std::snprintf(buf, sizeof buf,
+                  "  vip %-24s version %2u (%zu live), %zu DIPs%s%s\n",
+                  vip.to_string().c_str(), mgr.current_version(),
+                  mgr.active_versions(), pool ? pool->live_count() : 0,
+                  state.meter ? ", metered" : "",
+                  (phase_ != Phase::kIdle && update_vip_ == vip)
+                      ? ", UPDATING"
+                      : "");
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof buf,
+      "counters: %llu pkts, %llu learns, %llu inserts (%llu failed), "
+      "%llu erases, %llu aged, %llu syn-fp, %llu updates done\n",
+      static_cast<unsigned long long>(stats_.packets),
+      static_cast<unsigned long long>(stats_.learns),
+      static_cast<unsigned long long>(stats_.inserts),
+      static_cast<unsigned long long>(stats_.insert_failures),
+      static_cast<unsigned long long>(stats_.erases),
+      static_cast<unsigned long long>(stats_.aged_out),
+      static_cast<unsigned long long>(stats_.syn_false_positives),
+      static_cast<unsigned long long>(stats_.updates_completed));
+  out += buf;
+  return out;
+}
+
+SilkRoadSwitch::MemoryUsage SilkRoadSwitch::memory_usage() const {
+  MemoryUsage usage;
+  usage.conn_table_bytes = conn_table_.sram_bytes();
+  for (const auto& [vip, state] : vips_) {
+    usage.dip_pool_table_bytes += state.versions->pool_table_bytes();
+  }
+  usage.transit_table_bytes = transit_.byte_count();
+  return usage;
+}
+
+}  // namespace silkroad::core

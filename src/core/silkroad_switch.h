@@ -1,0 +1,251 @@
+// SilkRoad: stateful L4 load balancing entirely inside a switching ASIC
+// (paper §4, Figure 10).
+//
+// Data plane (per packet, line rate):
+//   ConnTable (digest -> DIP-pool version, multi-stage cuckoo SRAM)
+//     hit  -> DIPPoolTable[(VIP, version)] -> DIP
+//     miss -> VIPTable[VIP] -> version (during an update: TransitTable bloom
+//             filter decides old vs new version) -> DIPPoolTable -> DIP,
+//             plus a learning-filter notification for new flows.
+//
+// Control plane (switch CPU, slow):
+//   drains the learning filter, runs BFS cuckoo to insert ConnTable entries
+//   (~200K/s), resolves digest false positives by relocating entries,
+//   executes the 3-step PCC update protocol, and manages version lifecycle.
+//
+// The public API is the library's primary entry point: configure the switch,
+// add VIPs, feed packets (or drive it through lb::Scenario), request pool
+// updates, and read the statistics the paper's evaluation reports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "asic/bloom_filter.h"
+#include "asic/cuckoo_table.h"
+#include "asic/learning_filter.h"
+#include "asic/meter.h"
+#include "asic/switch_cpu.h"
+#include "core/version_manager.h"
+#include "lb/load_balancer.h"
+#include "sim/event_queue.h"
+
+namespace silkroad::core {
+
+class SilkRoadSwitch : public lb::LoadBalancer {
+ public:
+  struct Config {
+    asic::CuckooConfig conn_table;
+    asic::LearningFilter::Config learning;
+    asic::SwitchCpu::Config cpu;
+    /// TransitTable bloom filter size (paper headline: 256 bytes).
+    std::size_t transit_table_bytes = 256;
+    unsigned transit_hashes = 3;
+    unsigned version_bits = 6;
+    /// Ablations (Figs. 15-18).
+    bool use_transit_table = true;
+    bool enable_version_reuse = true;
+    /// Slow-path latency charged to a redirected SYN (§4.2: "a few ms").
+    sim::Time syn_redirect_delay = 2 * sim::kMillisecond;
+    /// Data-plane pipeline latency per packet (§5.2: sub-microsecond;
+    /// SilkRoad's additional logic adds at most tens of ns).
+    sim::Time pipeline_latency = 400;  // ns
+    lb::PoolSemantics pool_semantics = lb::PoolSemantics::kStableResilient;
+    /// Idle-connection expiration ("connections that are timed-out and
+    /// deleted from ConnTable", §4.2): entries without data-plane activity
+    /// for this long are erased by the CPU's aging sweep. 0 disables aging
+    /// (flows then expire only on FIN).
+    sim::Time idle_timeout = 0;
+    /// Period of the CPU aging sweep when idle_timeout is enabled.
+    sim::Time aging_sweep_period = 10 * sim::kSecond;
+  };
+
+  /// Sizes a ConnTable geometry for `connections` at `occupancy` packing
+  /// across 4 stages with paper-default entry layout (16b digest + 6b
+  /// version + 6b overhead = 28b, 4 entries / 112b word).
+  static asic::CuckooConfig conn_table_for(std::size_t connections,
+                                           unsigned digest_bits = 16,
+                                           double occupancy = 0.90);
+
+  SilkRoadSwitch(sim::Simulator& simulator, const Config& config);
+
+  // --- lb::LoadBalancer -----------------------------------------------------
+  std::string name() const override { return "silkroad"; }
+  void add_vip(const net::Endpoint& vip,
+               const std::vector<net::Endpoint>& dips) override;
+  void request_update(const workload::DipUpdate& update) override;
+  lb::PacketResult process_packet(const net::Packet& packet) override;
+  void set_mapping_risk_callback(lb::LoadBalancer::MappingRiskCallback cb) override {
+    risk_cb_ = std::move(cb);
+  }
+  bool vip_at_slb(const net::Endpoint&) const override { return false; }
+
+  // --- Extras beyond the common interface -----------------------------------
+
+  /// Attaches a per-VIP rate limiter (performance isolation, §5.2). When
+  /// `enforce` is true red packets are dropped.
+  void attach_meter(const net::Endpoint& vip,
+                    const asic::TwoRateThreeColorMeter::Config& meter,
+                    bool enforce = false);
+
+  /// DIP failure fast path (§7): removes the DIP via the regular update
+  /// machinery (a new version), or — in resilient mode — marks the slot dead
+  /// in *all* versions without a version flip.
+  void handle_dip_failure(const net::Endpoint& vip, const net::Endpoint& dip,
+                          bool resilient_in_place);
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t conn_table_hits = 0;
+    std::uint64_t conn_table_misses = 0;
+    std::uint64_t learns = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t insert_failures = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t syn_false_positives = 0;
+    std::uint64_t non_syn_false_hits = 0;
+    std::uint64_t relocation_failures = 0;
+    std::uint64_t transit_false_positives = 0;
+    std::uint64_t updates_requested = 0;
+    std::uint64_t updates_completed = 0;
+    std::uint64_t versions_evicted = 0;
+    std::uint64_t software_fallback_conns = 0;
+    std::uint64_t meter_drops = 0;
+    std::uint64_t aged_out = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// On-chip memory in use: ConnTable geometry + DIPPoolTable contents +
+  /// TransitTable.
+  struct MemoryUsage {
+    std::size_t conn_table_bytes = 0;
+    std::size_t dip_pool_table_bytes = 0;
+    std::size_t transit_table_bytes = 0;
+    std::size_t total() const noexcept {
+      return conn_table_bytes + dip_pool_table_bytes + transit_table_bytes;
+    }
+  };
+  MemoryUsage memory_usage() const;
+
+  std::size_t active_connections() const noexcept {
+    return conn_table_.size() + pending_.size() + software_table_.size();
+  }
+  const asic::DigestCuckooTable& conn_table() const noexcept {
+    return conn_table_;
+  }
+  const VipVersionManager* version_manager(const net::Endpoint& vip) const;
+  bool update_in_flight() const noexcept { return phase_ != Phase::kIdle; }
+  std::size_t queued_updates() const noexcept { return update_queue_.size(); }
+  std::size_t pending_insertions() const noexcept { return pending_.size(); }
+  std::size_t software_flows() const noexcept { return software_table_.size(); }
+
+  /// Human-readable operational snapshot: table occupancies, per-VIP version
+  /// state, control-plane queue depths, and counters — what an operator's
+  /// `show loadbalancer` CLI would print.
+  std::string debug_report() const;
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kStep1, kStep2 };
+
+  struct VipState {
+    std::unique_ptr<VipVersionManager> versions;
+    /// CPU-side connection-to-pool tracking (§4.2): version -> flows.
+    std::unordered_map<std::uint32_t,
+                       std::unordered_set<net::FiveTuple, net::FiveTupleHash>>
+        conns_by_version;
+    std::optional<asic::TwoRateThreeColorMeter> meter;
+    bool meter_enforce = false;
+  };
+
+  struct PendingConn {
+    net::Endpoint vip;
+    std::uint32_t version = 0;
+    /// FIN observed before the entry landed: skip the insertion.
+    bool dead = false;
+  };
+
+  VipState* find_vip(const net::Endpoint& vip);
+  const VipState* find_vip(const net::Endpoint& vip) const;
+
+  /// Picks the version a ConnTable-missing packet of `vip` should use,
+  /// applying the Step1/Step2 TransitTable logic when `vip` is under update.
+  std::uint32_t version_for_miss(const net::Endpoint& vip, VipState& state,
+                                 const net::Packet& packet,
+                                 bool* redirected_to_cpu);
+
+  void learn_new_flow(const net::Endpoint& vip, VipState& state,
+                      const net::FiveTuple& flow, std::uint32_t version);
+  void on_learning_flush(std::vector<asic::LearnEvent> batch);
+  void complete_insertion(const asic::LearnEvent& event);
+  /// Control-plane digest-collision repair at insertion time: the switch
+  /// software knows every pending/installed flow's 5-tuple, so after placing
+  /// an entry it relocates any entry that would shadow a colliding flow's
+  /// lookups (generalizing the §4.2 SYN-time resolution to flows already in
+  /// flight).
+  void resolve_digest_conflicts(const net::FiveTuple& inserted);
+  void track_digest(const net::FiveTuple& flow);
+  void untrack_digest(const net::FiveTuple& flow);
+  /// Arms the aging sweep if idle_timeout is configured and it is not
+  /// already pending; the sweep disarms itself when the table drains so an
+  /// idle switch leaves the event queue empty.
+  void arm_aging_sweep();
+  void aging_sweep();
+  void enqueue_erase(const net::FiveTuple& flow, const net::Endpoint& vip,
+                     std::uint32_t version);
+  void release_conn(const net::Endpoint& vip, const net::FiveTuple& flow,
+                    std::uint32_t version);
+
+  // 3-step update machinery (global: one update in flight, queue behind it).
+  void try_start_next_update();
+  void execute_flip();
+  void finish_update();
+  void note_pending_resolved(const net::Endpoint& vip,
+                             const net::FiveTuple& flow);
+  /// Frees a version number by migrating a victim version's flows to exact
+  /// DIP mappings in the software table.
+  bool evict_version_for(const net::Endpoint& vip, VipState& state);
+
+  sim::Simulator& sim_;
+  Config config_;
+  asic::DigestCuckooTable conn_table_;
+  asic::LearningFilter learning_filter_;
+  asic::SwitchCpu cpu_;
+  asic::BloomFilter transit_;
+
+  std::unordered_map<net::Endpoint, VipState, net::EndpointHash> vips_;
+  std::unordered_map<net::FiveTuple, PendingConn, net::FiveTupleHash> pending_;
+  /// Exact-mapping fallback (insert failures, evicted versions): the
+  /// slow-path "small table" of §4.2/§7.
+  std::unordered_map<net::FiveTuple, net::Endpoint, net::FiveTupleHash>
+      software_table_;
+  /// CPU-side digest index over pending+installed flows, used to detect
+  /// lookup shadowing among digest-colliding flows at insertion time.
+  std::unordered_map<std::uint32_t, std::vector<net::FiveTuple>>
+      digest_groups_;
+  /// Flows with an aging-erase already queued at the CPU (prevents duplicate
+  /// work when sweeps outpace the CPU).
+  std::unordered_set<net::FiveTuple, net::FiveTupleHash> aging_queue_;
+
+  // In-flight update state.
+  Phase phase_ = Phase::kIdle;
+  std::deque<workload::DipUpdate> update_queue_;
+  net::Endpoint update_vip_;
+  std::uint32_t update_old_version_ = 0;
+  std::uint32_t update_new_version_ = 0;
+  /// S: flows pending at t_req (must land before the flip).
+  std::unordered_set<net::FiveTuple, net::FiveTupleHash> awaiting_pre_;
+  /// S2: flows recorded in the TransitTable during Step1 (must land before
+  /// the filter clears).
+  std::unordered_set<net::FiveTuple, net::FiveTupleHash> transit_members_;
+
+  lb::LoadBalancer::MappingRiskCallback risk_cb_;
+  Stats stats_;
+  bool aging_armed_ = false;
+};
+
+}  // namespace silkroad::core

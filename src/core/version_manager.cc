@@ -1,0 +1,216 @@
+#include "core/version_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace silkroad::core {
+
+VipVersionManager::VipVersionManager(net::Endpoint vip,
+                                     std::vector<net::Endpoint> dips,
+                                     const Config& config)
+    : vip_(vip), config_(config) {
+  for (std::uint32_t v = 1; v < version_capacity(); ++v) {
+    free_versions_.push_back(v);
+  }
+  pools_.emplace(0u, PoolInfo{lb::DipPool(std::move(dips), config_.semantics),
+                              0});
+  current_ = 0;
+  allocations_ = 1;
+}
+
+const lb::DipPool* VipVersionManager::pool(std::uint32_t version) const {
+  const auto it = pools_.find(version);
+  return it == pools_.end() ? nullptr : &it->second.pool;
+}
+
+std::optional<net::Endpoint> VipVersionManager::select(
+    std::uint32_t version, const net::FiveTuple& flow) const {
+  const lb::DipPool* p = pool(version);
+  if (p == nullptr) return std::nullopt;
+  return p->select(flow);
+}
+
+std::optional<std::uint32_t> VipVersionManager::allocate_version() {
+  if (free_versions_.empty()) {
+    ++exhaustions_;
+    return std::nullopt;
+  }
+  const std::uint32_t v = free_versions_.front();
+  free_versions_.pop_front();
+  ++allocations_;
+  return v;
+}
+
+std::optional<VipVersionManager::StagedUpdate> VipVersionManager::stage_update(
+    const workload::DipUpdate& update) {
+  const auto cur_it = pools_.find(current_);
+  assert(cur_it != pools_.end());
+
+  if (update.action == workload::UpdateAction::kAddDip) {
+    if (config_.enable_reuse) {
+      // Version reuse (paper §4.2, Fig. 7): substitute the returning DIP
+      // into a version whose pool still holds a *down* DIP in some slot.
+      // Connections of that version mapped to the down slot were already
+      // broken by the server going away; every other slot is untouched; no
+      // fresh version number is consumed. Candidate ranking:
+      //   1. fewer residual down members after substitution is better (new
+      //      connections must not land on down servers);
+      //   2. substituting the new DIP itself into its old slot beats
+      //      substituting a different down DIP;
+      //   3. membership closer to the current pool's is better (less load
+      //      drift for new connections).
+      auto desired = cur_it->second.pool.members();
+      std::sort(desired.begin(), desired.end());
+      std::optional<std::uint32_t> best_version;
+      net::Endpoint best_slot_dip;
+      std::tuple<std::size_t, int, std::size_t> best_score{SIZE_MAX, 2,
+                                                           SIZE_MAX};
+      for (auto& [version, info] : pools_) {
+        if (version == current_) continue;
+        const auto members = info.pool.members();
+        std::size_t down_members = 0;
+        for (const auto& member : members) {
+          if (down_dips_.contains(member)) ++down_members;
+        }
+        for (const auto& member : members) {
+          if (!down_dips_.contains(member)) continue;
+          const int self_substitution = member == update.dip ? 0 : 1;
+          std::size_t drift = 0;  // members not in the desired set
+          for (const auto& m : members) {
+            if (!(m == member) &&
+                !std::binary_search(desired.begin(), desired.end(), m)) {
+              ++drift;
+            }
+          }
+          const std::tuple<std::size_t, int, std::size_t> score{
+              down_members - 1, self_substitution, drift};
+          if (score < best_score) {
+            best_score = score;
+            best_version = version;
+            best_slot_dip = member;
+          }
+        }
+      }
+      if (best_version) {
+        pools_.at(*best_version).pool.replace_member(best_slot_dip, update.dip);
+        ++reuses_;
+        down_dips_.erase(update.dip);  // the server is back in service
+        return StagedUpdate{*best_version, true};
+      }
+    }
+    down_dips_.erase(update.dip);
+  }
+
+  const auto version = allocate_version();
+  if (!version) return std::nullopt;
+  lb::DipPool next = cur_it->second.pool;
+  if (update.action == workload::UpdateAction::kAddDip) {
+    next.add(update.dip);
+  } else {
+    // The new version's pool simply omits the DIP (compacted); the old
+    // version keeps it addressable so its ongoing connections are untouched.
+    down_dips_.insert(update.dip);
+    next.erase_member(update.dip);
+  }
+  pools_.emplace(*version, PoolInfo{std::move(next), 0});
+  return StagedUpdate{*version, false};
+}
+
+std::optional<VipVersionManager::StagedUpdate>
+VipVersionManager::stage_update_batch(
+    const std::vector<workload::DipUpdate>& updates) {
+  if (updates.empty()) return std::nullopt;
+  if (updates.size() == 1) return stage_update(updates.front());
+  const auto cur_it = pools_.find(current_);
+  assert(cur_it != pools_.end());
+  const auto version = allocate_version();
+  if (!version) return std::nullopt;
+  lb::DipPool next = cur_it->second.pool;
+  for (const auto& update : updates) {
+    if (update.action == workload::UpdateAction::kAddDip) {
+      next.add(update.dip);
+      down_dips_.erase(update.dip);
+    } else {
+      down_dips_.insert(update.dip);
+      next.erase_member(update.dip);
+    }
+  }
+  pools_.emplace(*version, PoolInfo{std::move(next), 0});
+  return StagedUpdate{*version, false};
+}
+
+void VipVersionManager::commit(std::uint32_t target_version) {
+  assert(pools_.contains(target_version));
+  const std::uint32_t previous = current_;
+  current_ = target_version;
+  // The displaced version may already be unreferenced.
+  if (previous != current_) {
+    const auto it = pools_.find(previous);
+    if (it != pools_.end() && it->second.refcount == 0) {
+      pools_.erase(it);
+      free_versions_.push_back(previous);
+    }
+  }
+}
+
+void VipVersionManager::acquire(std::uint32_t version) {
+  const auto it = pools_.find(version);
+  assert(it != pools_.end());
+  ++it->second.refcount;
+}
+
+void VipVersionManager::release(std::uint32_t version) {
+  const auto it = pools_.find(version);
+  if (it == pools_.end()) return;
+  assert(it->second.refcount > 0);
+  if (--it->second.refcount == 0 && version != current_) {
+    pools_.erase(it);
+    free_versions_.push_back(version);
+  }
+}
+
+std::int64_t VipVersionManager::refcount(std::uint32_t version) const {
+  const auto it = pools_.find(version);
+  return it == pools_.end() ? -1 : it->second.refcount;
+}
+
+std::optional<std::uint32_t> VipVersionManager::eviction_candidate() const {
+  std::optional<std::uint32_t> best;
+  std::int64_t best_count = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [version, info] : pools_) {
+    if (version == current_) continue;
+    if (info.refcount < best_count) {
+      best = version;
+      best_count = info.refcount;
+    }
+  }
+  return best;
+}
+
+void VipVersionManager::force_destroy(std::uint32_t version) {
+  assert(version != current_);
+  const auto it = pools_.find(version);
+  if (it == pools_.end()) return;
+  pools_.erase(it);
+  free_versions_.push_back(version);
+}
+
+std::size_t VipVersionManager::mark_dip_down(const net::Endpoint& dip) {
+  down_dips_.insert(dip);
+  std::size_t touched = 0;
+  for (auto& [version, info] : pools_) {
+    if (info.pool.remove(dip)) ++touched;
+  }
+  return touched;
+}
+
+std::size_t VipVersionManager::pool_table_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [version, info] : pools_) {
+    total += info.pool.wire_bytes();
+  }
+  return total;
+}
+
+}  // namespace silkroad::core

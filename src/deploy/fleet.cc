@@ -1,0 +1,92 @@
+#include "deploy/fleet.h"
+
+#include <cassert>
+
+namespace silkroad::deploy {
+
+SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
+                             const core::SilkRoadSwitch::Config& config,
+                             std::size_t replicas, std::uint64_t ecmp_seed)
+    : sim_(simulator), alive_(replicas, true), ecmp_seed_(ecmp_seed) {
+  assert(replicas > 0);
+  switches_.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    switches_.push_back(
+        std::make_unique<core::SilkRoadSwitch>(simulator, config));
+  }
+}
+
+void SilkRoadFleet::add_vip(const net::Endpoint& vip,
+                            const std::vector<net::Endpoint>& dips) {
+  for (const auto& sw : switches_) sw->add_vip(vip, dips);
+}
+
+void SilkRoadFleet::request_update(const workload::DipUpdate& update) {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (alive_[i]) switches_[i]->request_update(update);
+  }
+}
+
+void SilkRoadFleet::set_mapping_risk_callback(MappingRiskCallback cb) {
+  risk_cb_ = std::move(cb);
+  // Any member switch flipping can change a flow's mapping; de-duplication
+  // of the resulting probe sweeps is the driver's concern (the sweep is
+  // idempotent between events).
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    switches_[i]->set_mapping_risk_callback(
+        [this](const net::Endpoint& vip) {
+          if (risk_cb_) risk_cb_(vip);
+        });
+  }
+}
+
+std::optional<std::size_t> SilkRoadFleet::route_of(
+    const net::FiveTuple& flow) const {
+  // ECMP over live members: hash-ranked selection so a member failure only
+  // re-routes the failed member's share (rendezvous / highest-random-weight
+  // hashing, the resilient-ECMP behaviour of modern fabrics).
+  std::optional<std::size_t> best;
+  std::uint64_t best_weight = 0;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const std::uint64_t weight =
+        net::hash_five_tuple(flow, net::mix64(ecmp_seed_ + i));
+    if (!best || weight > best_weight) {
+      best = i;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+lb::PacketResult SilkRoadFleet::process_packet(const net::Packet& packet) {
+  const auto route = route_of(packet.flow);
+  if (!route) return {};
+  return switches_[*route]->process_packet(packet);
+}
+
+void SilkRoadFleet::fail_switch(std::size_t index) {
+  if (index >= alive_.size() || !alive_[index]) return;
+  alive_[index] = false;
+  // Flows the failed switch carried re-hash to survivors on their next
+  // packet; callers audit the re-mapping with route_of() + probes (see the
+  // fleet tests and examples).
+}
+
+void SilkRoadFleet::restore_switch(std::size_t index) {
+  if (index >= alive_.size() || alive_[index]) return;
+  // A restored switch comes back empty (fresh ConnTable) but with the same
+  // control-plane configuration; in a real deployment the controller replays
+  // VIP config before re-announcing routes. Our switches keep their VIP
+  // config (state loss is modeled by the conn tables having drained), so
+  // re-enabling is sufficient for the simulation's purposes.
+  alive_[index] = true;
+}
+
+std::size_t SilkRoadFleet::live_count() const {
+  std::size_t count = 0;
+  for (const bool a : alive_) count += a ? 1 : 0;
+  return count;
+}
+
+}  // namespace silkroad::deploy

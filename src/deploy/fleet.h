@@ -1,0 +1,73 @@
+// A fleet of SilkRoad switches behind ECMP (paper §5.3, §7).
+//
+// Every switch announces every VIP; the upstream fabric ECMP-sprays flows
+// across them by 5-tuple hash. All switches receive the same control-plane
+// update stream, so their VIPTables converge to the same newest version —
+// which is exactly why a switch failure is survivable: a failed switch's
+// flows re-hash onto peers, and any flow that was on the *latest* pool
+// version maps identically there. Only flows bound to older versions (or
+// pinned in software fallback) lose consistency, the same blast radius as
+// losing one SLB's ConnTable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/silkroad_switch.h"
+#include "lb/load_balancer.h"
+
+namespace silkroad::deploy {
+
+class SilkRoadFleet : public lb::LoadBalancer {
+ public:
+  /// `replicas` identical switches sharing one configuration.
+  SilkRoadFleet(sim::Simulator& simulator,
+                const core::SilkRoadSwitch::Config& config,
+                std::size_t replicas, std::uint64_t ecmp_seed = 0xFEE7ULL);
+
+  std::string name() const override { return "silkroad-fleet"; }
+
+  void add_vip(const net::Endpoint& vip,
+               const std::vector<net::Endpoint>& dips) override;
+
+  /// Updates fan out to every live switch (they all run the 3-step protocol
+  /// independently; their DIPPoolTables stay content-identical).
+  void request_update(const workload::DipUpdate& update) override;
+
+  /// Routes the packet to the ECMP-selected live switch.
+  lb::PacketResult process_packet(const net::Packet& packet) override;
+
+  void set_mapping_risk_callback(MappingRiskCallback cb) override;
+  bool vip_at_slb(const net::Endpoint&) const override { return false; }
+
+  // --- Fleet operations -------------------------------------------------------
+
+  /// Kills a switch: its connection state is gone; its flows re-hash onto
+  /// the survivors from the next packet on.
+  void fail_switch(std::size_t index);
+  /// Brings a (fresh, empty) switch back.
+  void restore_switch(std::size_t index);
+
+  std::size_t size() const noexcept { return switches_.size(); }
+  std::size_t live_count() const;
+  const core::SilkRoadSwitch& switch_at(std::size_t index) const {
+    return *switches_.at(index);
+  }
+  core::SilkRoadSwitch& switch_at(std::size_t index) {
+    return *switches_.at(index);
+  }
+
+  /// Index of the live switch the fabric currently hashes `flow` to, or
+  /// nullopt when the whole fleet is down.
+  std::optional<std::size_t> route_of(const net::FiveTuple& flow) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<core::SilkRoadSwitch>> switches_;
+  std::vector<bool> alive_;
+  std::uint64_t ecmp_seed_;
+  MappingRiskCallback risk_cb_;
+};
+
+}  // namespace silkroad::deploy

@@ -1,0 +1,40 @@
+#include "deploy/topology.h"
+
+namespace silkroad::deploy {
+
+ClosTopology::ClosTopology(int tors, int aggs, int cores,
+                           std::size_t sram_budget_bytes,
+                           double capacity_gbps) {
+  int id = 0;
+  const auto add_layer = [&](Layer layer, int count) {
+    for (int i = 0; i < count; ++i) {
+      switches_.push_back(
+          SwitchNode{id++, layer, sram_budget_bytes, capacity_gbps, true});
+    }
+  };
+  add_layer(Layer::kToR, tors);
+  add_layer(Layer::kAgg, aggs);
+  add_layer(Layer::kCore, cores);
+}
+
+std::vector<const SwitchNode*> ClosTopology::enabled_in(Layer layer) const {
+  std::vector<const SwitchNode*> out;
+  for (const auto& sw : switches_) {
+    if (sw.layer == layer && sw.enabled) out.push_back(&sw);
+  }
+  return out;
+}
+
+std::size_t ClosTopology::enabled_count(Layer layer) const {
+  return enabled_in(layer).size();
+}
+
+void ClosTopology::enable_only(Layer layer, int count) {
+  int seen = 0;
+  for (auto& sw : switches_) {
+    if (sw.layer != layer) continue;
+    sw.enabled = seen++ < count;
+  }
+}
+
+}  // namespace silkroad::deploy

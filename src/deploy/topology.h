@@ -1,0 +1,57 @@
+// Clos topology model for network-wide SilkRoad deployment (paper §5.3).
+//
+// Three switch layers (ToR / Aggregation / Core); each switch has an SRAM
+// budget available for load balancing and a forwarding-capacity budget. A
+// VIP is assigned to exactly one layer and its traffic/connections are split
+// by ECMP across that layer's SilkRoad-enabled switches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace silkroad::deploy {
+
+enum class Layer : std::uint8_t { kToR = 0, kAgg = 1, kCore = 2 };
+inline constexpr Layer kAllLayers[] = {Layer::kToR, Layer::kAgg, Layer::kCore};
+
+constexpr const char* to_string(Layer layer) noexcept {
+  switch (layer) {
+    case Layer::kToR: return "ToR";
+    case Layer::kAgg: return "Agg";
+    default: return "Core";
+  }
+}
+
+struct SwitchNode {
+  int id = 0;
+  Layer layer = Layer::kToR;
+  /// SRAM the operator budgets for load balancing on this switch (bytes).
+  std::size_t sram_budget_bytes = 50u << 20;
+  /// Forwarding capacity budget (Gbps) for VIP traffic.
+  double capacity_gbps = 6400;
+  /// SilkRoad enabled (incremental deployment, §5.3).
+  bool enabled = true;
+};
+
+class ClosTopology {
+ public:
+  ClosTopology(int tors, int aggs, int cores,
+               std::size_t sram_budget_bytes = 50u << 20,
+               double capacity_gbps = 6400);
+
+  std::vector<SwitchNode>& switches() noexcept { return switches_; }
+  const std::vector<SwitchNode>& switches() const noexcept { return switches_; }
+
+  /// SilkRoad-enabled switches in a layer.
+  std::vector<const SwitchNode*> enabled_in(Layer layer) const;
+  std::size_t enabled_count(Layer layer) const;
+
+  /// Disables a fraction of each layer's switches (incremental deployment).
+  void enable_only(Layer layer, int count);
+
+ private:
+  std::vector<SwitchNode> switches_;
+};
+
+}  // namespace silkroad::deploy

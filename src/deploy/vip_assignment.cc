@@ -1,0 +1,156 @@
+#include "deploy/vip_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace silkroad::deploy {
+namespace {
+
+struct LayerLoad {
+  std::vector<std::size_t> switch_ids;  // indices into topology.switches()
+  double sram_used = 0;                 // per enabled switch (even split)
+  double gbps_used = 0;
+};
+
+}  // namespace
+
+Assignment assign_vips(const ClosTopology& topology,
+                       const std::vector<VipDemand>& demands) {
+  const auto& switches = topology.switches();
+  Assignment result;
+  result.vip_layer.assign(demands.size(), Layer::kToR);
+  result.switch_sram_used.assign(switches.size(), 0.0);
+  result.switch_gbps_used.assign(switches.size(), 0.0);
+
+  // Build per-layer views (even ECMP split means per-switch load within a
+  // layer is uniform, so we track one number per layer and expand at the
+  // end).
+  LayerLoad loads[3];
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    if (switches[i].enabled) {
+      loads[static_cast<int>(switches[i].layer)].switch_ids.push_back(i);
+    }
+  }
+
+  // Largest memory demand first (FFD).
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a].sram_bytes() > demands[b].sram_bytes();
+  });
+
+  for (const std::size_t vi : order) {
+    const VipDemand& demand = demands[vi];
+    const double demand_sram = static_cast<double>(demand.sram_bytes());
+
+    int best_layer = -1;
+    double best_utilization = 0;
+    for (const Layer layer : kAllLayers) {
+      LayerLoad& load = loads[static_cast<int>(layer)];
+      const std::size_t n = load.switch_ids.size();
+      if (n == 0) continue;
+      const SwitchNode& representative = switches[load.switch_ids.front()];
+      const double per_switch_sram =
+          load.sram_used + demand_sram / static_cast<double>(n);
+      const double per_switch_gbps =
+          load.gbps_used + demand.traffic_gbps / static_cast<double>(n);
+      if (per_switch_sram >
+              static_cast<double>(representative.sram_budget_bytes) ||
+          per_switch_gbps > representative.capacity_gbps) {
+        continue;  // would exceed a budget
+      }
+      const double utilization =
+          per_switch_sram / static_cast<double>(representative.sram_budget_bytes);
+      if (best_layer < 0 || utilization < best_utilization) {
+        best_layer = static_cast<int>(layer);
+        best_utilization = utilization;
+      }
+    }
+    if (best_layer < 0) {
+      ++result.unassigned;
+      continue;
+    }
+    LayerLoad& chosen = loads[best_layer];
+    const double n = static_cast<double>(chosen.switch_ids.size());
+    chosen.sram_used += demand_sram / n;
+    chosen.gbps_used += demand.traffic_gbps / n;
+    result.vip_layer[vi] = static_cast<Layer>(best_layer);
+  }
+
+  for (const Layer layer : kAllLayers) {
+    const LayerLoad& load = loads[static_cast<int>(layer)];
+    for (const std::size_t sw : load.switch_ids) {
+      result.switch_sram_used[sw] = load.sram_used;
+      result.switch_gbps_used[sw] = load.gbps_used;
+      const auto& node = topology.switches()[sw];
+      result.max_sram_utilization = std::max(
+          result.max_sram_utilization,
+          load.sram_used / static_cast<double>(node.sram_budget_bytes));
+      result.max_capacity_utilization =
+          std::max(result.max_capacity_utilization,
+                   load.gbps_used / node.capacity_gbps);
+    }
+  }
+  return result;
+}
+
+std::uint64_t switch_failure_broken_conns(
+    const ClosTopology& topology, const Assignment& assignment,
+    const std::vector<VipDemand>& demands, int failed_switch,
+    double stale_fraction) {
+  const auto& switches = topology.switches();
+  if (failed_switch < 0 ||
+      static_cast<std::size_t>(failed_switch) >= switches.size()) {
+    return 0;
+  }
+  const SwitchNode& failed = switches[static_cast<std::size_t>(failed_switch)];
+  if (!failed.enabled) return 0;
+  const std::size_t peers = topology.enabled_count(failed.layer);
+  if (peers == 0) return 0;
+
+  // Connections on the failed switch: each VIP assigned to its layer
+  // contributes conns/peers. Survivors re-hash on another switch with the
+  // *latest* VIPTable; only connections bound to old versions break (§7).
+  double conns_on_switch = 0;
+  for (std::size_t vi = 0; vi < demands.size(); ++vi) {
+    if (assignment.vip_layer[vi] == failed.layer) {
+      conns_on_switch += static_cast<double>(demands[vi].active_connections) /
+                         static_cast<double>(peers);
+    }
+  }
+  return static_cast<std::uint64_t>(std::llround(conns_on_switch * stale_fraction));
+}
+
+std::string format_assignment(const ClosTopology& topology,
+                              const Assignment& assignment) {
+  char buf[256];
+  std::string out;
+  double layer_sram[3] = {0, 0, 0};
+  int layer_count[3] = {0, 0, 0};
+  const auto& switches = topology.switches();
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    if (!switches[i].enabled) continue;
+    const int l = static_cast<int>(switches[i].layer);
+    layer_sram[l] = assignment.switch_sram_used[i];
+    ++layer_count[l];
+  }
+  for (const Layer layer : kAllLayers) {
+    const int l = static_cast<int>(layer);
+    std::snprintf(buf, sizeof buf,
+                  "%-5s: %3d switches, %8.2f MB SRAM per switch\n",
+                  to_string(layer), layer_count[l], layer_sram[l] / 1e6);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "max SRAM utilization %.1f%%, max capacity utilization %.1f%%, "
+                "unassigned VIPs %llu\n",
+                100 * assignment.max_sram_utilization,
+                100 * assignment.max_capacity_utilization,
+                static_cast<unsigned long long>(assignment.unassigned));
+  out += buf;
+  return out;
+}
+
+}  // namespace silkroad::deploy

@@ -1,0 +1,65 @@
+// Adaptive VIP-to-layer assignment (paper §5.3).
+//
+// Bin-packing formulation: given the topology, the VIP list, and per-VIP
+// traffic (volume + active connections), choose a layer per VIP minimizing
+// the maximum SRAM utilization across switches while respecting each
+// switch's forwarding-capacity and SRAM budgets. A VIP assigned to a layer
+// ECMP-splits its load across that layer's enabled switches. Solved with a
+// greedy first-fit-decreasing heuristic (largest memory demand first, pick
+// the layer minimizing the resulting bottleneck), which is the standard
+// practical approach for this NP-hard family.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/memory_model.h"
+#include "deploy/topology.h"
+#include "net/endpoint.h"
+
+namespace silkroad::deploy {
+
+/// Per-VIP demand: connection state and traffic volume.
+struct VipDemand {
+  net::Endpoint vip;
+  std::uint64_t active_connections = 0;
+  double traffic_gbps = 0;
+  std::size_t dips = 100;
+  bool ipv6 = false;
+
+  /// SRAM bytes this VIP needs in total (ConnTable share + pool table).
+  std::size_t sram_bytes() const {
+    return core::conn_table_bytes(active_connections,
+                                  core::digest_version_entry()) +
+           core::dip_pool_table_bytes(dips, 4, ipv6);
+  }
+};
+
+struct Assignment {
+  std::vector<Layer> vip_layer;           // parallel to demands
+  std::vector<double> switch_sram_used;   // bytes, parallel to topo switches
+  std::vector<double> switch_gbps_used;   // parallel to topo switches
+  double max_sram_utilization = 0;        // bottleneck, fraction of budget
+  double max_capacity_utilization = 0;
+  std::uint64_t unassigned = 0;           // VIPs no layer could host
+};
+
+/// Runs the FFD heuristic. Returns the assignment and utilization profile.
+Assignment assign_vips(const ClosTopology& topology,
+                       const std::vector<VipDemand>& demands);
+
+/// Connections that lose PCC when `failed_switch` dies (paper §7): flows on
+/// that switch using a non-latest pool version re-hash differently on the
+/// ECMP-failover switch. `stale_fraction` is the fraction of a switch's
+/// connections bound to old versions (workload-dependent input).
+std::uint64_t switch_failure_broken_conns(
+    const ClosTopology& topology, const Assignment& assignment,
+    const std::vector<VipDemand>& demands, int failed_switch,
+    double stale_fraction);
+
+std::string format_assignment(const ClosTopology& topology,
+                              const Assignment& assignment);
+
+}  // namespace silkroad::deploy

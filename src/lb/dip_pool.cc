@@ -1,0 +1,138 @@
+#include "lb/dip_pool.h"
+
+#include <algorithm>
+
+namespace silkroad::lb {
+
+DipPool::DipPool(std::vector<net::Endpoint> dips, PoolSemantics semantics,
+                 std::uint64_t select_seed)
+    : slots_(std::move(dips)),
+      alive_(slots_.size(), true),
+      semantics_(semantics),
+      select_seed_(select_seed) {}
+
+std::optional<net::Endpoint> DipPool::select(const net::FiveTuple& flow) const {
+  if (slots_.empty()) return std::nullopt;
+  const std::size_t n = slots_.size();
+  std::size_t idx =
+      static_cast<std::size_t>(net::hash_five_tuple(flow, select_seed_) % n);
+  if (alive_[idx]) return slots_[idx];
+  if (semantics_ == PoolSemantics::kCompactEcmp) {
+    // Compact tables never hold dead slots (remove() erases), but guard
+    // against transient states: fall through to the resilient path.
+  }
+  // Resilient re-hash: bounded deterministic attempts with distinct seeds,
+  // then a linear sweep (guarantees termination when any live slot exists).
+  for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+    idx = static_cast<std::size_t>(
+        net::hash_five_tuple(flow, net::mix64(select_seed_ + attempt)) % n);
+    if (alive_[idx]) return slots_[idx];
+  }
+  for (std::size_t off = 0; off < n; ++off) {
+    const std::size_t probe = (idx + off) % n;
+    if (alive_[probe]) return slots_[probe];
+  }
+  return std::nullopt;
+}
+
+std::size_t DipPool::add(const net::Endpoint& dip) {
+  slots_.push_back(dip);
+  alive_.push_back(true);
+  return slots_.size() - 1;
+}
+
+bool DipPool::remove(const net::Endpoint& dip) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (alive_[i] && slots_[i] == dip) {
+      if (semantics_ == PoolSemantics::kCompactEcmp) {
+        slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+        alive_.erase(alive_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        alive_[i] = false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::size_t> DipPool::replace_dead_slot(const net::Endpoint& dip) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!alive_[i]) {
+      slots_[i] = dip;
+      alive_[i] = true;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool DipPool::erase_member(const net::Endpoint& dip) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (alive_[i] && slots_[i] == dip) {
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+      alive_.erase(alive_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DipPool::replace_member(const net::Endpoint& from, const net::Endpoint& to) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (alive_[i] && slots_[i] == from) {
+      slots_[i] = to;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<net::Endpoint> DipPool::members() const {
+  std::vector<net::Endpoint> out;
+  out.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (alive_[i]) out.push_back(slots_[i]);
+  }
+  return out;
+}
+
+bool DipPool::contains_live(const net::Endpoint& dip) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (alive_[i] && slots_[i] == dip) return true;
+  }
+  return false;
+}
+
+bool DipPool::has_dead_slot() const {
+  return std::any_of(alive_.begin(), alive_.end(),
+                     [](bool alive) { return !alive; });
+}
+
+std::size_t DipPool::live_count() const {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+bool DipPool::ipv6() const {
+  return !slots_.empty() && slots_.front().ip.is_v6();
+}
+
+std::size_t DipPool::wire_bytes() const {
+  std::size_t total = 0;
+  for (const auto& dip : slots_) total += dip.wire_bytes();
+  return total;
+}
+
+std::string DipPool::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += slots_[i].to_string();
+    if (!alive_[i]) out += "(dead)";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace silkroad::lb

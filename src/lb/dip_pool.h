@@ -1,0 +1,92 @@
+// A VIP's DIP pool with hash-based member selection.
+//
+// Two slot semantics are provided because they induce the different PCC
+// behaviours the paper compares:
+//
+//  * kCompactEcmp    — classic ECMP member table: removing a member compacts
+//                      the table, so `hash % size` re-maps ~everything. This
+//                      is the fixed-function behaviour Duet is built on.
+//  * kStableResilient— slots are stable: a removed DIP leaves a dead slot;
+//                      selection re-hashes deterministically past dead slots
+//                      (resilient hashing, paper §7). Replacing a dead slot
+//                      in place (version *reuse*, §4.2) leaves every live
+//                      mapping untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/five_tuple.h"
+#include "net/hash.h"
+
+namespace silkroad::lb {
+
+enum class PoolSemantics : std::uint8_t { kCompactEcmp, kStableResilient };
+
+class DipPool {
+ public:
+  DipPool() = default;
+  DipPool(std::vector<net::Endpoint> dips, PoolSemantics semantics,
+          std::uint64_t select_seed = 0xD1A5E1EC7ULL);
+
+  /// Selects the DIP for a flow; nullopt when no live member exists.
+  /// Deterministic in (flow, pool state).
+  std::optional<net::Endpoint> select(const net::FiveTuple& flow) const;
+
+  /// Adds a DIP. Under kStableResilient a dead slot is *not* implicitly
+  /// reused (that decision belongs to the version manager); a new slot is
+  /// appended. Returns the slot index.
+  std::size_t add(const net::Endpoint& dip);
+
+  /// Removes a DIP. kCompactEcmp erases the slot (re-mapping hazard);
+  /// kStableResilient marks it dead. Returns false if not found live.
+  bool remove(const net::Endpoint& dip);
+
+  /// kStableResilient only: replaces the first dead slot with `dip`
+  /// (in-place substitution enabling version reuse). Returns the slot index
+  /// or nullopt when no dead slot exists.
+  std::optional<std::size_t> replace_dead_slot(const net::Endpoint& dip);
+
+  /// Hard-removes `dip`'s slot (compaction) regardless of semantics — used
+  /// when *constructing* a new pool version, where no connection depends on
+  /// the layout yet. Returns false if the dip is not a live member.
+  bool erase_member(const net::Endpoint& dip);
+
+  /// In-place substitution: the slot holding `from` now holds `to`, keeping
+  /// its position (version reuse, paper §4.2: "replace DIP 10.0.0.2:20 with
+  /// 10.0.0.4:20"). Returns false if `from` is not a live member.
+  bool replace_member(const net::Endpoint& from, const net::Endpoint& to);
+
+  /// Live member endpoints in slot order.
+  std::vector<net::Endpoint> members() const;
+
+  bool contains_live(const net::Endpoint& dip) const;
+  bool has_dead_slot() const;
+  std::size_t live_count() const;
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+  PoolSemantics semantics() const noexcept { return semantics_; }
+  const std::vector<net::Endpoint>& slots() const noexcept { return slots_; }
+  const std::vector<bool>& alive() const noexcept { return alive_; }
+  bool ipv6() const;
+
+  /// Wire bytes of the member list (DIPPoolTable sizing): live+dead slots x
+  /// (address + port).
+  std::size_t wire_bytes() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const DipPool& a, const DipPool& b) {
+    return a.slots_ == b.slots_ && a.alive_ == b.alive_;
+  }
+
+ private:
+  std::vector<net::Endpoint> slots_;
+  std::vector<bool> alive_;
+  PoolSemantics semantics_ = PoolSemantics::kStableResilient;
+  std::uint64_t select_seed_ = 0xD1A5E1EC7ULL;
+};
+
+}  // namespace silkroad::lb

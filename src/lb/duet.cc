@@ -1,0 +1,145 @@
+#include "lb/duet.h"
+
+namespace silkroad::lb {
+
+DuetLoadBalancer::DuetLoadBalancer(sim::Simulator& simulator,
+                                   const Config& config)
+    : sim_(simulator),
+      config_(config),
+      slb_latency_(sim::LogNormalByQuantiles::from_median_p99(
+          config.slb_latency_us_median, config.slb_latency_us_p99)),
+      latency_rng_(0xD0E7ULL) {}
+
+std::string DuetLoadBalancer::name() const {
+  if (config_.policy == MigratePolicy::kWaitPcc) return "duet-migrate-pcc";
+  if (config_.migrate_period == sim::kMinute) return "duet-migrate-1min";
+  if (config_.migrate_period == 10 * sim::kMinute) return "duet-migrate-10min";
+  return "duet-migrate-" +
+         std::to_string(config_.migrate_period / sim::kSecond) + "s";
+}
+
+void DuetLoadBalancer::add_vip(const net::Endpoint& vip,
+                               const std::vector<net::Endpoint>& dips) {
+  VipState state;
+  state.pool = DipPool(dips, config_.pool_semantics);
+  vips_.insert_or_assign(vip, std::move(state));
+}
+
+void DuetLoadBalancer::request_update(const workload::DipUpdate& update) {
+  const auto it = vips_.find(update.vip);
+  if (it == vips_.end()) return;
+  VipState& state = it->second;
+
+  if (!state.at_slb) {
+    // Redirect the VIP to SLBs first. The mapping-risk callback prompts the
+    // driver to emit a packet per ongoing flow, which pins each one in the
+    // SLB ConnTable under the *old* pool — modeling "the SLB waits until it
+    // has seen at least one packet from every ongoing connection".
+    state.at_slb = true;
+    ++to_slb_;
+    if (risk_cb_) risk_cb_(update.vip);
+  }
+
+  // Apply the update to the pool (used for new flows from now on).
+  if (update.action == workload::UpdateAction::kAddDip) {
+    state.pool.add(update.dip);
+  } else {
+    state.pool.remove(update.dip);
+  }
+
+  // Re-classify pinned flows against the updated pool: a flow whose pinned
+  // DIP now disagrees with the pool hash would break if migrated back.
+  std::uint64_t mismatched = 0;
+  for (auto& [flow, pin] : state.pinned) {
+    const auto now_maps_to = state.pool.select(flow);
+    pin.mismatched = !now_maps_to || !(*now_maps_to == pin.dip);
+    if (pin.mismatched) ++mismatched;
+  }
+  state.mismatched_count = mismatched;
+
+  if (config_.policy == MigratePolicy::kWaitPcc) {
+    maybe_migrate_pcc(update.vip, state);
+  } else if (!tick_scheduled_) {
+    tick_scheduled_ = true;
+    sim_.schedule_after(config_.migrate_period, [this] { migrate_back_if_due(); });
+  }
+}
+
+PacketResult DuetLoadBalancer::process_packet(const net::Packet& packet) {
+  const auto it = vips_.find(packet.flow.dst);
+  if (it == vips_.end()) return {};
+  VipState& state = it->second;
+
+  if (!state.at_slb) {
+    // Pure switch path: stateless ECMP into the current pool.
+    PacketResult result;
+    result.dip = state.pool.select(packet.flow);
+    result.added_latency = config_.switch_latency;
+    return result;
+  }
+
+  PacketResult result;
+  result.handled_by_slb = true;
+  result.added_latency =
+      config_.switch_latency +
+      static_cast<sim::Time>(slb_latency_.sample(latency_rng_) *
+                             static_cast<double>(sim::kMicrosecond));
+  if (const auto pinned = state.pinned.find(packet.flow);
+      pinned != state.pinned.end()) {
+    result.dip = pinned->second.dip;
+    if (packet.fin) {
+      const bool was_mismatched = pinned->second.mismatched;
+      state.pinned.erase(pinned);
+      if (was_mismatched && state.mismatched_count > 0) {
+        --state.mismatched_count;
+        if (config_.policy == MigratePolicy::kWaitPcc) {
+          maybe_migrate_pcc(packet.flow.dst, state);
+        }
+      }
+    }
+    return result;
+  }
+  const auto dip = state.pool.select(packet.flow);
+  if (dip && !packet.fin) {
+    state.pinned.emplace(packet.flow, Pin{*dip, false});
+  }
+  result.dip = dip;
+  return result;
+}
+
+bool DuetLoadBalancer::vip_at_slb(const net::Endpoint& vip) const {
+  const auto it = vips_.find(vip);
+  return it != vips_.end() && it->second.at_slb;
+}
+
+void DuetLoadBalancer::migrate_back_if_due() {
+  tick_scheduled_ = false;
+  bool any_still_at_slb = false;
+  for (auto& [vip, state] : vips_) {
+    if (state.at_slb) {
+      migrate_vip_to_switch(vip, state);
+    }
+    any_still_at_slb |= state.at_slb;
+  }
+  (void)any_still_at_slb;
+}
+
+void DuetLoadBalancer::migrate_vip_to_switch(const net::Endpoint& vip,
+                                             VipState& state) {
+  state.at_slb = false;
+  state.pinned.clear();
+  state.mismatched_count = 0;
+  ++to_switch_;
+  // Flows now map via the switch's current pool; any flow that was pinned to
+  // a different DIP breaks here — the driver's probe records it.
+  if (risk_cb_) risk_cb_(vip);
+}
+
+void DuetLoadBalancer::maybe_migrate_pcc(const net::Endpoint& vip,
+                                         VipState& state) {
+  if (state.at_slb && state.mismatched_count == 0) {
+    migrate_vip_to_switch(vip, state);
+  }
+}
+
+}  // namespace silkroad::lb

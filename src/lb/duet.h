@@ -1,0 +1,97 @@
+// Duet-style hybrid load balancer (Gandhi et al., SIGCOMM'14; paper §2.3,
+// §3.2) — VIPTable in switch ASICs, ConnTable only in SLB servers.
+//
+// Steady state: the switch maps packets statelessly by ECMP hash into the
+// VIP's pool. To update a DIP pool, the VIP's traffic is first redirected to
+// SLBs, which pin every ongoing connection in a software ConnTable (under
+// the old pool) before the update applies. The open question — when to
+// migrate the VIP *back* to the switch — is the dilemma of Fig. 5:
+//
+//   * kPeriodic (10 min / 1 min): migrate back on a period tick. Connections
+//     still pinned to a DIP that differs from the current pool's hash break
+//     on migration (PCC violations, Fig. 5b), and all redirected traffic
+//     burns SLB capacity until the tick (Fig. 5a).
+//   * kWaitPcc: migrate back only when no pinned connection disagrees with
+//     the current pool hash — zero violations, maximal SLB load.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lb/load_balancer.h"
+#include "sim/distributions.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace silkroad::lb {
+
+class DuetLoadBalancer : public LoadBalancer {
+ public:
+  enum class MigratePolicy : std::uint8_t { kPeriodic, kWaitPcc };
+
+  struct Config {
+    MigratePolicy policy = MigratePolicy::kPeriodic;
+    /// Period for kPeriodic ("Migrate-10min" is the Duet default).
+    sim::Time migrate_period = 10 * sim::kMinute;
+    /// Pool semantics of the in-switch ECMP tables.
+    PoolSemantics pool_semantics = PoolSemantics::kCompactEcmp;
+    /// Per-packet latency on the switch path (ASIC pipeline).
+    sim::Time switch_latency = 400;  // ns
+    /// SLB-path latency envelope (µs), as in SoftwareLoadBalancer.
+    double slb_latency_us_median = 100.0;
+    double slb_latency_us_p99 = 1000.0;
+  };
+
+  DuetLoadBalancer(sim::Simulator& simulator, const Config& config);
+
+  std::string name() const override;
+
+  void add_vip(const net::Endpoint& vip,
+               const std::vector<net::Endpoint>& dips) override;
+  void request_update(const workload::DipUpdate& update) override;
+  PacketResult process_packet(const net::Packet& packet) override;
+  void set_mapping_risk_callback(MappingRiskCallback cb) override {
+    risk_cb_ = std::move(cb);
+  }
+  bool vip_at_slb(const net::Endpoint& vip) const override;
+
+  // --- Statistics ------------------------------------------------------------
+  std::uint64_t migrations_to_slb() const noexcept { return to_slb_; }
+  std::uint64_t migrations_to_switch() const noexcept { return to_switch_; }
+
+ private:
+  /// One SLB ConnTable entry: the pinned DIP plus whether the pin currently
+  /// disagrees with the pool hash (a migrate-back hazard).
+  struct Pin {
+    net::Endpoint dip;
+    bool mismatched = false;
+  };
+
+  struct VipState {
+    DipPool pool;
+    bool at_slb = false;
+    /// SLB ConnTable fragment for this VIP.
+    std::unordered_map<net::FiveTuple, Pin, net::FiveTupleHash> pinned;
+    /// Number of pinned flows with mismatched=true (kWaitPcc bookkeeping).
+    std::uint64_t mismatched_count = 0;
+  };
+
+  void migrate_back_if_due();
+  void migrate_vip_to_switch(const net::Endpoint& vip, VipState& state);
+  /// kWaitPcc: checks whether every pinned flow agrees with the current pool
+  /// hash; migrates back when true.
+  void maybe_migrate_pcc(const net::Endpoint& vip, VipState& state);
+
+  sim::Simulator& sim_;
+  Config config_;
+  sim::LogNormalByQuantiles slb_latency_;
+  sim::Rng latency_rng_;
+  std::unordered_map<net::Endpoint, VipState, net::EndpointHash> vips_;
+  MappingRiskCallback risk_cb_;
+  bool tick_scheduled_ = false;
+  std::uint64_t to_slb_ = 0;
+  std::uint64_t to_switch_ = 0;
+};
+
+}  // namespace silkroad::lb

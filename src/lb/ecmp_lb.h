@@ -1,0 +1,64 @@
+// Stateless ECMP load balancer — the "no ConnTable anywhere" strawman.
+//
+// Maps every packet by hashing into the *current* pool. Fast and tiny, but
+// any pool change re-maps ongoing connections: it exists to demonstrate the
+// PCC problem the paper opens with (§2.1) and as the in-switch half of Duet.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "lb/load_balancer.h"
+
+namespace silkroad::lb {
+
+class EcmpLoadBalancer : public LoadBalancer {
+ public:
+  /// `semantics` chooses the member-table behaviour on removal (compact
+  /// rehash vs resilient dead slots); classic ECMP compacts.
+  explicit EcmpLoadBalancer(
+      PoolSemantics semantics = PoolSemantics::kCompactEcmp)
+      : semantics_(semantics) {}
+
+  std::string name() const override { return "ecmp"; }
+
+  void add_vip(const net::Endpoint& vip,
+               const std::vector<net::Endpoint>& dips) override {
+    pools_.insert_or_assign(vip, DipPool(dips, semantics_));
+  }
+
+  void request_update(const workload::DipUpdate& update) override {
+    const auto it = pools_.find(update.vip);
+    if (it == pools_.end()) return;
+    if (update.action == workload::UpdateAction::kAddDip) {
+      it->second.add(update.dip);
+    } else {
+      it->second.remove(update.dip);
+    }
+    if (risk_cb_) risk_cb_(update.vip);
+  }
+
+  PacketResult process_packet(const net::Packet& packet) override {
+    const auto it = pools_.find(packet.flow.dst);
+    if (it == pools_.end()) return {};
+    return PacketResult{it->second.select(packet.flow), false, false};
+  }
+
+  void set_mapping_risk_callback(MappingRiskCallback cb) override {
+    risk_cb_ = std::move(cb);
+  }
+
+  bool vip_at_slb(const net::Endpoint&) const override { return false; }
+
+  const DipPool* pool(const net::Endpoint& vip) const {
+    const auto it = pools_.find(vip);
+    return it == pools_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  PoolSemantics semantics_;
+  std::unordered_map<net::Endpoint, DipPool, net::EndpointHash> pools_;
+  MappingRiskCallback risk_cb_;
+};
+
+}  // namespace silkroad::lb

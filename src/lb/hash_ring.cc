@@ -1,0 +1,67 @@
+#include "lb/hash_ring.h"
+
+#include <array>
+
+namespace silkroad::lb {
+
+std::uint64_t HashRing::vnode_point(const net::Endpoint& backend,
+                                    std::size_t replica) const {
+  std::array<std::uint8_t, 18> buf{};
+  std::size_t pos = 0;
+  for (const std::uint8_t b : backend.ip.bytes()) buf[pos++] = b;
+  buf[pos++] = static_cast<std::uint8_t>(backend.port >> 8);
+  buf[pos++] = static_cast<std::uint8_t>(backend.port);
+  return net::hash_bytes(std::span<const std::uint8_t>(buf),
+                         net::mix64(seed_ + 0x9E3779B9ULL * (replica + 1)));
+}
+
+void HashRing::add(const net::Endpoint& backend) {
+  bool added_any = false;
+  for (std::size_t r = 0; r < vnodes_; ++r) {
+    added_any |= ring_.emplace(vnode_point(backend, r), backend).second;
+  }
+  if (added_any) ++backend_count_;
+}
+
+bool HashRing::remove(const net::Endpoint& backend) {
+  bool removed_any = false;
+  for (std::size_t r = 0; r < vnodes_; ++r) {
+    const auto it = ring_.find(vnode_point(backend, r));
+    if (it != ring_.end() && it->second == backend) {
+      ring_.erase(it);
+      removed_any = true;
+    }
+  }
+  if (removed_any) --backend_count_;
+  return removed_any;
+}
+
+std::optional<net::Endpoint> HashRing::select(
+    const net::FiveTuple& flow) const {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t point = net::hash_five_tuple(flow, seed_);
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::pair<net::Endpoint, double>> HashRing::ownership(
+    std::size_t samples) const {
+  std::vector<std::pair<net::Endpoint, double>> shares;
+  if (ring_.empty() || samples == 0) return shares;
+  std::map<net::Endpoint, std::size_t> counts;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::uint64_t point = net::mix64(seed_ ^ (i * 0x2545F4914F6CDD1DULL));
+    auto it = ring_.lower_bound(point);
+    if (it == ring_.end()) it = ring_.begin();
+    ++counts[it->second];
+  }
+  shares.reserve(counts.size());
+  for (const auto& [backend, count] : counts) {
+    shares.emplace_back(backend,
+                        static_cast<double>(count) / static_cast<double>(samples));
+  }
+  return shares;
+}
+
+}  // namespace silkroad::lb

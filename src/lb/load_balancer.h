@@ -1,0 +1,78 @@
+// Common interface of all layer-4 load balancers under study.
+//
+// A load balancer maps packets addressed to a VIP onto a DIP. Implementations
+// differ in *where* state lives (SLB servers, switch ASIC, both) and in how
+// they behave across DIP-pool updates — which is exactly what the paper's
+// experiments compare. The scenario driver (scenario.h) interacts with every
+// implementation solely through this interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lb/dip_pool.h"
+#include "sim/time.h"
+#include "net/endpoint.h"
+#include "net/packet.h"
+#include "workload/update_gen.h"
+
+namespace silkroad::lb {
+
+/// Outcome of processing one packet.
+struct PacketResult {
+  /// Chosen DIP; nullopt when the destination is not a configured VIP or the
+  /// pool is empty (packet dropped / routed normally).
+  std::optional<net::Endpoint> dip;
+  /// True when an SLB server (not a switch ASIC) did the work — the quantity
+  /// Fig. 5a integrates (traffic volume handled in software).
+  bool handled_by_slb = false;
+  /// True when the packet took a slow path through the switch CPU
+  /// (SYN false-positive redirection, §4.2/§4.3).
+  bool redirected_to_cpu = false;
+  /// Processing latency this hop added to the packet (ns). Switch ASICs add
+  /// sub-microsecond pipeline latency; SLBs add 50 µs - 1 ms of batched
+  /// software processing (§2.2); CPU-redirected packets add milliseconds.
+  sim::Time added_latency = 0;
+};
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  virtual std::string name() const = 0;
+
+  // --- Control plane --------------------------------------------------------
+
+  /// Installs a VIP with its initial DIP pool.
+  virtual void add_vip(const net::Endpoint& vip,
+                       const std::vector<net::Endpoint>& dips) = 0;
+
+  /// Requests a DIP-pool change. Implementations apply it according to their
+  /// own consistency machinery (immediately, 3-step, via SLB redirection...).
+  virtual void request_update(const workload::DipUpdate& update) = 0;
+
+  // --- Data plane ------------------------------------------------------------
+
+  /// Processes one packet (first packets carry syn=true, closing ones
+  /// fin=true). Deterministic between control-plane state changes.
+  virtual PacketResult process_packet(const net::Packet& packet) = 0;
+
+  // --- Observability ----------------------------------------------------------
+
+  /// Invoked (synchronously, at the simulated time of the change) whenever
+  /// the mapping of existing connections of `vip` may have changed: VIPTable
+  /// version flips, Duet VIP migrations, pool rewrites. The scenario driver
+  /// uses it to audit PCC exactly. Implementations must call it *after* the
+  /// state change took effect.
+  using MappingRiskCallback = std::function<void(const net::Endpoint& vip)>;
+  virtual void set_mapping_risk_callback(MappingRiskCallback cb) = 0;
+
+  /// True while `vip`'s traffic is served by SLB servers (Fig. 5a
+  /// accounting). Pure-switch designs return false, pure-SLB designs true.
+  virtual bool vip_at_slb(const net::Endpoint& vip) const = 0;
+};
+
+}  // namespace silkroad::lb

@@ -1,0 +1,97 @@
+#include "lb/maglev.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace silkroad::lb {
+namespace {
+
+std::uint64_t endpoint_hash(const net::Endpoint& e, std::uint64_t seed) {
+  std::array<std::uint8_t, 18> buf{};
+  std::size_t pos = 0;
+  for (const std::uint8_t b : e.ip.bytes()) buf[pos++] = b;
+  buf[pos++] = static_cast<std::uint8_t>(e.port >> 8);
+  buf[pos++] = static_cast<std::uint8_t>(e.port);
+  return net::hash_bytes(std::span<const std::uint8_t>(buf), seed);
+}
+
+}  // namespace
+
+MaglevTable::MaglevTable(std::vector<net::Endpoint> backends,
+                         std::size_t table_size, std::uint64_t seed)
+    : backends_(std::move(backends)),
+      table_(table_size == 0 ? 1 : table_size, -1),
+      seed_(seed) {
+  build();
+}
+
+void MaglevTable::set_backends(std::vector<net::Endpoint> backends) {
+  backends_ = std::move(backends);
+  build();
+}
+
+void MaglevTable::build() {
+  const std::size_t m = table_.size();
+  std::fill(table_.begin(), table_.end(), std::int32_t{-1});
+  const std::size_t n = backends_.size();
+  if (n == 0) return;
+  // Per-backend permutation parameters: offset in [0, M), skip in [1, M).
+  std::vector<std::uint64_t> offset(n);
+  std::vector<std::uint64_t> skip(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    offset[i] = endpoint_hash(backends_[i], seed_) % m;
+    skip[i] = endpoint_hash(backends_[i], net::mix64(seed_)) % (m - 1) + 1;
+  }
+  std::vector<std::uint64_t> next(n, 0);
+  std::size_t filled = 0;
+  while (filled < m) {
+    for (std::size_t i = 0; i < n && filled < m; ++i) {
+      // Advance backend i's permutation to its next unclaimed slot.
+      std::size_t slot;
+      do {
+        slot = static_cast<std::size_t>((offset[i] + next[i] * skip[i]) % m);
+        ++next[i];
+      } while (table_[slot] >= 0);
+      table_[slot] = static_cast<std::int32_t>(i);
+      ++filled;
+    }
+  }
+}
+
+std::optional<net::Endpoint> MaglevTable::select(
+    const net::FiveTuple& flow) const {
+  if (backends_.empty()) return std::nullopt;
+  const std::size_t slot = static_cast<std::size_t>(
+      net::hash_five_tuple(flow, seed_ ^ 0x5E1EC7ULL) % table_.size());
+  const std::int32_t idx = table_[slot];
+  if (idx < 0) return std::nullopt;
+  return backends_[static_cast<std::size_t>(idx)];
+}
+
+std::vector<double> MaglevTable::slot_shares() const {
+  std::vector<double> shares(backends_.size(), 0.0);
+  if (backends_.empty()) return shares;
+  for (const std::int32_t idx : table_) {
+    if (idx >= 0) shares[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  for (auto& s : shares) s /= static_cast<double>(table_.size());
+  return shares;
+}
+
+double MaglevTable::disruption_vs(const MaglevTable& other) const {
+  assert(table_.size() == other.table_.size());
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const std::int32_t a = table_[i];
+    const std::int32_t b = other.table_[i];
+    const bool same =
+        a >= 0 && b >= 0 &&
+        backends_[static_cast<std::size_t>(a)] ==
+            other.backends_[static_cast<std::size_t>(b)];
+    if (!same) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(table_.size());
+}
+
+}  // namespace silkroad::lb

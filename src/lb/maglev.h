@@ -1,0 +1,55 @@
+// Maglev consistent-hashing lookup table (Eisenbud et al., NSDI'16) — the
+// hashing scheme of the paper's SLB baseline (§2.2, [20]).
+//
+// Each backend fills a prime-sized lookup table through its own permutation
+// of table slots; the result is near-perfectly balanced and minimally
+// disrupted by membership changes (a property the SLB relies on so that DIP
+// selection stays mostly stable across pool updates even before the
+// ConnTable pins a flow).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/five_tuple.h"
+#include "net/hash.h"
+
+namespace silkroad::lb {
+
+class MaglevTable {
+ public:
+  /// `table_size` must be prime and larger than the backend count; Maglev's
+  /// paper uses 65537 for production and 251 for examples.
+  explicit MaglevTable(std::vector<net::Endpoint> backends = {},
+                       std::size_t table_size = 65537,
+                       std::uint64_t seed = 0xA61E77ULL);
+
+  /// Rebuilds the lookup table for a new backend set (O(M log M) expected).
+  void set_backends(std::vector<net::Endpoint> backends);
+
+  std::optional<net::Endpoint> select(const net::FiveTuple& flow) const;
+
+  const std::vector<net::Endpoint>& backends() const noexcept {
+    return backends_;
+  }
+  std::size_t table_size() const noexcept { return table_.size(); }
+
+  /// Fraction of table slots assigned to each backend (balance diagnostic;
+  /// Maglev guarantees max/min -> 1 as M/N grows).
+  std::vector<double> slot_shares() const;
+
+  /// Fraction of slots that changed owner between this table and `other`
+  /// (disruption diagnostic; small for single-backend changes).
+  double disruption_vs(const MaglevTable& other) const;
+
+ private:
+  void build();
+
+  std::vector<net::Endpoint> backends_;
+  std::vector<std::int32_t> table_;  // slot -> backend index, -1 when empty
+  std::uint64_t seed_;
+};
+
+}  // namespace silkroad::lb

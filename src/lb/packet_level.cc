@@ -1,0 +1,75 @@
+#include "lb/packet_level.h"
+
+namespace silkroad::lb {
+
+void PacketLevelRunner::send_packet(const workload::Flow& flow, bool syn,
+                                    bool fin) {
+  net::Packet packet;
+  packet.flow = flow.tuple;
+  packet.syn = syn;
+  packet.fin = fin;
+  packet.size_bytes = config_.packet_bytes;
+  const auto result = lb_.process_packet(packet);
+  ++stats_.packets;
+
+  if (syn) {
+    if (!result.dip) {
+      ++stats_.unmapped_flows;
+      return;
+    }
+    ++stats_.flows;
+    active_.emplace(flow.tuple, FlowState{*result.dip, false});
+    return;
+  }
+  const auto it = active_.find(flow.tuple);
+  if (it == active_.end()) return;  // never established
+  FlowState& state = it->second;
+  if (!state.violated && down_dips_.contains(state.first_dip)) {
+    // Server-down exemption: the connection is dead regardless of the LB.
+    state.violated = true;  // stop auditing without counting
+  } else if (!state.violated &&
+             (!result.dip || !(*result.dip == state.first_dip))) {
+    state.violated = true;
+    ++stats_.violations;
+  }
+  if (fin) active_.erase(it);
+}
+
+PacketLevelRunner::Stats PacketLevelRunner::run(
+    const std::vector<workload::Flow>& flows,
+    const std::vector<workload::DipUpdate>& updates) {
+  for (const auto& update : updates) {
+    sim_.schedule_at(update.at, [this, update] {
+      if (update.action == workload::UpdateAction::kRemoveDip) {
+        down_dips_.insert(update.dip);
+      } else {
+        down_dips_.erase(update.dip);
+      }
+      lb_.request_update(update);
+    });
+  }
+  for (const auto& flow : flows) {
+    sim_.schedule_at(flow.start, [this, flow] {
+      send_packet(flow, /*syn=*/true, /*fin=*/false);
+      // Schedule the packet train: one packet per interval until the flow
+      // ends, then the FIN.
+      for (sim::Time t = flow.start + config_.packet_interval; t < flow.end;
+           t += config_.packet_interval) {
+        sim_.schedule_at(t, [this, flow] {
+          send_packet(flow, /*syn=*/false, /*fin=*/false);
+        });
+      }
+      sim_.schedule_at(flow.end, [this, flow] {
+        send_packet(flow, /*syn=*/false, /*fin=*/true);
+      });
+    });
+  }
+  sim_.run();
+  stats_.violation_fraction =
+      stats_.flows == 0 ? 0.0
+                        : static_cast<double>(stats_.violations) /
+                              static_cast<double>(stats_.flows);
+  return stats_;
+}
+
+}  // namespace silkroad::lb

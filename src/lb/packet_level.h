@@ -1,0 +1,72 @@
+// Packet-level cross-validation of the flow-level model.
+//
+// The scenario driver (scenario.h) audits PCC by probing flows exactly at
+// mapping-risk events, under the assumption that a balancer's mapping is
+// constant between such events. This runner discharges that assumption
+// empirically: it materializes every packet of every flow (one per configured
+// interval, modeling a flow that always has a packet within an RTT) and
+// checks each packet's DIP directly. Orders of magnitude more expensive, so
+// it runs small workloads — its job is to agree with the flow-level results,
+// not to replace them (see PacketLevelAgreement tests).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lb/load_balancer.h"
+#include "sim/event_queue.h"
+#include "workload/flow_gen.h"
+#include "workload/update_gen.h"
+
+namespace silkroad::lb {
+
+class PacketLevelRunner {
+ public:
+  struct Config {
+    /// Inter-packet gap within a flow (the data-center RTT scale; every
+    /// mapping change lasting at least this long is observed).
+    sim::Time packet_interval = 10 * sim::kMillisecond;
+    /// Payload size attached to each packet.
+    std::uint32_t packet_bytes = 1000;
+  };
+
+  struct Stats {
+    std::uint64_t flows = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t violations = 0;  // flows whose mapping changed mid-life
+    std::uint64_t unmapped_flows = 0;
+    double violation_fraction = 0;
+  };
+
+  PacketLevelRunner(sim::Simulator& simulator, LoadBalancer& lb,
+                    const Config& config)
+      : sim_(simulator), lb_(lb), config_(config) {}
+
+  PacketLevelRunner(const PacketLevelRunner&) = delete;
+  PacketLevelRunner& operator=(const PacketLevelRunner&) = delete;
+
+  /// Runs `flows` against `updates` (VIPs/pools must already be configured
+  /// on the balancer) and audits every packet.
+  Stats run(const std::vector<workload::Flow>& flows,
+            const std::vector<workload::DipUpdate>& updates);
+
+ private:
+  struct FlowState {
+    net::Endpoint first_dip;
+    bool violated = false;
+  };
+
+  void send_packet(const workload::Flow& flow, bool syn, bool fin);
+
+  sim::Simulator& sim_;
+  LoadBalancer& lb_;
+  Config config_;
+  std::unordered_map<net::FiveTuple, FlowState, net::FiveTupleHash> active_;
+  /// DIPs currently out of service (server-down exemption, as in Scenario).
+  std::unordered_set<net::Endpoint, net::EndpointHash> down_dips_;
+  Stats stats_;
+};
+
+}  // namespace silkroad::lb

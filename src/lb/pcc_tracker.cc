@@ -1,0 +1,52 @@
+#include "lb/pcc_tracker.h"
+
+namespace silkroad::lb {
+
+void PccTracker::flow_started(const net::FiveTuple& flow,
+                              const net::Endpoint& dip, sim::Time /*now*/) {
+  ++flows_seen_;
+  active_.emplace(flow, FlowState{dip, false});
+}
+
+void PccTracker::observe(const net::FiveTuple& flow, const net::Endpoint& dip,
+                         sim::Time now) {
+  const auto it = active_.find(flow);
+  if (it == active_.end()) return;
+  FlowState& state = it->second;
+  if (state.exempt) return;
+  if (!state.violated && !(state.dip == dip)) {
+    state.violated = true;
+    ++violations_;
+    violation_times_.push_back(now);
+  }
+}
+
+void PccTracker::observe_unmapped(const net::FiveTuple& flow, sim::Time now) {
+  const auto it = active_.find(flow);
+  if (it == active_.end()) return;
+  FlowState& state = it->second;
+  if (state.exempt) return;
+  if (!state.violated) {
+    state.violated = true;
+    ++violations_;
+    violation_times_.push_back(now);
+  }
+}
+
+void PccTracker::flow_finished(const net::FiveTuple& flow) {
+  active_.erase(flow);
+}
+
+void PccTracker::exempt_flow(const net::FiveTuple& flow) {
+  const auto it = active_.find(flow);
+  if (it != active_.end()) it->second.exempt = true;
+}
+
+std::optional<net::Endpoint> PccTracker::assigned_dip(
+    const net::FiveTuple& flow) const {
+  const auto it = active_.find(flow);
+  if (it == active_.end()) return std::nullopt;
+  return it->second.dip;
+}
+
+}  // namespace silkroad::lb

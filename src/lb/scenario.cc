@@ -1,0 +1,171 @@
+#include "lb/scenario.h"
+
+#include <cassert>
+#include <map>
+
+namespace silkroad::lb {
+
+Scenario::Scenario(sim::Simulator& simulator, LoadBalancer& lb,
+                   ScenarioConfig config)
+    : sim_(simulator), lb_(lb), config_(std::move(config)) {
+  assert(config_.vip_loads.size() == config_.dip_pools.size());
+  for (std::size_t i = 0; i < config_.vip_loads.size(); ++i) {
+    lb_.add_vip(config_.vip_loads[i].vip, config_.dip_pools[i]);
+    registry_[config_.vip_loads[i].vip] = VipRegistry{};
+  }
+  lb_.set_mapping_risk_callback(
+      [this](const net::Endpoint& vip) { on_mapping_risk(vip); });
+  flow_gen_ = std::make_unique<workload::FlowGenerator>(
+      sim_, config_.vip_loads, config_.seed);
+}
+
+ScenarioStats Scenario::run() {
+  // Group same-instant updates (rolling-reboot bursts) so the whole batch's
+  // server-liveness changes are visible to the PCC audit before any probe
+  // fires: a flow whose server leaves in the batch is server-broken, not
+  // LB-broken, even if a sibling update also re-mapped it.
+  std::map<sim::Time, std::vector<workload::DipUpdate>> by_time;
+  for (const auto& update : config_.updates) {
+    by_time[update.at].push_back(update);
+  }
+  for (const auto& [at, batch] : by_time) {
+    sim_.schedule_at(at, [this, batch] {
+      settle_volume();
+      for (const auto& update : batch) {
+        if (update.action == workload::UpdateAction::kRemoveDip) {
+          down_dips_.insert(update.dip);
+        } else {
+          down_dips_.erase(update.dip);
+        }
+      }
+      for (const auto& update : batch) {
+        lb_.request_update(update);
+        ++updates_applied_;
+      }
+    });
+  }
+  if (config_.replay_flows.empty()) {
+    flow_gen_->start(
+        config_.horizon,
+        [this](const workload::Flow& f) { on_flow_start(f); },
+        [this](const workload::Flow& f) { on_flow_end(f); });
+  } else {
+    for (const auto& flow : config_.replay_flows) {
+      sim_.schedule_at(flow.start, [this, flow] { on_flow_start(flow); });
+      sim_.schedule_at(flow.end, [this, flow] { on_flow_end(flow); });
+    }
+  }
+  sim_.run();
+  settle_volume();
+
+  ScenarioStats stats;
+  stats.flows = tracker_.flows_seen();
+  stats.violations = tracker_.violations();
+  stats.violation_fraction = tracker_.violation_fraction();
+  stats.slb_bytes = slb_bytes_;
+  stats.total_bytes = total_bytes_;
+  stats.slb_traffic_fraction =
+      total_bytes_ <= 0 ? 0.0 : slb_bytes_ / total_bytes_;
+  stats.updates_applied = updates_applied_;
+  stats.cpu_redirects = cpu_redirects_;
+  stats.unmapped_starts = unmapped_starts_;
+  const double minutes = sim::to_seconds(config_.horizon) / 60.0;
+  stats.violations_per_minute =
+      minutes <= 0 ? 0.0 : static_cast<double>(stats.violations) / minutes;
+  return stats;
+}
+
+void Scenario::on_flow_start(const workload::Flow& flow) {
+  settle_volume();
+  net::Packet syn;
+  syn.flow = flow.tuple;
+  syn.syn = true;
+  syn.size_bytes = 64;
+  const PacketResult result = lb_.process_packet(syn);
+  if (result.redirected_to_cpu) ++cpu_redirects_;
+  if (!result.dip) {
+    ++unmapped_starts_;
+    return;  // No pool / not a VIP: connection never establishes.
+  }
+  tracker_.flow_started(flow.tuple, *result.dip, sim_.now());
+  auto& vip_reg = registry_[flow.tuple.dst];
+  vip_reg.flows.emplace(flow.tuple, ActiveFlow{flow.rate_bps});
+  vip_reg.rate_bps += flow.rate_bps;
+  vip_reg.at_slb = lb_.vip_at_slb(flow.tuple.dst);
+  total_rate_bps_ += flow.rate_bps;
+  if (vip_reg.at_slb) slb_rate_bps_ += flow.rate_bps;
+}
+
+void Scenario::on_flow_end(const workload::Flow& flow) {
+  auto& vip_reg = registry_[flow.tuple.dst];
+  const auto it = vip_reg.flows.find(flow.tuple);
+  if (it == vip_reg.flows.end()) return;  // Was never established.
+  settle_volume();
+  // Deregister before delivering the FIN: the FIN may trigger a mapping-risk
+  // event inside the balancer (e.g., Duet migrating back when the last
+  // blocking flow ends), and the probe sweep must not synthesize a packet
+  // for a connection that has already sent its final one.
+  const double rate_bps = it->second.rate_bps;
+  vip_reg.flows.erase(it);
+  vip_reg.rate_bps -= rate_bps;
+  total_rate_bps_ -= rate_bps;
+  if (vip_reg.at_slb) slb_rate_bps_ -= rate_bps;
+
+  net::Packet fin;
+  fin.flow = flow.tuple;
+  fin.fin = true;
+  fin.size_bytes = 64;
+  const PacketResult result = lb_.process_packet(fin);
+  // The closing packet is still subject to the PCC audit.
+  audit(flow.tuple, result.dip);
+  tracker_.flow_finished(flow.tuple);
+}
+
+void Scenario::audit(const net::FiveTuple& flow,
+                     const std::optional<net::Endpoint>& dip) {
+  if (const auto assigned = tracker_.assigned_dip(flow);
+      assigned && down_dips_.contains(*assigned)) {
+    // The flow's server left service: the connection is dead regardless of
+    // what the balancer does with its (now pointless) packets.
+    tracker_.exempt_flow(flow);
+    return;
+  }
+  if (dip) {
+    tracker_.observe(flow, *dip, sim_.now());
+  } else {
+    tracker_.observe_unmapped(flow, sim_.now());
+  }
+}
+
+void Scenario::on_mapping_risk(const net::Endpoint& vip) {
+  const auto reg_it = registry_.find(vip);
+  if (reg_it == registry_.end()) return;
+  VipRegistry& vip_reg = reg_it->second;
+  settle_volume();
+  // Probe every active flow of this VIP: its next packet's mapping.
+  for (const auto& [tuple, info] : vip_reg.flows) {
+    net::Packet probe;
+    probe.flow = tuple;
+    probe.size_bytes = 1000;
+    const PacketResult result = lb_.process_packet(probe);
+    if (result.redirected_to_cpu) ++cpu_redirects_;
+    audit(tuple, result.dip);
+  }
+  // The event may mark a mode flip (e.g., Duet migration): re-split rates.
+  const bool now_at_slb = lb_.vip_at_slb(vip);
+  if (now_at_slb != vip_reg.at_slb) {
+    slb_rate_bps_ += now_at_slb ? vip_reg.rate_bps : -vip_reg.rate_bps;
+    vip_reg.at_slb = now_at_slb;
+  }
+}
+
+void Scenario::settle_volume() {
+  const sim::Time now = sim_.now();
+  if (now <= last_settle_) return;
+  const double dt = sim::to_seconds(now - last_settle_);
+  slb_bytes_ += slb_rate_bps_ / 8.0 * dt;
+  total_bytes_ += total_rate_bps_ / 8.0 * dt;
+  last_settle_ = now;
+}
+
+}  // namespace silkroad::lb

@@ -1,0 +1,43 @@
+// The L4 connection identifier: the 5-tuple ConnTable keys on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "net/endpoint.h"
+
+namespace silkroad::net {
+
+enum class Protocol : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+constexpr const char* to_string(Protocol p) noexcept {
+  return p == Protocol::kTcp ? "TCP" : "UDP";
+}
+
+/// A connection's 5-tuple: (src ip, src port, dst ip, dst port, protocol).
+/// For load-balanced traffic the destination is the VIP.
+struct FiveTuple {
+  Endpoint src;
+  Endpoint dst;
+  Protocol proto = Protocol::kTcp;
+
+  /// Wire size of the match key a naive ConnTable entry stores:
+  /// 2*addr + 2*port + 1 proto = 37 B for IPv6, 13 B for IPv4 (paper §4.2).
+  constexpr std::size_t wire_bytes() const noexcept {
+    return src.ip.wire_bytes() + dst.ip.wire_bytes() + 2 + 2 + 1;
+  }
+
+  std::string to_string() const {
+    return src.to_string() + "=>" + dst.to_string() + "/" +
+           net::to_string(proto);
+  }
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) noexcept = default;
+  friend constexpr bool operator==(const FiveTuple&, const FiveTuple&) noexcept = default;
+};
+
+}  // namespace silkroad::net

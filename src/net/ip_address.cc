@@ -1,0 +1,137 @@
+#include "net/ip_address.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace silkroad::net {
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    unsigned value = 0;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return IpAddress::v4((static_cast<std::uint32_t>(octets[0]) << 24) |
+                       (static_cast<std::uint32_t>(octets[1]) << 16) |
+                       (static_cast<std::uint32_t>(octets[2]) << 8) |
+                       static_cast<std::uint32_t>(octets[3]));
+}
+
+std::optional<std::uint16_t> parse_hex_group(std::string_view group) {
+  if (group.empty() || group.size() > 4) return std::nullopt;
+  unsigned value = 0;
+  auto [ptr, ec] =
+      std::from_chars(group.data(), group.data() + group.size(), value, 16);
+  if (ec != std::errc{} || ptr != group.data() + group.size() || value > 0xFFFF) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  // Split on "::" (at most one occurrence allowed).
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  const auto gap = text.find("::");
+  auto split_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t start = 0;
+    while (true) {
+      const auto colon = part.find(':', start);
+      const auto group = part.substr(start, colon == std::string_view::npos
+                                                ? std::string_view::npos
+                                                : colon - start);
+      const auto value = parse_hex_group(group);
+      if (!value) return false;
+      out.push_back(*value);
+      if (colon == std::string_view::npos) return true;
+      start = colon + 1;
+    }
+  };
+  if (gap == std::string_view::npos) {
+    if (!split_groups(text, head) || head.size() != 8) return std::nullopt;
+  } else {
+    if (text.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    if (!split_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!split_groups(text.substr(gap + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() >= 8) return std::nullopt;
+  }
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xFF);
+  }
+  return IpAddress::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // Canonical-ish IPv6: compress the longest run of zero groups.
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(bytes_[2 * i]) << 8) | bytes_[2 * i + 1]);
+  }
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;  // Only compress runs of >= 2.
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    if (++i < 8 && i != best_start) out += ':';
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace silkroad::net

@@ -1,0 +1,29 @@
+// Flow-level packet descriptor.
+//
+// The simulator is flow-level: it materializes only the packets whose handling
+// can differ — the first packet (triggers DIP selection + connection
+// learning), packets around table-state transitions (where PCC can break),
+// and TCP SYN/FIN markers used by the false-positive resolution logic.
+#pragma once
+
+#include <cstdint>
+
+#include "net/five_tuple.h"
+
+namespace silkroad::net {
+
+struct Packet {
+  FiveTuple flow;
+  /// True on the connection-opening packet (TCP SYN). SilkRoad redirects a
+  /// SYN that *hits* ConnTable to the switch CPU as a digest-collision signal
+  /// (paper §4.2).
+  bool syn = false;
+  /// True on the connection-closing packet (TCP FIN/RST); drives ConnTable
+  /// entry expiration in the control plane.
+  bool fin = false;
+  /// Payload + header size in bytes; used for traffic-volume accounting and
+  /// metering.
+  std::uint32_t size_bytes = 0;
+};
+
+}  // namespace silkroad::net

@@ -1,0 +1,104 @@
+#include "sim/distributions.h"
+
+#include <cassert>
+
+namespace silkroad::sim {
+
+double inverse_normal_cdf(double p) noexcept {
+  // Peter Acklam's algorithm.
+  if (p <= 0.0) return -8.0;
+  if (p >= 1.0) return 8.0;
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+EmpiricalCdf EmpiricalCdf::from_samples(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<Point> points;
+  points.reserve(samples.size());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    points.push_back({samples[i], static_cast<double>(i + 1) / n});
+  }
+  return EmpiricalCdf(std::move(points));
+}
+
+double EmpiricalCdf::cdf(double value) const noexcept {
+  if (points_.empty()) return 0.0;
+  if (value < points_.front().value) return 0.0;
+  if (value >= points_.back().value) return 1.0;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), value,
+      [](double v, const Point& p) { return v < p.value; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (hi.value == lo.value) return hi.cum_prob;
+  const double t = (value - lo.value) / (hi.value - lo.value);
+  return lo.cum_prob + t * (hi.cum_prob - lo.cum_prob);
+}
+
+double EmpiricalCdf::quantile(double p) const noexcept {
+  if (points_.empty()) return 0.0;
+  if (p <= points_.front().cum_prob) return points_.front().value;
+  if (p >= points_.back().cum_prob) return points_.back().value;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), p,
+      [](double v, const Point& pt) { return v < pt.cum_prob; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (hi.cum_prob == lo.cum_prob) return hi.value;
+  const double t = (p - lo.cum_prob) / (hi.cum_prob - lo.cum_prob);
+  return lo.value + t * (hi.value - lo.value);
+}
+
+Zipf::Zipf(std::size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::size_t Zipf::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double Zipf::pmf(std::size_t k) const noexcept {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace silkroad::sim

@@ -1,0 +1,104 @@
+// Distribution helpers used to calibrate synthetic workloads against the
+// summary statistics the paper reports (medians, p99s, CDF shapes).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace silkroad::sim {
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation;
+/// relative error < 1.15e-9 — far tighter than workload calibration needs).
+double inverse_normal_cdf(double p) noexcept;
+
+/// Log-normal distribution parameterized by two quantiles, the natural way to
+/// match the paper's "median X, p99 Y" statements (e.g., DIP downtime:
+/// median 3 min, p99 100 min — Fig. 4).
+class LogNormalByQuantiles {
+ public:
+  /// Requires 0 < p_lo < p_hi < 1 and 0 < value_lo <= value_hi.
+  LogNormalByQuantiles(double value_lo, double p_lo, double value_hi,
+                       double p_hi) noexcept {
+    const double z_lo = inverse_normal_cdf(p_lo);
+    const double z_hi = inverse_normal_cdf(p_hi);
+    sigma_ = (std::log(value_hi) - std::log(value_lo)) / (z_hi - z_lo);
+    if (sigma_ < 0) sigma_ = 0;
+    mu_ = std::log(value_lo) - sigma_ * z_lo;
+  }
+
+  /// Common case: parameterize by median (p=0.5) and p99.
+  static LogNormalByQuantiles from_median_p99(double median,
+                                              double p99) noexcept {
+    return {median, 0.5, p99, 0.99};
+  }
+
+  double sample(Rng& rng) const noexcept { return rng.lognormal(mu_, sigma_); }
+  double quantile(double p) const noexcept {
+    return std::exp(mu_ + sigma_ * inverse_normal_cdf(p));
+  }
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Piecewise-linear empirical CDF over sorted (value, cumulative-probability)
+/// points; used both to *define* input distributions from paper plot shapes
+/// and to *summarize* simulation outputs for the bench harnesses.
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double value;
+    double cum_prob;  // in [0, 1], non-decreasing
+  };
+
+  EmpiricalCdf() = default;
+
+  /// Builds from explicit CDF points (sorted by value, cum_prob ascending,
+  /// last cum_prob should be 1.0).
+  explicit EmpiricalCdf(std::vector<Point> points) : points_(std::move(points)) {}
+
+  /// Builds the empirical CDF of a sample set.
+  static EmpiricalCdf from_samples(std::vector<double> samples);
+
+  /// P(X <= value).
+  double cdf(double value) const noexcept;
+
+  /// Quantile (inverse CDF) with linear interpolation.
+  double quantile(double p) const noexcept;
+
+  double sample(Rng& rng) const noexcept { return quantile(rng.uniform()); }
+
+  bool empty() const noexcept { return points_.empty(); }
+  std::span<const Point> points() const noexcept { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Zipf(s) over ranks 1..n — used for skewed per-VIP traffic shares
+/// ("most traffic concentrates on a few VIPs").
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  /// Samples a rank in [0, n).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability mass of rank k (0-based).
+  double pmf(std::size_t k) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative masses
+};
+
+}  // namespace silkroad::sim

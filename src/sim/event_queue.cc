@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace silkroad::sim {
+
+EventHandle Simulator::schedule_at(Time when, Callback fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  auto canceled = std::make_shared<bool>(false);
+  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn),
+                    canceled});
+  return EventHandle{std::move(canceled)};
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast, standard
+    // pattern for move-only payloads in a heap we immediately pop.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.canceled) continue;
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Time deadline) {
+  for (;;) {
+    // Drain canceled events first so a canceled head does not let step()
+    // execute an event scheduled beyond the deadline.
+    while (!queue_.empty() && *queue_.top().canceled) queue_.pop();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace silkroad::sim

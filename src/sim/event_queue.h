@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// A binary-heap scheduler over (time, sequence) keys; ties execute in
+// scheduling order so runs are fully deterministic. Events are arbitrary
+// callables; a handle allows cancellation (e.g., a pending connection-timeout
+// event canceled when the connection closes first).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace silkroad::sim {
+
+/// Cancellation handle for a scheduled event. Copyable; cancel() is
+/// idempotent and safe after the event has fired (it becomes a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from running if it has not run yet.
+  void cancel() const noexcept {
+    if (canceled_) *canceled_ = true;
+  }
+
+  bool valid() const noexcept { return canceled_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> canceled)
+      : canceled_(std::move(canceled)) {}
+  std::shared_ptr<bool> canceled_;
+};
+
+/// The event loop. Not thread-safe by design (simulations are
+/// single-threaded and deterministic).
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Monotonically non-decreasing across callbacks.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()). Returns a
+  /// handle usable to cancel the event.
+  EventHandle schedule_at(Time when, Callback fn);
+
+  /// Schedules `fn` after `delay` from now.
+  EventHandle schedule_after(Time delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or `deadline` is passed; time stops
+  /// at the last executed event (or `deadline` if it is beyond it and
+  /// advance_to_deadline is true).
+  void run_until(Time deadline);
+
+  /// Runs to queue exhaustion.
+  void run();
+
+  /// Executes at most one event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> canceled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace silkroad::sim

@@ -1,0 +1,30 @@
+// Simulated time: 64-bit nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace silkroad::sim {
+
+/// Simulation timestamp / duration in nanoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+inline constexpr Time kMinute = 60 * kSecond;
+inline constexpr Time kHour = 60 * kMinute;
+
+/// Far-future sentinel (roughly 584 years).
+inline constexpr Time kTimeInfinity = ~Time{0};
+
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr Time from_seconds(double s) noexcept {
+  return s <= 0 ? Time{0}
+                : static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace silkroad::sim

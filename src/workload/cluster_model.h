@@ -1,0 +1,165 @@
+// Synthetic population of data-center clusters (substitute for the paper's
+// proprietary study of ~100 production clusters, §3.1/§6.1).
+//
+// Three cluster types with distinct characteristics:
+//  * PoPs       — user-facing points of presence: many short connections,
+//                 high arrival rates, DIPs shared across most VIPs (one DIP
+//                 change fans out into a burst of per-VIP updates).
+//  * Frontends  — serve PoPs over few persistent connections: small
+//                 ConnTables, moderate update rates.
+//  * Backends   — service-to-service traffic: frequent service upgrades
+//                 (rolling reboots), largest connection counts, mostly IPv6.
+//
+// Each distribution below is parameterized and calibrated so the generated
+// CDFs match the shapes of Figs. 2, 6, and 8; the calibration targets are
+// quoted inline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/distributions.h"
+#include "sim/random.h"
+
+namespace silkroad::workload {
+
+enum class ClusterType : std::uint8_t { kPoP, kFrontend, kBackend };
+
+constexpr const char* to_string(ClusterType t) noexcept {
+  switch (t) {
+    case ClusterType::kPoP: return "PoP";
+    case ClusterType::kFrontend: return "Frontend";
+    default: return "Backend";
+  }
+}
+
+/// Summary of one cluster, the unit over which the paper draws its CDFs.
+struct ClusterSpec {
+  std::string name;
+  ClusterType type = ClusterType::kPoP;
+  int tor_switches = 48;
+  int vips = 150;
+  int dips = 2000;
+  bool ipv6 = false;
+
+  /// Active connections per ToR switch (Fig. 6): median and p99 minute
+  /// snapshots over a month.
+  std::uint64_t active_conns_per_tor_p50 = 0;
+  std::uint64_t active_conns_per_tor_p99 = 0;
+
+  /// New connections per minute for the busiest VIP / median VIP (Fig. 8).
+  std::uint64_t new_conns_per_min_vip_p50 = 0;
+  std::uint64_t new_conns_per_min_vip_max = 0;
+
+  /// DIP-pool updates per minute: the cluster's median minute and 99th
+  /// percentile minute over a month (Fig. 2).
+  double updates_per_min_p50 = 0;
+  double updates_per_min_p99 = 0;
+
+  /// Peak load-balanced traffic through the cluster (for Fig. 13 sizing).
+  double peak_gbps = 0;
+  double peak_mpps = 0;
+};
+
+/// Tunable distribution parameters for one cluster type.
+struct TypeProfile {
+  int count = 33;  ///< clusters of this type in the population
+
+  // Active connections per ToR at the p99 minute, log-normal across clusters
+  // (Fig. 6 calibration: PoP peak ~11M, Backend peak ~15M, Frontend small).
+  double conns_p99_median = 1e6;
+  double conns_p99_p99 = 1e7;
+  /// Ratio p50-minute / p99-minute connections within a cluster.
+  double conns_p50_ratio = 0.55;
+
+  // Busiest-VIP new-connection arrivals per minute, log-normal across
+  // clusters (Fig. 8 calibration: tail beyond 50M/min).
+  double arrivals_median = 2e5;
+  double arrivals_p99 = 3e7;
+  double arrivals_p50_ratio = 0.05;  ///< median VIP vs busiest VIP
+
+  // Updates per minute at the p99 minute, log-normal across clusters
+  // (Fig. 2 calibration: 32% of clusters >10, 3% >50; Backends half >16).
+  double updates_p99_median = 6;
+  double updates_p99_p99 = 80;
+  double updates_p50_ratio = 0.12;
+
+  // Traffic envelope.
+  double gbps_median = 400;
+  double gbps_p99 = 4000;
+
+  int tor_switches = 48;
+  int vips = 150;
+  int dips = 2500;
+  double ipv6_fraction = 0.1;
+};
+
+/// Parameters of the whole population. Defaults reproduce the paper's
+/// qualitative statements; every knob is exposed for sensitivity studies.
+struct PopulationConfig {
+  TypeProfile pop = {
+      .count = 34,
+      .conns_p99_median = 4.0e6,
+      .conns_p99_p99 = 1.1e7,
+      .conns_p50_ratio = 0.55,
+      .arrivals_median = 2.5e6,
+      .arrivals_p99 = 5.5e7,
+      .arrivals_p50_ratio = 0.02,
+      .updates_p99_median = 4,
+      .updates_p99_p99 = 200,
+      .updates_p50_ratio = 0.08,
+      .gbps_median = 600,
+      .gbps_p99 = 5000,
+      .tor_switches = 32,
+      .vips = 149,
+      .dips = 1500,
+      .ipv6_fraction = 0.15,
+  };
+  TypeProfile frontend = {
+      .count = 33,
+      .conns_p99_median = 8e4,
+      .conns_p99_p99 = 5e5,
+      .conns_p50_ratio = 0.6,
+      .arrivals_median = 2e4,
+      .arrivals_p99 = 8e5,
+      .arrivals_p50_ratio = 0.1,
+      .updates_p99_median = 4,
+      .updates_p99_p99 = 170,
+      .updates_p50_ratio = 0.08,
+      .gbps_median = 800,
+      .gbps_p99 = 6000,
+      .tor_switches = 48,
+      .vips = 120,
+      .dips = 2000,
+      .ipv6_fraction = 0.3,
+  };
+  TypeProfile backend = {
+      .count = 33,
+      .conns_p99_median = 4.3e6,
+      .conns_p99_p99 = 1.5e7,
+      .conns_p50_ratio = 0.5,
+      .arrivals_median = 4e5,
+      .arrivals_p99 = 2e7,
+      .arrivals_p50_ratio = 0.05,
+      .updates_p99_median = 16,
+      .updates_p99_p99 = 60,
+      .updates_p50_ratio = 0.2,
+      .gbps_median = 1200,
+      .gbps_p99 = 9000,
+      .tor_switches = 64,
+      .vips = 200,
+      .dips = 4200,
+      .ipv6_fraction = 0.9,
+  };
+  std::uint64_t seed = 20170821;  // SIGCOMM'17 opening day
+};
+
+/// Generates the cluster population.
+std::vector<ClusterSpec> generate_population(const PopulationConfig& config);
+
+/// Convenience: CDF of a projection across (a filtered subset of) clusters.
+sim::EmpiricalCdf population_cdf(const std::vector<ClusterSpec>& clusters,
+                                 double (*projection)(const ClusterSpec&));
+
+}  // namespace silkroad::workload

@@ -1,0 +1,183 @@
+#include "workload/trace.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace silkroad::workload {
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  // Endpoints contain no commas in our formats ([v6]:port uses brackets),
+  // so a plain comma split is unambiguous.
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string flow_to_csv(const Flow& flow) {
+  std::ostringstream out;
+  out << flow.start << ',' << flow.end << ','
+      << flow.tuple.src.to_string() << ',' << flow.tuple.dst.to_string() << ','
+      << (flow.tuple.proto == net::Protocol::kTcp ? "tcp" : "udp") << ','
+      << flow.rate_bps;
+  return out.str();
+}
+
+std::optional<Flow> flow_from_csv(const std::string& line) {
+  const auto fields = split_csv(line);
+  if (fields.size() != 6) return std::nullopt;
+  const auto start = parse_u64(fields[0]);
+  const auto end = parse_u64(fields[1]);
+  const auto src = net::Endpoint::parse(fields[2]);
+  const auto dst = net::Endpoint::parse(fields[3]);
+  const auto rate = parse_double(fields[5]);
+  if (!start || !end || !src || !dst || !rate || *end < *start) {
+    return std::nullopt;
+  }
+  net::Protocol proto;
+  if (fields[4] == "tcp") {
+    proto = net::Protocol::kTcp;
+  } else if (fields[4] == "udp") {
+    proto = net::Protocol::kUdp;
+  } else {
+    return std::nullopt;
+  }
+  Flow flow;
+  flow.start = *start;
+  flow.end = *end;
+  flow.tuple = net::FiveTuple{*src, *dst, proto};
+  flow.rate_bps = *rate;
+  return flow;
+}
+
+std::optional<UpdateCause> cause_from_string(const std::string& text) {
+  for (const auto cause : kAllCauses) {
+    if (text == to_string(cause)) return cause;
+  }
+  return std::nullopt;
+}
+
+std::string update_to_csv(const DipUpdate& update) {
+  std::ostringstream out;
+  out << update.at << ',' << update.vip.to_string() << ','
+      << update.dip.to_string() << ','
+      << (update.action == UpdateAction::kAddDip ? "add" : "remove") << ','
+      << to_string(update.cause);
+  return out.str();
+}
+
+std::optional<DipUpdate> update_from_csv(const std::string& line) {
+  const auto fields = split_csv(line);
+  if (fields.size() != 5) return std::nullopt;
+  const auto at = parse_u64(fields[0]);
+  const auto vip = net::Endpoint::parse(fields[1]);
+  const auto dip = net::Endpoint::parse(fields[2]);
+  const auto cause = cause_from_string(fields[4]);
+  if (!at || !vip || !dip || !cause) return std::nullopt;
+  UpdateAction action;
+  if (fields[3] == "add") {
+    action = UpdateAction::kAddDip;
+  } else if (fields[3] == "remove") {
+    action = UpdateAction::kRemoveDip;
+  } else {
+    return std::nullopt;
+  }
+  return DipUpdate{*at, *vip, *dip, action, *cause};
+}
+
+void write_flow_trace(std::ostream& out, const std::vector<Flow>& flows) {
+  out << "start_ns,end_ns,src,dst,proto,rate_bps\n";
+  for (const auto& flow : flows) out << flow_to_csv(flow) << '\n';
+}
+
+std::optional<std::vector<Flow>> read_flow_trace(std::istream& in,
+                                                 std::string* error) {
+  std::vector<Flow> flows;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("start_ns", 0) == 0) continue;  // header
+    }
+    const auto flow = flow_from_csv(line);
+    if (!flow) {
+      if (error != nullptr) {
+        *error = "malformed flow record at line " + std::to_string(line_no);
+      }
+      return std::nullopt;
+    }
+    flows.push_back(*flow);
+  }
+  return flows;
+}
+
+void write_update_trace(std::ostream& out,
+                        const std::vector<DipUpdate>& updates) {
+  out << "at_ns,vip,dip,action,cause\n";
+  for (const auto& update : updates) out << update_to_csv(update) << '\n';
+}
+
+std::optional<std::vector<DipUpdate>> read_update_trace(std::istream& in,
+                                                        std::string* error) {
+  std::vector<DipUpdate> updates;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("at_ns", 0) == 0) continue;  // header
+    }
+    const auto update = update_from_csv(line);
+    if (!update) {
+      if (error != nullptr) {
+        *error = "malformed update record at line " + std::to_string(line_no);
+      }
+      return std::nullopt;
+    }
+    updates.push_back(*update);
+  }
+  return updates;
+}
+
+}  // namespace silkroad::workload

@@ -1,0 +1,50 @@
+// Trace serialization: CSV reading/writing for flow and update traces.
+//
+// The paper's experiments replay production traces. Users with their own
+// traces (from SLB logs, IPFIX collectors, or service-management systems)
+// can export them in these two simple CSV schemas and replay them through
+// lb::Scenario instead of the synthetic generators.
+//
+// Flow trace columns:
+//   start_ns,end_ns,src,dst,proto,rate_bps
+//   e.g. 1000000,5000000,11.0.0.1:40001,[2001:db8::1]:443,tcp,1500000
+//
+// Update trace columns:
+//   at_ns,vip,dip,action,cause
+//   e.g. 60000000000,20.0.0.1:80,10.0.0.2:8080,remove,service-upgrade
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/flow_gen.h"
+#include "workload/update_gen.h"
+
+namespace silkroad::workload {
+
+// --- Flow traces --------------------------------------------------------------
+
+void write_flow_trace(std::ostream& out, const std::vector<Flow>& flows);
+/// Parses a flow trace; returns nullopt (with `error` set, if given) on the
+/// first malformed record.
+std::optional<std::vector<Flow>> read_flow_trace(std::istream& in,
+                                                 std::string* error = nullptr);
+
+// --- Update traces -------------------------------------------------------------
+
+void write_update_trace(std::ostream& out, const std::vector<DipUpdate>& updates);
+std::optional<std::vector<DipUpdate>> read_update_trace(
+    std::istream& in, std::string* error = nullptr);
+
+// --- Individual record conversions (exposed for tests/tools) -------------------
+
+std::string flow_to_csv(const Flow& flow);
+std::optional<Flow> flow_from_csv(const std::string& line);
+std::string update_to_csv(const DipUpdate& update);
+std::optional<DipUpdate> update_from_csv(const std::string& line);
+
+std::optional<UpdateCause> cause_from_string(const std::string& text);
+
+}  // namespace silkroad::workload

@@ -1,0 +1,143 @@
+#include "workload/update_gen.h"
+
+#include <algorithm>
+
+namespace silkroad::workload {
+
+UpdateGenerator::UpdateGenerator(const UpdateGenConfig& config,
+                                 net::Endpoint vip,
+                                 std::vector<net::Endpoint> initial_dips)
+    : config_(config),
+      vip_(vip),
+      dips_(std::move(initial_dips)),
+      rng_(config.seed) {}
+
+namespace {
+
+/// Raw add/remove events one *initiation* of a cause produces: rolling
+/// batches double, remove+re-add pairs double again.
+double events_per_initiation(UpdateCause cause, int rolling_batch) {
+  switch (cause) {
+    case UpdateCause::kServiceUpgrade:
+    case UpdateCause::kTesting:
+      return 2.0 * rolling_batch;  // batch x (remove + add)
+    case UpdateCause::kFailure:
+    case UpdateCause::kPreempting:
+      return 2.0;  // remove + add
+    case UpdateCause::kProvisioning:
+    case UpdateCause::kRemoval:
+      return 1.0;  // single event
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+UpdateCause UpdateGenerator::sample_cause(sim::Rng& rng) const {
+  // The configured shares are *event* shares (what Fig. 3 plots). An
+  // initiation of cause c yields e_c events, so initiations are sampled with
+  // weight share_c / e_c to make the emitted event mix match the shares.
+  const double shares[] = {config_.upgrade_share,    config_.testing_share,
+                           config_.failure_share,    config_.preempting_share,
+                           config_.provisioning_share, config_.removal_share};
+  double weights[std::size(shares)];
+  double total = 0;
+  for (std::size_t i = 0; i < std::size(shares); ++i) {
+    weights[i] = shares[i] / events_per_initiation(kAllCauses[i],
+                                                   config_.rolling_batch);
+    total += weights[i];
+  }
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < std::size(weights); ++i) {
+    if (u < weights[i]) return kAllCauses[i];
+    u -= weights[i];
+  }
+  return UpdateCause::kServiceUpgrade;
+}
+
+std::optional<sim::Time> UpdateGenerator::sample_downtime(UpdateCause cause,
+                                                          sim::Rng& rng) const {
+  double median_s = 0;
+  double p99_s = 0;
+  switch (cause) {
+    case UpdateCause::kServiceUpgrade:
+      median_s = config_.upgrade_downtime_median_s;
+      p99_s = config_.upgrade_downtime_p99_s;
+      break;
+    case UpdateCause::kTesting:
+      median_s = config_.testing_downtime_median_s;
+      p99_s = config_.testing_downtime_p99_s;
+      break;
+    case UpdateCause::kFailure:
+      median_s = config_.failure_downtime_median_s;
+      p99_s = config_.failure_downtime_p99_s;
+      break;
+    case UpdateCause::kPreempting:
+      median_s = config_.preempting_downtime_median_s;
+      p99_s = config_.preempting_downtime_p99_s;
+      break;
+    case UpdateCause::kProvisioning:
+    case UpdateCause::kRemoval:
+      return std::nullopt;
+  }
+  const auto dist =
+      sim::LogNormalByQuantiles::from_median_p99(median_s, p99_s);
+  return sim::from_seconds(dist.sample(rng));
+}
+
+std::vector<DipUpdate> UpdateGenerator::generate(double rate_per_min,
+                                                 sim::Time horizon) {
+  std::vector<DipUpdate> events;
+  if (rate_per_min <= 0 || dips_.empty()) return events;
+  // Scale the initiation rate so the emitted raw-event rate matches
+  // rate_per_min: E[events/initiation] under the weighted cause sampling is
+  //   sum(share_c) / sum(share_c / e_c).
+  const double shares[] = {config_.upgrade_share,    config_.testing_share,
+                           config_.failure_share,    config_.preempting_share,
+                           config_.provisioning_share, config_.removal_share};
+  double share_sum = 0;
+  double weight_sum = 0;
+  for (std::size_t i = 0; i < std::size(shares); ++i) {
+    share_sum += shares[i];
+    weight_sum += shares[i] / events_per_initiation(kAllCauses[i],
+                                                    config_.rolling_batch);
+  }
+  const double mean_events =
+      weight_sum <= 0 ? 1.0 : share_sum / weight_sum;
+  const double initiations_per_min = rate_per_min / mean_events;
+  const double mean_gap_s = 60.0 / initiations_per_min;
+
+  sim::Time t = 0;
+  int synthetic_dip = 0;
+  while (true) {
+    t += sim::from_seconds(rng_.exponential(mean_gap_s));
+    if (t >= horizon) break;
+    const UpdateCause cause = sample_cause(rng_);
+    const bool is_batch = cause == UpdateCause::kServiceUpgrade ||
+                          cause == UpdateCause::kTesting;
+    const int batch = is_batch ? config_.rolling_batch : 1;
+    for (int b = 0; b < batch; ++b) {
+      const net::Endpoint dip =
+          dips_[rng_.uniform_int(dips_.size())];
+      if (cause == UpdateCause::kProvisioning) {
+        // Capacity add: a brand-new DIP (same subnet, fresh host id).
+        net::Endpoint fresh = dip;
+        fresh.port = static_cast<std::uint16_t>(40000 + (synthetic_dip++ % 20000));
+        events.push_back({t, vip_, fresh, UpdateAction::kAddDip, cause});
+        continue;
+      }
+      events.push_back({t, vip_, dip, UpdateAction::kRemoveDip, cause});
+      if (const auto downtime = sample_downtime(cause, rng_)) {
+        const sim::Time back = t + *downtime;
+        if (back < horizon) {
+          events.push_back({back, vip_, dip, UpdateAction::kAddDip, cause});
+        }
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const DipUpdate& a, const DipUpdate& b) { return a.at < b.at; });
+  return events;
+}
+
+}  // namespace silkroad::workload

@@ -1,0 +1,118 @@
+// DIP-pool update generator (paper §3.1, Figs. 2-4).
+//
+// Produces timestamped add/remove events against a VIP's DIP pool with the
+// root-cause mix the paper measured over a month of service-management logs:
+// service upgrades dominate (82.7%) and proceed as *rolling reboots* — a
+// fixed number of DIPs removed every period, each coming back after a
+// downtime drawn from a heavy-tailed distribution (median 3 min, p99 100 min
+// for upgrades). Failures/preemptions remove individual DIPs; provisioning
+// and removal adjust capacity without downtime pairing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "sim/distributions.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace silkroad::workload {
+
+enum class UpdateCause : std::uint8_t {
+  kServiceUpgrade,
+  kTesting,
+  kFailure,
+  kPreempting,
+  kProvisioning,
+  kRemoval,
+};
+
+constexpr const char* to_string(UpdateCause c) noexcept {
+  switch (c) {
+    case UpdateCause::kServiceUpgrade: return "service-upgrade";
+    case UpdateCause::kTesting: return "testing";
+    case UpdateCause::kFailure: return "failure";
+    case UpdateCause::kPreempting: return "preempting";
+    case UpdateCause::kProvisioning: return "provisioning";
+    default: return "removal";
+  }
+}
+
+inline constexpr UpdateCause kAllCauses[] = {
+    UpdateCause::kServiceUpgrade, UpdateCause::kTesting, UpdateCause::kFailure,
+    UpdateCause::kPreempting,     UpdateCause::kProvisioning,
+    UpdateCause::kRemoval,
+};
+
+enum class UpdateAction : std::uint8_t { kAddDip, kRemoveDip };
+
+/// One DIP-pool change event.
+struct DipUpdate {
+  sim::Time at = 0;
+  net::Endpoint vip;
+  net::Endpoint dip;
+  UpdateAction action = UpdateAction::kRemoveDip;
+  UpdateCause cause = UpdateCause::kServiceUpgrade;
+};
+
+struct UpdateGenConfig {
+  /// Probability mass of each root cause among *removal-initiating* events
+  /// (Fig. 3; upgrades dominate at 82.7%).
+  double upgrade_share = 0.827;
+  double testing_share = 0.044;
+  double failure_share = 0.030;
+  double preempting_share = 0.026;
+  double provisioning_share = 0.035;
+  double removal_share = 0.038;
+
+  /// DIP downtime (removal -> re-addition) distributions per cause (Fig. 4),
+  /// as (median, p99) seconds. Provisioning causes no downtime (pure add);
+  /// removal is permanent (pure remove).
+  double upgrade_downtime_median_s = 180;     // 3 minutes
+  double upgrade_downtime_p99_s = 6000;       // 100 minutes
+  double testing_downtime_median_s = 300;
+  double testing_downtime_p99_s = 7200;
+  double failure_downtime_median_s = 600;
+  double failure_downtime_p99_s = 20000;
+  double preempting_downtime_median_s = 420;
+  double preempting_downtime_p99_s = 10000;
+
+  /// Rolling-reboot batch: DIPs upgraded per step ("e.g., two DIPs every
+  /// five minutes").
+  int rolling_batch = 2;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates an update stream for one VIP with a target average event rate.
+///
+/// `rate_per_min` counts individual add/remove events (the unit Fig. 2 plots).
+/// Events are sorted by time. Upgrades/testing/failures/preemptions emit a
+/// remove at t and an add at t+downtime (the add may fall past `horizon` and
+/// is then dropped, as in a truncated log).
+class UpdateGenerator {
+ public:
+  UpdateGenerator(const UpdateGenConfig& config, net::Endpoint vip,
+                  std::vector<net::Endpoint> initial_dips);
+
+  std::vector<DipUpdate> generate(double rate_per_min, sim::Time horizon);
+
+  /// Samples a root cause from the configured mix.
+  UpdateCause sample_cause(sim::Rng& rng) const;
+
+  /// Samples the downtime for a cause; nullopt when the cause has no
+  /// re-addition (kRemoval) or no downtime (kProvisioning).
+  std::optional<sim::Time> sample_downtime(UpdateCause cause,
+                                           sim::Rng& rng) const;
+
+ private:
+  UpdateGenConfig config_;
+  net::Endpoint vip_;
+  std::vector<net::Endpoint> dips_;
+  sim::Rng rng_;
+};
+
+}  // namespace silkroad::workload

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "deploy/topology.h"
+#include "deploy/vip_assignment.h"
+
+namespace silkroad::deploy {
+namespace {
+
+std::vector<VipDemand> make_demands(int n, std::uint64_t conns_each,
+                                    double gbps_each) {
+  std::vector<VipDemand> demands;
+  for (int i = 0; i < n; ++i) {
+    VipDemand d;
+    d.vip = {net::IpAddress::v4(0x14000000 + static_cast<std::uint32_t>(i)), 80};
+    d.active_connections = conns_each;
+    d.traffic_gbps = gbps_each;
+    demands.push_back(d);
+  }
+  return demands;
+}
+
+TEST(Topology, LayersAndEnablement) {
+  ClosTopology topo(48, 16, 4);
+  EXPECT_EQ(topo.switches().size(), 68u);
+  EXPECT_EQ(topo.enabled_count(Layer::kToR), 48u);
+  EXPECT_EQ(topo.enabled_count(Layer::kCore), 4u);
+  topo.enable_only(Layer::kToR, 10);
+  EXPECT_EQ(topo.enabled_count(Layer::kToR), 10u);
+  EXPECT_EQ(topo.enabled_count(Layer::kAgg), 16u);
+}
+
+TEST(VipAssignment, AssignsEverythingWithinBudgets) {
+  ClosTopology topo(32, 8, 4, /*sram=*/50u << 20, /*gbps=*/6400);
+  const auto demands = make_demands(100, 200'000, 50.0);
+  const auto assignment = assign_vips(topo, demands);
+  EXPECT_EQ(assignment.unassigned, 0u);
+  EXPECT_LE(assignment.max_sram_utilization, 1.0);
+  EXPECT_LE(assignment.max_capacity_utilization, 1.0);
+}
+
+TEST(VipAssignment, SpreadsBigVipsToWideLayer) {
+  // A huge VIP must land on the widest layer (ToR: most switches) to meet
+  // the per-switch SRAM budget.
+  ClosTopology topo(64, 8, 4, /*sram=*/8u << 20, /*gbps=*/100000);
+  std::vector<VipDemand> demands = make_demands(1, 50'000'000, 100.0);
+  const auto assignment = assign_vips(topo, demands);
+  EXPECT_EQ(assignment.unassigned, 0u);
+  EXPECT_EQ(assignment.vip_layer[0], Layer::kToR);
+}
+
+TEST(VipAssignment, RespectsCapacityBudget) {
+  // Tiny memory demand but huge traffic: capacity must be the binding
+  // constraint, forcing the wide layer.
+  ClosTopology topo(64, 8, 2, /*sram=*/50u << 20, /*gbps=*/1000);
+  std::vector<VipDemand> demands = make_demands(1, 1000, 30'000.0);
+  const auto assignment = assign_vips(topo, demands);
+  EXPECT_EQ(assignment.unassigned, 0u);
+  EXPECT_EQ(assignment.vip_layer[0], Layer::kToR);
+}
+
+TEST(VipAssignment, ReportsUnassignableDemand) {
+  ClosTopology topo(2, 2, 2, /*sram=*/1u << 20, /*gbps=*/10);
+  std::vector<VipDemand> demands = make_demands(1, 100'000'000, 100000.0);
+  const auto assignment = assign_vips(topo, demands);
+  EXPECT_EQ(assignment.unassigned, 1u);
+}
+
+TEST(VipAssignment, BalancesBetterThanAllOnCore) {
+  ClosTopology topo(32, 8, 4);
+  const auto demands = make_demands(64, 1'000'000, 100.0);
+  const auto assignment = assign_vips(topo, demands);
+  // Naive "everything at core" utilization for comparison.
+  double core_total = 0;
+  for (const auto& d : demands) core_total += static_cast<double>(d.sram_bytes());
+  const double naive_util =
+      core_total / 4.0 / static_cast<double>((50u << 20));
+  EXPECT_LT(assignment.max_sram_utilization, naive_util);
+}
+
+TEST(VipAssignment, IncrementalDeploymentStillWorks) {
+  ClosTopology topo(32, 8, 4);
+  topo.enable_only(Layer::kToR, 8);
+  topo.enable_only(Layer::kAgg, 0);
+  const auto demands = make_demands(32, 500'000, 50.0);
+  const auto assignment = assign_vips(topo, demands);
+  EXPECT_EQ(assignment.unassigned, 0u);
+  for (const auto layer : assignment.vip_layer) {
+    EXPECT_NE(layer, Layer::kAgg);  // nothing may land on a disabled layer
+  }
+}
+
+TEST(SwitchFailure, BrokenConnsScaleWithStaleFraction) {
+  ClosTopology topo(16, 4, 2);
+  const auto demands = make_demands(32, 1'000'000, 10.0);
+  const auto assignment = assign_vips(topo, demands);
+  // Pick an enabled ToR switch.
+  const auto none = switch_failure_broken_conns(topo, assignment, demands, 0, 0.0);
+  const auto some = switch_failure_broken_conns(topo, assignment, demands, 0, 0.1);
+  const auto all = switch_failure_broken_conns(topo, assignment, demands, 0, 1.0);
+  EXPECT_EQ(none, 0u);
+  EXPECT_GT(all, some);
+  EXPECT_NEAR(static_cast<double>(some) * 10.0, static_cast<double>(all),
+              static_cast<double>(all) * 0.01 + 10);
+}
+
+TEST(SwitchFailure, InvalidSwitchIsZero) {
+  ClosTopology topo(4, 2, 2);
+  const auto demands = make_demands(4, 1000, 1.0);
+  const auto assignment = assign_vips(topo, demands);
+  EXPECT_EQ(switch_failure_broken_conns(topo, assignment, demands, -1, 0.5), 0u);
+  EXPECT_EQ(switch_failure_broken_conns(topo, assignment, demands, 999, 0.5), 0u);
+}
+
+TEST(FormatAssignment, ProducesReadableSummary) {
+  ClosTopology topo(4, 2, 2);
+  const auto demands = make_demands(4, 100'000, 5.0);
+  const auto assignment = assign_vips(topo, demands);
+  const auto text = format_assignment(topo, assignment);
+  EXPECT_NE(text.find("ToR"), std::string::npos);
+  EXPECT_NE(text.find("max SRAM utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace silkroad::deploy

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/health_checker.h"
+
+namespace silkroad::core {
+namespace {
+
+net::Endpoint vip_ep() { return {net::IpAddress::v4(0x14000001), 80}; }
+
+std::vector<net::Endpoint> make_dips(int n) {
+  std::vector<net::Endpoint> dips;
+  for (int i = 0; i < n; ++i) {
+    dips.push_back({net::IpAddress::v4(0x0A000000 + static_cast<std::uint32_t>(i)), 20});
+  }
+  return dips;
+}
+
+struct Harness {
+  sim::Simulator sim;
+  core::SilkRoadSwitch lb;
+  std::set<net::Endpoint> dead;
+
+  explicit Harness(const HealthChecker::Config& config = {})
+      : lb(sim,
+           [] {
+             SilkRoadSwitch::Config c;
+             c.conn_table = SilkRoadSwitch::conn_table_for(4096);
+             return c;
+           }()),
+        checker_config(config),
+        checker(sim, lb, config,
+                [this](const net::Endpoint& dip) { return !dead.contains(dip); }) {
+    lb.add_vip(vip_ep(), make_dips(8));
+    for (const auto& dip : make_dips(8)) checker.watch(vip_ep(), dip);
+  }
+
+  HealthChecker::Config checker_config;
+  HealthChecker checker;
+};
+
+TEST(HealthChecker, DetectsFailureAfterThreshold) {
+  Harness h({.probe_interval = sim::kSecond, .failure_threshold = 3});
+  h.dead.insert(make_dips(8)[2]);
+  int failures = 0;
+  net::Endpoint failed_dip;
+  h.checker.set_failure_callback(
+      [&](const net::Endpoint&, const net::Endpoint& dip) {
+        ++failures;
+        failed_dip = dip;
+      });
+  // Two probe intervals: not yet declared.
+  h.sim.run_until(2 * sim::kSecond + 1);
+  EXPECT_EQ(failures, 0);
+  // Third missed probe crosses the threshold.
+  h.sim.run_until(3 * sim::kSecond + 1);
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(failed_dip, make_dips(8)[2]);
+  EXPECT_EQ(h.checker.failures_detected(), 1u);
+  // The DIP is out of every pool (resilient in-place mode).
+  h.sim.run_until(4 * sim::kSecond);
+  const auto* mgr = h.lb.version_manager(vip_ep());
+  EXPECT_FALSE(mgr->pool(mgr->current_version())->contains_live(make_dips(8)[2]));
+}
+
+TEST(HealthChecker, TransientBlipBelowThresholdIsIgnored) {
+  Harness h({.probe_interval = sim::kSecond, .failure_threshold = 3});
+  h.dead.insert(make_dips(8)[1]);
+  h.sim.run_until(2 * sim::kSecond + 1);  // two misses
+  h.dead.erase(make_dips(8)[1]);          // recovers before the third
+  h.sim.run_until(10 * sim::kSecond);
+  EXPECT_EQ(h.checker.failures_detected(), 0u);
+}
+
+TEST(HealthChecker, RecoveryReAddsViaUpdatePath) {
+  Harness h({.probe_interval = sim::kSecond, .failure_threshold = 2});
+  const auto victim = make_dips(8)[4];
+  h.dead.insert(victim);
+  int recoveries = 0;
+  h.checker.set_recovery_callback(
+      [&](const net::Endpoint&, const net::Endpoint&) { ++recoveries; });
+  h.sim.run_until(3 * sim::kSecond);
+  EXPECT_EQ(h.checker.failures_detected(), 1u);
+  h.dead.erase(victim);  // server reboots
+  h.sim.run_until(10 * sim::kSecond);
+  EXPECT_EQ(h.checker.recoveries_detected(), 1u);
+  EXPECT_EQ(recoveries, 1);
+  const auto* mgr = h.lb.version_manager(vip_ep());
+  EXPECT_TRUE(mgr->pool(mgr->current_version())->contains_live(victim));
+}
+
+TEST(HealthChecker, UnwatchStopsProbing) {
+  Harness h({.probe_interval = sim::kSecond, .failure_threshold = 1});
+  for (const auto& dip : make_dips(8)) h.checker.unwatch(vip_ep(), dip);
+  EXPECT_EQ(h.checker.watched(), 0u);
+  h.dead.insert(make_dips(8)[0]);
+  h.sim.run_until(5 * sim::kSecond);
+  EXPECT_EQ(h.checker.probes_sent(), 0u);
+  EXPECT_EQ(h.checker.failures_detected(), 0u);
+}
+
+TEST(HealthChecker, BandwidthMatchesPaperEstimate) {
+  // §7: 10K DIPs probed every 10 s with 100-byte packets ~ 800 Kbps.
+  sim::Simulator sim;
+  SilkRoadSwitch::Config c;
+  c.conn_table = SilkRoadSwitch::conn_table_for(4096);
+  SilkRoadSwitch lb(sim, c);
+  HealthChecker checker(sim, lb,
+                        {.probe_interval = 10 * sim::kSecond,
+                         .failure_threshold = 3,
+                         .probe_bytes = 100},
+                        [](const net::Endpoint&) { return true; });
+  lb.add_vip(vip_ep(), {});
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    checker.watch(vip_ep(), {net::IpAddress::v4(0x0A000000 + i), 20});
+  }
+  EXPECT_NEAR(checker.probe_bandwidth_bps(), 800'000.0, 1.0);
+  EXPECT_EQ(checker.detection_latency(), 30 * sim::kSecond);
+}
+
+TEST(HealthChecker, WatchIsIdempotent) {
+  Harness h({.probe_interval = sim::kSecond, .failure_threshold = 1});
+  h.checker.watch(vip_ep(), make_dips(8)[0]);  // duplicate
+  EXPECT_EQ(h.checker.watched(), 8u);
+}
+
+}  // namespace
+}  // namespace silkroad::core

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "lb/scenario.h"
+
+namespace silkroad::core {
+namespace {
+
+net::Endpoint vip_ep(std::uint32_t n) {
+  return {net::IpAddress::v4(0x14000000 + n), 80};
+}
+
+std::vector<net::Endpoint> make_dips(int n, int base = 0) {
+  std::vector<net::Endpoint> dips;
+  for (int i = 0; i < n; ++i) {
+    dips.push_back({net::IpAddress::v4(0x0A000000 +
+                                       static_cast<std::uint32_t>(base + i)),
+                    20});
+  }
+  return dips;
+}
+
+net::Packet packet_for(std::uint32_t client, const net::Endpoint& vip,
+                       bool syn = false) {
+  net::Packet p;
+  p.flow = {{net::IpAddress::v4(0x0B000000 + client), 1234}, vip,
+            net::Protocol::kTcp};
+  p.syn = syn;
+  p.size_bytes = 100;
+  return p;
+}
+
+HybridLoadBalancer::Config small_config(std::uint64_t budget) {
+  HybridLoadBalancer::Config config;
+  config.switch_config.conn_table = SilkRoadSwitch::conn_table_for(8192);
+  config.switch_connection_budget = budget;
+  return config;
+}
+
+TEST(Hybrid, AssignsByDeclaredDemandAgainstBudget) {
+  sim::Simulator sim;
+  HybridLoadBalancer lb(sim, small_config(1'000'000));
+  lb.declare_demand(vip_ep(1), 600'000);   // fits
+  lb.declare_demand(vip_ep(2), 600'000);   // exceeds the remainder
+  lb.add_vip(vip_ep(1), make_dips(4, 0));
+  lb.add_vip(vip_ep(2), make_dips(4, 100));
+  EXPECT_TRUE(lb.vip_on_switch(vip_ep(1)));
+  EXPECT_FALSE(lb.vip_on_switch(vip_ep(2)));
+  EXPECT_TRUE(lb.vip_at_slb(vip_ep(2)));
+  EXPECT_EQ(lb.remaining_switch_budget(), 400'000u);
+}
+
+TEST(Hybrid, PinOverridesDemand) {
+  sim::Simulator sim;
+  HybridLoadBalancer lb(sim, small_config(100));
+  lb.declare_demand(vip_ep(1), 1'000'000);
+  lb.pin_tier(vip_ep(1), HybridLoadBalancer::Tier::kSwitch);
+  lb.add_vip(vip_ep(1), make_dips(4));
+  EXPECT_TRUE(lb.vip_on_switch(vip_ep(1)));
+  lb.pin_tier(vip_ep(2), HybridLoadBalancer::Tier::kSlb);
+  lb.add_vip(vip_ep(2), make_dips(4, 50));
+  EXPECT_FALSE(lb.vip_on_switch(vip_ep(2)));
+}
+
+TEST(Hybrid, PacketsRouteToTheRightTier) {
+  sim::Simulator sim;
+  HybridLoadBalancer lb(sim, small_config(1'000'000));
+  lb.declare_demand(vip_ep(2), 2'000'000);  // SLB
+  lb.add_vip(vip_ep(1), make_dips(4, 0));
+  lb.add_vip(vip_ep(2), make_dips(4, 100));
+  const auto fast = lb.process_packet(packet_for(1, vip_ep(1), true));
+  EXPECT_FALSE(fast.handled_by_slb);
+  EXPECT_LT(fast.added_latency, sim::kMicrosecond);
+  const auto slow = lb.process_packet(packet_for(2, vip_ep(2), true));
+  EXPECT_TRUE(slow.handled_by_slb);
+  EXPECT_GT(slow.added_latency, 10 * sim::kMicrosecond);
+}
+
+TEST(Hybrid, BothTiersPreservePccUnderUpdates) {
+  sim::Simulator sim;
+  HybridLoadBalancer lb(sim, small_config(1'000'000));
+  lb.declare_demand(vip_ep(2), 2'000'000);
+  lb::ScenarioConfig config;
+  config.horizon = 2 * sim::kMinute;
+  config.seed = 55;
+  config.vip_loads = {
+      {vip_ep(1), 800.0, workload::FlowProfile::hadoop(), false},
+      {vip_ep(2), 800.0, workload::FlowProfile::hadoop(), false}};
+  config.dip_pools = {make_dips(12, 0), make_dips(12, 100)};
+  for (std::size_t v = 0; v < 2; ++v) {
+    workload::UpdateGenerator gen({.seed = 56 + v},
+                                  config.vip_loads[v].vip,
+                                  config.dip_pools[v]);
+    auto updates = gen.generate(10.0, config.horizon);
+    config.updates.insert(config.updates.end(), updates.begin(), updates.end());
+  }
+  lb::Scenario scenario(sim, lb, config);
+  const auto stats = scenario.run();
+  EXPECT_GT(stats.flows, 2000u);
+  EXPECT_EQ(stats.violations, 0u);
+  // Roughly half the traffic (one of two equal VIPs) lands in software.
+  EXPECT_NEAR(stats.slb_traffic_fraction, 0.5, 0.25);
+}
+
+TEST(Hybrid, UpdatesReachTheOwningTierOnly) {
+  sim::Simulator sim;
+  HybridLoadBalancer lb(sim, small_config(1'000'000));
+  lb.declare_demand(vip_ep(2), 2'000'000);
+  const auto dips1 = make_dips(4, 0);
+  lb.add_vip(vip_ep(1), dips1);
+  lb.add_vip(vip_ep(2), make_dips(4, 100));
+  lb.request_update({0, vip_ep(1), dips1[0],
+                     workload::UpdateAction::kRemoveDip,
+                     workload::UpdateCause::kServiceUpgrade});
+  sim.run();
+  const auto* mgr = lb.switch_tier().version_manager(vip_ep(1));
+  ASSERT_NE(mgr, nullptr);
+  EXPECT_FALSE(mgr->pool(mgr->current_version())->contains_live(dips1[0]));
+  // New flows on VIP 2 still map via the SLB tier, 4 live DIPs.
+  EXPECT_TRUE(lb.process_packet(packet_for(9, vip_ep(2), true)).dip.has_value());
+}
+
+}  // namespace
+}  // namespace silkroad::core

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_model.h"
+
+namespace silkroad::core {
+namespace {
+
+TEST(MemoryModel, NaiveIpv6MatchesPaperFootnote) {
+  // Footnote 1: 37 B key + 18 B action + ~2 B overhead per IPv6 entry;
+  // §4.2: 10M connections need at least 550 MB.
+  const auto layout = naive_entry(true);
+  EXPECT_EQ(layout.match_bits, 37u * 8);
+  EXPECT_EQ(layout.action_bits, 18u * 8);
+  const auto bytes = conn_table_bytes(10'000'000, layout);
+  EXPECT_GE(bytes, 550'000'000u);
+  EXPECT_LE(bytes, 700'000'000u);
+}
+
+TEST(MemoryModel, SilkRoadEntryIs28Bits) {
+  EXPECT_EQ(digest_version_entry().total(), 28u);
+  // 10M connections fit in ~35 MB — inside a 50-100 MB ASIC (§6.1).
+  const auto bytes = conn_table_bytes(10'000'000, digest_version_entry());
+  EXPECT_NEAR(static_cast<double>(bytes), 35e6, 1e6);
+}
+
+TEST(MemoryModel, SavingsInPaperBand) {
+  // Fig. 14: every cluster sees >= 40% reduction; digest+version on IPv6
+  // reaches ~95%.
+  const std::size_t conns = 5'000'000;
+  const auto naive_v6 = conn_table_bytes(conns, naive_entry(true));
+  const auto digest_v6 = conn_table_bytes(conns, digest_entry(true));
+  const auto full_v6 = conn_table_bytes(conns, digest_version_entry());
+  EXPECT_GT(memory_saving(naive_v6, digest_v6), 0.40);
+  EXPECT_GT(memory_saving(naive_v6, full_v6), 0.90);
+
+  const auto naive_v4 = conn_table_bytes(conns, naive_entry(false));
+  const auto digest_v4 = conn_table_bytes(conns, digest_entry(false));
+  EXPECT_GT(memory_saving(naive_v4, digest_v4), 0.40);
+}
+
+TEST(MemoryModel, DigestVersionIndependentOfFamily) {
+  const auto v4 = silkroad_footprint(1'000'000, 1000, 4, false);
+  const auto v6 = silkroad_footprint(1'000'000, 1000, 4, true);
+  EXPECT_EQ(v4.conn_table, v6.conn_table);
+  EXPECT_LT(v4.dip_pool_table, v6.dip_pool_table);
+}
+
+TEST(MemoryModel, PeakBackendBreakdownMatchesPaper) {
+  // §6.1: the peak Backend stores 15M conns; ConnTable is 91.7% of the
+  // 58 MB total, DIPPoolTable hosts 64 versions of 4187 IPv6 DIPs.
+  const auto fp = silkroad_footprint(15'000'000, 4187, 64, true);
+  const double conn_share =
+      static_cast<double>(fp.conn_table) / static_cast<double>(fp.total());
+  EXPECT_GT(conn_share, 0.75);
+  EXPECT_NEAR(static_cast<double>(fp.total()) / 1e6, 58.0, 10.0);
+}
+
+TEST(MemoryModel, SlbCountFromPacketRate) {
+  // §2.2: 15 Tbps needs ~1500 SLBs at NIC line rate; in pps terms a cluster
+  // at 120 Mpps needs 10 SLBs at 12 Mpps each.
+  EXPECT_EQ(slbs_required(120.0), 10u);
+  EXPECT_EQ(slbs_required(121.0), 11u);
+  EXPECT_EQ(slbs_required(0.0), 0u);
+}
+
+TEST(MemoryModel, SilkRoadCountFromConnsAndThroughput) {
+  EXPECT_EQ(silkroads_required(5'000'000, 1.0), 1u);
+  EXPECT_EQ(silkroads_required(25'000'000, 1.0), 3u);   // conn-bound
+  EXPECT_EQ(silkroads_required(1'000'000, 20.0), 4u);   // throughput-bound
+}
+
+TEST(MemoryModel, CostRatiosNearPaperClaims) {
+  // §6.1: ASIC processing is ~1/500 the power and ~1/250 the capital cost.
+  const auto cmp = cost_comparison();
+  EXPECT_NEAR(cmp.power_ratio, 500.0, 100.0);
+  EXPECT_NEAR(cmp.cost_ratio, 250.0, 50.0);
+}
+
+}  // namespace
+}  // namespace silkroad::core

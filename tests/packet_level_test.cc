@@ -1,0 +1,153 @@
+// Cross-validation: the packet-level runner must reproduce the flow-level
+// model's verdicts — this is the empirical discharge of the "probe at
+// mapping-risk events is exact" assumption (DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include "core/silkroad_switch.h"
+#include "lb/duet.h"
+#include "lb/ecmp_lb.h"
+#include "lb/packet_level.h"
+#include "lb/scenario.h"
+#include "lb/slb.h"
+
+namespace silkroad::lb {
+namespace {
+
+net::Endpoint vip_ep() { return {net::IpAddress::v4(0x14000001), 80}; }
+
+std::vector<net::Endpoint> make_dips(int n) {
+  std::vector<net::Endpoint> dips;
+  for (int i = 0; i < n; ++i) {
+    dips.push_back({net::IpAddress::v4(0x0A000000 + static_cast<std::uint32_t>(i)), 20});
+  }
+  return dips;
+}
+
+struct Workload {
+  std::vector<workload::Flow> flows;
+  std::vector<workload::DipUpdate> updates;
+};
+
+Workload make_workload(std::uint64_t seed, double arrivals_per_min,
+                       double updates_per_min) {
+  Workload w;
+  sim::Simulator gen_sim;
+  workload::FlowGenerator gen(
+      gen_sim, {{vip_ep(), arrivals_per_min, workload::FlowProfile::hadoop(),
+                 false}},
+      seed);
+  gen.start(2 * sim::kMinute,
+            [&w](const workload::Flow& f) { w.flows.push_back(f); },
+            [](const workload::Flow&) {});
+  gen_sim.run();
+  workload::UpdateGenerator ugen({.seed = seed + 1}, vip_ep(), make_dips(16));
+  w.updates = ugen.generate(updates_per_min, 2 * sim::kMinute);
+  return w;
+}
+
+template <typename MakeLb>
+PacketLevelRunner::Stats run_packet_level(const Workload& w, MakeLb&& make) {
+  sim::Simulator sim;
+  auto lb = make(sim);
+  lb->add_vip(vip_ep(), make_dips(16));
+  PacketLevelRunner runner(sim, *lb, {.packet_interval = 20 * sim::kMillisecond});
+  return runner.run(w.flows, w.updates);
+}
+
+template <typename MakeLb>
+ScenarioStats run_flow_level(const Workload& w, MakeLb&& make) {
+  sim::Simulator sim;
+  auto lb = make(sim);
+  ScenarioConfig config;
+  config.horizon = 2 * sim::kMinute;
+  config.vip_loads = {{vip_ep(), 0.0, workload::FlowProfile::hadoop(), false}};
+  config.dip_pools = {make_dips(16)};
+  config.updates = w.updates;
+  config.replay_flows = w.flows;
+  Scenario scenario(sim, *lb, config);
+  return scenario.run();
+}
+
+auto make_silkroad = [](bool transit) {
+  return [transit](sim::Simulator& sim) {
+    core::SilkRoadSwitch::Config config;
+    config.conn_table = core::SilkRoadSwitch::conn_table_for(50'000);
+    config.use_transit_table = transit;
+    return std::make_unique<core::SilkRoadSwitch>(sim, config);
+  };
+};
+
+TEST(PacketLevelAgreement, SilkRoadZeroViolationsAtPacketGranularity) {
+  const auto w = make_workload(31, 800.0, 20.0);
+  const auto packet = run_packet_level(w, make_silkroad(true));
+  const auto flow = run_flow_level(w, make_silkroad(true));
+  EXPECT_GT(packet.flows, 500u);
+  EXPECT_EQ(packet.violations, 0u);  // every single packet checked
+  EXPECT_EQ(flow.violations, 0u);
+}
+
+TEST(PacketLevelAgreement, EcmpVerdictsAgree) {
+  const auto w = make_workload(32, 600.0, 15.0);
+  const auto make = [](sim::Simulator&) {
+    return std::make_unique<EcmpLoadBalancer>();
+  };
+  const auto packet = run_packet_level(w, make);
+  const auto flow = run_flow_level(w, make);
+  EXPECT_GT(packet.violations, 0u);
+  EXPECT_GT(flow.violations, 0u);
+  // The two audits observe different instants (probes additionally see
+  // transient intra-batch pool states; packets see everything in between);
+  // the verdicts must agree closely, not exactly.
+  EXPECT_NEAR(static_cast<double>(packet.violations),
+              static_cast<double>(flow.violations),
+              static_cast<double>(flow.violations) * 0.15 + 10);
+}
+
+TEST(PacketLevelAgreement, DuetVerdictsAgree) {
+  const auto w = make_workload(33, 600.0, 15.0);
+  const auto make = [](sim::Simulator& sim) {
+    return std::make_unique<DuetLoadBalancer>(
+        sim, DuetLoadBalancer::Config{
+                 .policy = DuetLoadBalancer::MigratePolicy::kPeriodic,
+                 .migrate_period = sim::kMinute});
+  };
+  const auto packet = run_packet_level(w, make);
+  const auto flow = run_flow_level(w, make);
+  EXPECT_GT(packet.violations, 0u);
+  EXPECT_GT(flow.violations, 0u);
+  EXPECT_NEAR(static_cast<double>(packet.violations),
+              static_cast<double>(flow.violations),
+              static_cast<double>(flow.violations) * 0.5 + 10);
+}
+
+TEST(PacketLevelAgreement, SlbCleanAtPacketGranularity) {
+  const auto w = make_workload(34, 600.0, 25.0);
+  const auto make = [](sim::Simulator&) {
+    return std::make_unique<SoftwareLoadBalancer>();
+  };
+  const auto packet = run_packet_level(w, make);
+  EXPECT_EQ(packet.violations, 0u);
+}
+
+TEST(PacketLevelRunner, CountsPacketsAndFlows) {
+  Workload w;
+  workload::Flow flow;
+  flow.tuple = net::FiveTuple{{net::IpAddress::v4(0x0B000001), 1234}, vip_ep(),
+                              net::Protocol::kTcp};
+  flow.start = 0;
+  flow.end = sim::kSecond;
+  w.flows.push_back(flow);
+  sim::Simulator sim;
+  SoftwareLoadBalancer slb;
+  slb.add_vip(vip_ep(), make_dips(4));
+  PacketLevelRunner runner(sim, slb,
+                           {.packet_interval = 100 * sim::kMillisecond});
+  const auto stats = runner.run(w.flows, {});
+  EXPECT_EQ(stats.flows, 1u);
+  // SYN + 9 mid-flow packets + FIN.
+  EXPECT_EQ(stats.packets, 11u);
+  EXPECT_EQ(stats.violations, 0u);
+}
+
+}  // namespace
+}  // namespace silkroad::lb

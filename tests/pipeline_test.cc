@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "asic/pipeline.h"
+
+namespace silkroad::asic {
+namespace {
+
+TableSpec small_exact(const std::string& name, std::size_t entries,
+                      int level = 0) {
+  TableSpec spec;
+  spec.name = name;
+  spec.match = MatchKind::kExact;
+  spec.key_bits = 32;
+  spec.action_data_bits = 16;
+  spec.entries = entries;
+  spec.dependency_level = level;
+  return spec;
+}
+
+TEST(TableSpec, EntryBitsUseStoredKey) {
+  TableSpec spec;
+  spec.key_bits = 296;
+  spec.stored_key_bits = 16;
+  spec.action_data_bits = 6;
+  spec.overhead_bits = 6;
+  EXPECT_EQ(spec.entry_bits(), 28u);  // SilkRoad ConnTable entry
+  EXPECT_EQ(spec.entries = 1'000'000, 1'000'000u);
+  EXPECT_EQ(spec.sram_words(), 250'000u);
+}
+
+TEST(PipelineProgram, PlacesSmallProgramInOneStage) {
+  PipelineProgram program("tiny");
+  program.add_table(small_exact("a", 1024));
+  program.add_table(small_exact("b", 1024));
+  const auto placement = program.place(ChipModel{});
+  ASSERT_TRUE(placement.fits) << placement.error;
+  EXPECT_EQ(placement.stages_used, 1);
+}
+
+TEST(PipelineProgram, DependencyLevelsForceLaterStages) {
+  PipelineProgram program("deps");
+  program.add_table(small_exact("first", 64, 0));
+  program.add_table(small_exact("second", 64, 1));
+  program.add_table(small_exact("third", 64, 2));
+  const auto placement = program.place(ChipModel{});
+  ASSERT_TRUE(placement.fits);
+  EXPECT_EQ(placement.stages_used, 3);
+  EXPECT_LT(placement.tables[0].last_stage, placement.tables[1].first_stage);
+  EXPECT_LT(placement.tables[1].last_stage, placement.tables[2].first_stage);
+}
+
+TEST(PipelineProgram, LargeTableSpansStages) {
+  PipelineProgram program("span");
+  // 500K 54-bit entries (250K words) exceed one 106K-word stage.
+  program.add_table(small_exact("huge", 500'000));
+  const auto placement = program.place(ChipModel{});
+  ASSERT_TRUE(placement.fits) << placement.error;
+  ASSERT_EQ(placement.tables.size(), 1u);
+  EXPECT_GT(placement.tables[0].last_stage, placement.tables[0].first_stage);
+}
+
+TEST(PipelineProgram, FailsWhenProgramExceedsChip) {
+  PipelineProgram program("too-big");
+  program.add_table(small_exact("monster", 2'000'000'000));
+  const auto placement = program.place(ChipModel{});
+  EXPECT_FALSE(placement.fits);
+  EXPECT_NE(placement.error.find("monster"), std::string::npos);
+}
+
+TEST(PipelineProgram, TernaryConsumesTcamNotSram) {
+  PipelineProgram program("acl");
+  TableSpec acl;
+  acl.name = "acl";
+  acl.match = MatchKind::kTernary;
+  acl.key_bits = 120;
+  acl.entries = 2048;
+  program.add_table(acl);
+  const auto resources = program.total_resources();
+  EXPECT_GT(resources.tcam_bytes, 0);
+  EXPECT_DOUBLE_EQ(resources.sram_bytes, 0);
+}
+
+TEST(PipelineProgram, BaselineSwitchP4FitsTheChip) {
+  const auto program = PipelineProgram::baseline_switch_p4();
+  const auto placement = program.place(ChipModel{});
+  ASSERT_TRUE(placement.fits) << placement.error;
+  EXPECT_LE(placement.stages_used, 32);
+}
+
+TEST(PipelineProgram, BaselineResourcesNearCalibratedConstants) {
+  // The placement model and the flat resource constants in resources.cc
+  // describe the same program; they should agree within modeling slack.
+  const auto computed = PipelineProgram::baseline_switch_p4().total_resources();
+  const auto constants = baseline_switch_p4_usage();
+  EXPECT_NEAR(computed.sram_bytes, constants.sram_bytes,
+              constants.sram_bytes * 0.45);
+  EXPECT_NEAR(computed.vliw_actions, constants.vliw_actions,
+              constants.vliw_actions * 0.35);
+  EXPECT_NEAR(computed.stateful_alus, constants.stateful_alus, 4.0);
+}
+
+TEST(PipelineProgram, SilkRoadAloneIsSmall) {
+  const auto program = PipelineProgram::silkroad_p4(1'000'000);
+  const auto placement = program.place(ChipModel{});
+  ASSERT_TRUE(placement.fits) << placement.error;
+  const auto resources = program.total_resources();
+  EXPECT_NEAR(resources.sram_bytes, 3.6e6, 0.8e6);  // ~3.5 MB ConnTable
+  EXPECT_DOUBLE_EQ(resources.tcam_bytes, 0);        // Table 2: TCAM 0%
+}
+
+TEST(PipelineProgram, CombinedProgramFitsAt10MConnections) {
+  // §5.2: the prototype fits 10M connections on top of switch.p4.
+  auto combined = PipelineProgram::baseline_switch_p4();
+  combined.merge(PipelineProgram::silkroad_p4(10'000'000));
+  const auto placement = combined.place(ChipModel{});
+  ASSERT_TRUE(placement.fits) << placement.error;
+  EXPECT_LE(placement.stages_used, 32);
+}
+
+TEST(PipelineProgram, MergeKeepsProgramsIndependent) {
+  PipelineProgram a("a");
+  a.add_table(small_exact("a0", 16, 0));
+  a.add_table(small_exact("a1", 16, 1));
+  PipelineProgram b("b");
+  b.add_table(small_exact("b0", 16, 5));
+  a.merge(b);
+  // b's table keeps its own level but gets a distinct program id, so its
+  // dependency chain does not serialize against a's.
+  EXPECT_EQ(a.tables().back().dependency_level, 5);
+  EXPECT_NE(a.tables().back().program_id, a.tables().front().program_id);
+  const auto placement = a.place(ChipModel{});
+  ASSERT_TRUE(placement.fits);
+  // b0 has no same-program predecessors: it lands in stage 0 despite level 5.
+  EXPECT_EQ(placement.tables.back().first_stage, 0);
+}
+
+TEST(FormatPlacement, ReadableOutput) {
+  const auto program = PipelineProgram::silkroad_p4(1'000'000);
+  const auto placement = program.place(ChipModel{});
+  const auto text = format_placement(placement);
+  EXPECT_NE(text.find("conn_table"), std::string::npos);
+  EXPECT_NE(text.find("fits in"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace silkroad::asic

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace.h"
+
+namespace silkroad::workload {
+namespace {
+
+Flow make_flow() {
+  Flow flow;
+  flow.start = 1'000'000;
+  flow.end = 5'000'000;
+  flow.tuple = net::FiveTuple{*net::Endpoint::parse("11.0.0.1:40001"),
+                              *net::Endpoint::parse("20.0.0.1:80"),
+                              net::Protocol::kTcp};
+  flow.rate_bps = 1.5e6;
+  return flow;
+}
+
+DipUpdate make_update() {
+  return DipUpdate{60'000'000'000ull, *net::Endpoint::parse("20.0.0.1:80"),
+                   *net::Endpoint::parse("10.0.0.2:8080"),
+                   UpdateAction::kRemoveDip, UpdateCause::kServiceUpgrade};
+}
+
+TEST(Trace, FlowCsvRoundTrip) {
+  const Flow flow = make_flow();
+  const auto parsed = flow_from_csv(flow_to_csv(flow));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->start, flow.start);
+  EXPECT_EQ(parsed->end, flow.end);
+  EXPECT_EQ(parsed->tuple, flow.tuple);
+  EXPECT_DOUBLE_EQ(parsed->rate_bps, flow.rate_bps);
+}
+
+TEST(Trace, FlowCsvIpv6RoundTrip) {
+  Flow flow = make_flow();
+  flow.tuple.src = *net::Endpoint::parse("[2001:db8::5]:55000");
+  flow.tuple.dst = *net::Endpoint::parse("[2001:db8::1]:443");
+  flow.tuple.proto = net::Protocol::kUdp;
+  const auto parsed = flow_from_csv(flow_to_csv(flow));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tuple, flow.tuple);
+}
+
+TEST(Trace, FlowCsvRejectsMalformed) {
+  EXPECT_FALSE(flow_from_csv("").has_value());
+  EXPECT_FALSE(flow_from_csv("1,2,3").has_value());
+  EXPECT_FALSE(flow_from_csv("x,2,11.0.0.1:1,20.0.0.1:80,tcp,5").has_value());
+  EXPECT_FALSE(flow_from_csv("1,2,11.0.0.1:1,20.0.0.1:80,icmp,5").has_value());
+  // end < start
+  EXPECT_FALSE(flow_from_csv("9,2,11.0.0.1:1,20.0.0.1:80,tcp,5").has_value());
+  // malformed endpoint
+  EXPECT_FALSE(flow_from_csv("1,2,11.0.0.1,20.0.0.1:80,tcp,5").has_value());
+}
+
+TEST(Trace, UpdateCsvRoundTrip) {
+  const DipUpdate update = make_update();
+  const auto parsed = update_from_csv(update_to_csv(update));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at, update.at);
+  EXPECT_EQ(parsed->vip, update.vip);
+  EXPECT_EQ(parsed->dip, update.dip);
+  EXPECT_EQ(parsed->action, update.action);
+  EXPECT_EQ(parsed->cause, update.cause);
+}
+
+TEST(Trace, CauseNamesRoundTrip) {
+  for (const auto cause : kAllCauses) {
+    const auto parsed = cause_from_string(to_string(cause));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cause);
+  }
+  EXPECT_FALSE(cause_from_string("cosmic-rays").has_value());
+}
+
+TEST(Trace, StreamRoundTripWithHeader) {
+  std::vector<Flow> flows = {make_flow(), make_flow()};
+  flows[1].start += 7;
+  flows[1].tuple.src.port = 40002;
+  std::stringstream stream;
+  write_flow_trace(stream, flows);
+  const auto read_back = read_flow_trace(stream);
+  ASSERT_TRUE(read_back.has_value());
+  ASSERT_EQ(read_back->size(), 2u);
+  EXPECT_EQ((*read_back)[1].tuple.src.port, 40002);
+}
+
+TEST(Trace, StreamReportsErrorLine) {
+  std::stringstream stream;
+  stream << "at_ns,vip,dip,action,cause\n";
+  stream << update_to_csv(make_update()) << "\n";
+  stream << "garbage line\n";
+  std::string error;
+  EXPECT_FALSE(read_update_trace(stream, &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(Trace, EmptyStreamYieldsEmptyTrace) {
+  std::stringstream stream;
+  const auto flows = read_flow_trace(stream);
+  ASSERT_TRUE(flows.has_value());
+  EXPECT_TRUE(flows->empty());
+}
+
+TEST(Trace, GeneratedUpdatesSurviveRoundTrip) {
+  UpdateGenerator gen({.seed = 5}, *net::Endpoint::parse("20.0.0.1:80"),
+                      {*net::Endpoint::parse("10.0.0.1:20"),
+                       *net::Endpoint::parse("10.0.0.2:20")});
+  const auto updates = gen.generate(10.0, 10 * sim::kMinute);
+  std::stringstream stream;
+  write_update_trace(stream, updates);
+  const auto read_back = read_update_trace(stream);
+  ASSERT_TRUE(read_back.has_value());
+  ASSERT_EQ(read_back->size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ((*read_back)[i].at, updates[i].at);
+    EXPECT_EQ((*read_back)[i].dip, updates[i].dip);
+  }
+}
+
+}  // namespace
+}  // namespace silkroad::workload

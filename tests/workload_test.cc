@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "workload/cluster_model.h"
+#include "workload/flow_gen.h"
+#include "workload/update_gen.h"
+
+namespace silkroad::workload {
+namespace {
+
+TEST(ClusterModel, PopulationCountsAndTypes) {
+  const auto clusters = generate_population(PopulationConfig{});
+  EXPECT_EQ(clusters.size(), 100u);
+  int counts[3] = {0, 0, 0};
+  for (const auto& c : clusters) ++counts[static_cast<int>(c.type)];
+  EXPECT_EQ(counts[0], 34);  // PoP
+  EXPECT_EQ(counts[1], 33);  // Frontend
+  EXPECT_EQ(counts[2], 33);  // Backend
+}
+
+TEST(ClusterModel, Deterministic) {
+  const auto a = generate_population(PopulationConfig{});
+  const auto b = generate_population(PopulationConfig{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].active_conns_per_tor_p99, b[i].active_conns_per_tor_p99);
+    EXPECT_EQ(a[i].updates_per_min_p99, b[i].updates_per_min_p99);
+  }
+}
+
+TEST(ClusterModel, Fig2UpdateFrequencyShape) {
+  // Paper: 32% of clusters have >10 updates/min at the p99 minute, 3% >50.
+  const auto clusters = generate_population(PopulationConfig{});
+  int over10 = 0, over50 = 0;
+  for (const auto& c : clusters) {
+    if (c.updates_per_min_p99 > 10) ++over10;
+    if (c.updates_per_min_p99 > 50) ++over50;
+  }
+  EXPECT_NEAR(over10, 32, 15);
+  EXPECT_NEAR(over50, 3, 6);
+}
+
+TEST(ClusterModel, Fig6ActiveConnectionsShape) {
+  // Paper: most loaded PoP/Backend clusters around 10M+ connections per ToR;
+  // Frontends far smaller.
+  const auto clusters = generate_population(PopulationConfig{});
+  std::uint64_t pop_max = 0, backend_max = 0, frontend_max = 0;
+  for (const auto& c : clusters) {
+    auto& bucket = c.type == ClusterType::kPoP        ? pop_max
+                   : c.type == ClusterType::kFrontend ? frontend_max
+                                                      : backend_max;
+    bucket = std::max(bucket, c.active_conns_per_tor_p99);
+  }
+  EXPECT_GT(pop_max, 5'000'000u);
+  EXPECT_GT(backend_max, 5'000'000u);
+  EXPECT_LT(frontend_max, 2'000'000u);
+  EXPECT_LT(frontend_max, pop_max / 4);
+}
+
+TEST(ClusterModel, BackendsUpdateMoreThanFrontendsAtMedian) {
+  // Paper: half of Backends have >16 updates in the p99 minute.
+  const auto clusters = generate_population(PopulationConfig{});
+  std::vector<double> backend_p99;
+  for (const auto& c : clusters) {
+    if (c.type == ClusterType::kBackend) {
+      backend_p99.push_back(c.updates_per_min_p99);
+    }
+  }
+  std::nth_element(backend_p99.begin(),
+                   backend_p99.begin() + backend_p99.size() / 2,
+                   backend_p99.end());
+  EXPECT_GT(backend_p99[backend_p99.size() / 2], 8.0);
+}
+
+TEST(PopulationCdf, ProjectionsWork) {
+  const auto clusters = generate_population(PopulationConfig{});
+  const auto cdf = population_cdf(clusters, [](const ClusterSpec& c) {
+    return static_cast<double>(c.active_conns_per_tor_p99);
+  });
+  EXPECT_GT(cdf.quantile(0.99), cdf.quantile(0.5));
+}
+
+// --- Update generator -----------------------------------------------------------
+
+UpdateGenConfig test_update_config() {
+  UpdateGenConfig config;
+  config.seed = 99;
+  return config;
+}
+
+std::vector<net::Endpoint> make_dips(int n) {
+  std::vector<net::Endpoint> dips;
+  for (int i = 0; i < n; ++i) {
+    dips.push_back({net::IpAddress::v4(0x0A000000 + static_cast<std::uint32_t>(i)), 20});
+  }
+  return dips;
+}
+
+TEST(UpdateGenerator, RateApproximatelyMatches) {
+  UpdateGenerator gen(test_update_config(),
+                      {net::IpAddress::v4(0x14000001), 80}, make_dips(100));
+  const double rate = 20.0;
+  const auto events = gen.generate(rate, sim::kHour);
+  const double per_min = static_cast<double>(events.size()) / 60.0;
+  EXPECT_NEAR(per_min, rate, rate * 0.30);
+}
+
+TEST(UpdateGenerator, EventsSortedWithinHorizon) {
+  UpdateGenerator gen(test_update_config(),
+                      {net::IpAddress::v4(0x14000001), 80}, make_dips(50));
+  const auto events = gen.generate(10.0, 10 * sim::kMinute);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+  EXPECT_LT(events.back().at, 10 * sim::kMinute);
+}
+
+TEST(UpdateGenerator, CauseMixDominatedByUpgrades) {
+  UpdateGenerator gen(test_update_config(),
+                      {net::IpAddress::v4(0x14000001), 80}, make_dips(200));
+  const auto events = gen.generate(60.0, sim::kHour);
+  std::map<UpdateCause, int> counts;
+  for (const auto& e : events) ++counts[e.cause];
+  const double upgrade_share =
+      static_cast<double>(counts[UpdateCause::kServiceUpgrade]) /
+      static_cast<double>(events.size());
+  // Fig. 3: 82.7% of add/removes stem from service upgrades.
+  EXPECT_NEAR(upgrade_share, 0.827, 0.08);
+}
+
+TEST(UpdateGenerator, RemovalsPairWithLaterAdditions) {
+  UpdateGenerator gen(test_update_config(),
+                      {net::IpAddress::v4(0x14000001), 80}, make_dips(50));
+  const auto events = gen.generate(30.0, sim::kHour);
+  int removes = 0, adds = 0;
+  for (const auto& e : events) {
+    (e.action == UpdateAction::kRemoveDip ? removes : adds)++;
+  }
+  EXPECT_GT(removes, 0);
+  EXPECT_GT(adds, 0);
+  // Long-downtime re-adds fall past the horizon, so adds < removes, but the
+  // bulk must return (median downtime is 3 min vs a 60-min horizon).
+  EXPECT_GT(adds, removes / 2);
+}
+
+TEST(UpdateGenerator, DowntimeQuantilesMatchFig4) {
+  UpdateGenConfig config = test_update_config();
+  UpdateGenerator gen(config, {net::IpAddress::v4(0x14000001), 80},
+                      make_dips(10));
+  sim::Rng rng(1234);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const auto d = gen.sample_downtime(UpdateCause::kServiceUpgrade, rng);
+    ASSERT_TRUE(d.has_value());
+    samples.push_back(sim::to_seconds(*d));
+  }
+  std::sort(samples.begin(), samples.end());
+  // Fig. 4 (upgrades): median 3 min, p99 100 min.
+  EXPECT_NEAR(samples[samples.size() / 2], 180.0, 20.0);
+  EXPECT_NEAR(samples[static_cast<std::size_t>(samples.size() * 0.99)], 6000.0,
+              1500.0);
+}
+
+TEST(UpdateGenerator, NoDowntimeForProvisioningAndRemoval) {
+  UpdateGenerator gen(test_update_config(),
+                      {net::IpAddress::v4(0x14000001), 80}, make_dips(10));
+  sim::Rng rng(1);
+  EXPECT_FALSE(gen.sample_downtime(UpdateCause::kProvisioning, rng).has_value());
+  EXPECT_FALSE(gen.sample_downtime(UpdateCause::kRemoval, rng).has_value());
+}
+
+// --- Flow generator -------------------------------------------------------------
+
+TEST(FlowGenerator, ArrivalCountMatchesRate) {
+  sim::Simulator sim;
+  FlowGenerator gen(sim,
+                    {{{net::IpAddress::v4(0x14000001), 80},
+                      600.0,  // per minute
+                      FlowProfile::hadoop(),
+                      false}},
+                    7);
+  std::uint64_t starts = 0;
+  gen.start(10 * sim::kMinute, [&](const Flow&) { ++starts; },
+            [](const Flow&) {});
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(starts), 6000.0, 500.0);
+}
+
+TEST(FlowGenerator, EndsAfterStartsAndDurationsPlausible) {
+  sim::Simulator sim;
+  FlowGenerator gen(sim,
+                    {{{net::IpAddress::v4(0x14000001), 80},
+                      300.0,
+                      FlowProfile::hadoop(),
+                      false}},
+                    7);
+  std::vector<double> durations;
+  gen.start(
+      5 * sim::kMinute, [](const Flow&) {},
+      [&](const Flow& f) {
+        durations.push_back(sim::to_seconds(f.end - f.start));
+      });
+  sim.run();
+  ASSERT_GT(durations.size(), 100u);
+  std::sort(durations.begin(), durations.end());
+  // Hadoop profile: median ~10 s.
+  EXPECT_NEAR(durations[durations.size() / 2], 10.0, 4.0);
+}
+
+TEST(FlowGenerator, RateModulationShapesArrivals) {
+  sim::Simulator sim;
+  FlowGenerator gen(sim,
+                    {{{net::IpAddress::v4(0x14000001), 80},
+                      1200.0,
+                      FlowProfile::hadoop(),
+                      false}},
+                    7);
+  // First half at 0.25x, second half at 2x: a crude diurnal valley/peak.
+  gen.set_rate_modulation([](sim::Time t) {
+    return t < 5 * sim::kMinute ? 0.25 : 2.0;
+  });
+  std::uint64_t first_half = 0, second_half = 0;
+  gen.start(10 * sim::kMinute,
+            [&](const Flow& f) {
+              (f.start < 5 * sim::kMinute ? first_half : second_half)++;
+            },
+            [](const Flow&) {});
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(first_half), 0.25 * 1200 * 5, 250);
+  EXPECT_NEAR(static_cast<double>(second_half), 2.0 * 1200 * 5, 800);
+  EXPECT_GT(second_half, first_half * 4);
+}
+
+TEST(FlowGenerator, ZeroModulationStopsStream) {
+  sim::Simulator sim;
+  FlowGenerator gen(sim,
+                    {{{net::IpAddress::v4(0x14000001), 80},
+                      600.0,
+                      FlowProfile::hadoop(),
+                      false}},
+                    7);
+  gen.set_rate_modulation([](sim::Time t) {
+    return t < sim::kMinute ? 1.0 : 0.0;
+  });
+  std::uint64_t after_cutoff = 0;
+  gen.start(10 * sim::kMinute,
+            [&](const Flow& f) {
+              if (f.start > sim::kMinute + sim::kSecond) ++after_cutoff;
+            },
+            [](const Flow&) {});
+  sim.run();
+  EXPECT_EQ(after_cutoff, 0u);
+}
+
+TEST(FlowGenerator, TuplesAreUniqueAndTargetVip) {
+  sim::Simulator sim;
+  const net::Endpoint vip{net::IpAddress::v4(0x14000001), 80};
+  FlowGenerator gen(sim, {{vip, 1000.0, FlowProfile::hadoop(), false}}, 7);
+  std::set<std::string> tuples;
+  std::uint64_t starts = 0;
+  gen.start(sim::kMinute,
+            [&](const Flow& f) {
+              ++starts;
+              EXPECT_EQ(f.tuple.dst, vip);
+              tuples.insert(f.tuple.to_string());
+            },
+            [](const Flow&) {});
+  sim.run();
+  EXPECT_EQ(tuples.size(), starts);
+}
+
+TEST(FlowGenerator, Ipv6Clients) {
+  sim::Simulator sim;
+  const net::Endpoint vip{net::IpAddress::v6(0x20010DB8'00000001ULL, 1), 80};
+  FlowGenerator gen(sim, {{vip, 100.0, FlowProfile::cache(), true}}, 7);
+  bool saw_v6 = false;
+  gen.start(sim::kMinute,
+            [&](const Flow& f) { saw_v6 |= f.tuple.src.ip.is_v6(); },
+            [](const Flow&) {});
+  sim.run();
+  EXPECT_TRUE(saw_v6);
+}
+
+}  // namespace
+}  // namespace silkroad::workload
