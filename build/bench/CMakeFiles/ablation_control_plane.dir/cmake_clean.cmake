@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control_plane.dir/ablation_control_plane.cc.o"
+  "CMakeFiles/ablation_control_plane.dir/ablation_control_plane.cc.o.d"
+  "ablation_control_plane"
+  "ablation_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

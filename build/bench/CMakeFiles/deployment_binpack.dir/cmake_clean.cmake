@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_binpack.dir/deployment_binpack.cc.o"
+  "CMakeFiles/deployment_binpack.dir/deployment_binpack.cc.o.d"
+  "deployment_binpack"
+  "deployment_binpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_update_root_causes.dir/fig03_update_root_causes.cc.o"
+  "CMakeFiles/fig03_update_root_causes.dir/fig03_update_root_causes.cc.o.d"
+  "fig03_update_root_causes"
+  "fig03_update_root_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_update_root_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

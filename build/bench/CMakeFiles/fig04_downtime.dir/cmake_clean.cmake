@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_downtime.dir/fig04_downtime.cc.o"
+  "CMakeFiles/fig04_downtime.dir/fig04_downtime.cc.o.d"
+  "fig04_downtime"
+  "fig04_downtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_downtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

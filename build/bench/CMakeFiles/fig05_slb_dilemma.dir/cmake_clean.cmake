@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_slb_dilemma.dir/fig05_slb_dilemma.cc.o"
+  "CMakeFiles/fig05_slb_dilemma.dir/fig05_slb_dilemma.cc.o.d"
+  "fig05_slb_dilemma"
+  "fig05_slb_dilemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_slb_dilemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

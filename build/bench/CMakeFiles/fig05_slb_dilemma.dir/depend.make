@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_slb_dilemma.
+# This may be replaced when dependencies are built.

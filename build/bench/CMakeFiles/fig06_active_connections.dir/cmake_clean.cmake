@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_active_connections.dir/fig06_active_connections.cc.o"
+  "CMakeFiles/fig06_active_connections.dir/fig06_active_connections.cc.o.d"
+  "fig06_active_connections"
+  "fig06_active_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_active_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

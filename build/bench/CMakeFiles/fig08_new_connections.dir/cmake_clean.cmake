@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_new_connections.dir/fig08_new_connections.cc.o"
+  "CMakeFiles/fig08_new_connections.dir/fig08_new_connections.cc.o.d"
+  "fig08_new_connections"
+  "fig08_new_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_new_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sram_usage.dir/fig12_sram_usage.cc.o"
+  "CMakeFiles/fig12_sram_usage.dir/fig12_sram_usage.cc.o.d"
+  "fig12_sram_usage"
+  "fig12_sram_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sram_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_slb_replacement.dir/fig13_slb_replacement.cc.o"
+  "CMakeFiles/fig13_slb_replacement.dir/fig13_slb_replacement.cc.o.d"
+  "fig13_slb_replacement"
+  "fig13_slb_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_slb_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_memory_saving.dir/fig14_memory_saving.cc.o"
+  "CMakeFiles/fig14_memory_saving.dir/fig14_memory_saving.cc.o.d"
+  "fig14_memory_saving"
+  "fig14_memory_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_memory_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

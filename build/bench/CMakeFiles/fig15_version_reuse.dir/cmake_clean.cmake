@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_version_reuse.dir/fig15_version_reuse.cc.o"
+  "CMakeFiles/fig15_version_reuse.dir/fig15_version_reuse.cc.o.d"
+  "fig15_version_reuse"
+  "fig15_version_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_version_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_pcc_vs_update_rate.dir/fig16_pcc_vs_update_rate.cc.o"
+  "CMakeFiles/fig16_pcc_vs_update_rate.dir/fig16_pcc_vs_update_rate.cc.o.d"
+  "fig16_pcc_vs_update_rate"
+  "fig16_pcc_vs_update_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_pcc_vs_update_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

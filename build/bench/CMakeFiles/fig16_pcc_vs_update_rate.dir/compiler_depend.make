@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_pcc_vs_update_rate.
+# This may be replaced when dependencies are built.

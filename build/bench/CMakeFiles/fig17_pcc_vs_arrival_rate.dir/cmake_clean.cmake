@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_pcc_vs_arrival_rate.dir/fig17_pcc_vs_arrival_rate.cc.o"
+  "CMakeFiles/fig17_pcc_vs_arrival_rate.dir/fig17_pcc_vs_arrival_rate.cc.o.d"
+  "fig17_pcc_vs_arrival_rate"
+  "fig17_pcc_vs_arrival_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_pcc_vs_arrival_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_pcc_vs_arrival_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_churn.dir/hash_churn.cc.o"
+  "CMakeFiles/hash_churn.dir/hash_churn.cc.o.d"
+  "hash_churn"
+  "hash_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

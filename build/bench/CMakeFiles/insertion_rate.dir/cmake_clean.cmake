@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insertion_rate.dir/insertion_rate.cc.o"
+  "CMakeFiles/insertion_rate.dir/insertion_rate.cc.o.d"
+  "insertion_rate"
+  "insertion_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insertion_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

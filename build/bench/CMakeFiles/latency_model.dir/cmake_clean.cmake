@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_model.dir/latency_model.cc.o"
+  "CMakeFiles/latency_model.dir/latency_model.cc.o.d"
+  "latency_model"
+  "latency_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

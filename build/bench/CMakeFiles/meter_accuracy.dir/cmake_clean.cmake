@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meter_accuracy.dir/meter_accuracy.cc.o"
+  "CMakeFiles/meter_accuracy.dir/meter_accuracy.cc.o.d"
+  "meter_accuracy"
+  "meter_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meter_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

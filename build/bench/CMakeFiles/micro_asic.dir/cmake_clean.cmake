@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_asic.dir/micro_asic.cc.o"
+  "CMakeFiles/micro_asic.dir/micro_asic.cc.o.d"
+  "micro_asic"
+  "micro_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sram_trend.dir/table1_sram_trend.cc.o"
+  "CMakeFiles/table1_sram_trend.dir/table1_sram_trend.cc.o.d"
+  "table1_sram_trend"
+  "table1_sram_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sram_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

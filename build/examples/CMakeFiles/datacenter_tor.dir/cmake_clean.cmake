@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_tor.dir/datacenter_tor.cpp.o"
+  "CMakeFiles/datacenter_tor.dir/datacenter_tor.cpp.o.d"
+  "datacenter_tor"
+  "datacenter_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

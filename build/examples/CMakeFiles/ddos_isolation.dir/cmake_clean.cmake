@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_isolation.dir/ddos_isolation.cpp.o"
+  "CMakeFiles/ddos_isolation.dir/ddos_isolation.cpp.o.d"
+  "ddos_isolation"
+  "ddos_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

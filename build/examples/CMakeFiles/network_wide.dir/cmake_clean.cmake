@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_wide.dir/network_wide.cpp.o"
+  "CMakeFiles/network_wide.dir/network_wide.cpp.o.d"
+  "network_wide"
+  "network_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asic/cuckoo_table.cc" "src/asic/CMakeFiles/silkroad_asic.dir/cuckoo_table.cc.o" "gcc" "src/asic/CMakeFiles/silkroad_asic.dir/cuckoo_table.cc.o.d"
+  "/root/repo/src/asic/learning_filter.cc" "src/asic/CMakeFiles/silkroad_asic.dir/learning_filter.cc.o" "gcc" "src/asic/CMakeFiles/silkroad_asic.dir/learning_filter.cc.o.d"
+  "/root/repo/src/asic/pipeline.cc" "src/asic/CMakeFiles/silkroad_asic.dir/pipeline.cc.o" "gcc" "src/asic/CMakeFiles/silkroad_asic.dir/pipeline.cc.o.d"
+  "/root/repo/src/asic/resources.cc" "src/asic/CMakeFiles/silkroad_asic.dir/resources.cc.o" "gcc" "src/asic/CMakeFiles/silkroad_asic.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/silkroad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/silkroad_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

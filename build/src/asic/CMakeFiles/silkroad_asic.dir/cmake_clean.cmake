@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_asic.dir/cuckoo_table.cc.o"
+  "CMakeFiles/silkroad_asic.dir/cuckoo_table.cc.o.d"
+  "CMakeFiles/silkroad_asic.dir/learning_filter.cc.o"
+  "CMakeFiles/silkroad_asic.dir/learning_filter.cc.o.d"
+  "CMakeFiles/silkroad_asic.dir/pipeline.cc.o"
+  "CMakeFiles/silkroad_asic.dir/pipeline.cc.o.d"
+  "CMakeFiles/silkroad_asic.dir/resources.cc.o"
+  "CMakeFiles/silkroad_asic.dir/resources.cc.o.d"
+  "libsilkroad_asic.a"
+  "libsilkroad_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

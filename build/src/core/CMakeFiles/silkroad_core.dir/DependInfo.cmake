@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/health_checker.cc" "src/core/CMakeFiles/silkroad_core.dir/health_checker.cc.o" "gcc" "src/core/CMakeFiles/silkroad_core.dir/health_checker.cc.o.d"
+  "/root/repo/src/core/memory_model.cc" "src/core/CMakeFiles/silkroad_core.dir/memory_model.cc.o" "gcc" "src/core/CMakeFiles/silkroad_core.dir/memory_model.cc.o.d"
+  "/root/repo/src/core/silkroad_switch.cc" "src/core/CMakeFiles/silkroad_core.dir/silkroad_switch.cc.o" "gcc" "src/core/CMakeFiles/silkroad_core.dir/silkroad_switch.cc.o.d"
+  "/root/repo/src/core/version_manager.cc" "src/core/CMakeFiles/silkroad_core.dir/version_manager.cc.o" "gcc" "src/core/CMakeFiles/silkroad_core.dir/version_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asic/CMakeFiles/silkroad_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/silkroad_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/silkroad_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/silkroad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/silkroad_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

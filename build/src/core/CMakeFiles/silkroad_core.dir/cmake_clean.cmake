@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_core.dir/health_checker.cc.o"
+  "CMakeFiles/silkroad_core.dir/health_checker.cc.o.d"
+  "CMakeFiles/silkroad_core.dir/memory_model.cc.o"
+  "CMakeFiles/silkroad_core.dir/memory_model.cc.o.d"
+  "CMakeFiles/silkroad_core.dir/silkroad_switch.cc.o"
+  "CMakeFiles/silkroad_core.dir/silkroad_switch.cc.o.d"
+  "CMakeFiles/silkroad_core.dir/version_manager.cc.o"
+  "CMakeFiles/silkroad_core.dir/version_manager.cc.o.d"
+  "libsilkroad_core.a"
+  "libsilkroad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/fleet.cc" "src/deploy/CMakeFiles/silkroad_deploy.dir/fleet.cc.o" "gcc" "src/deploy/CMakeFiles/silkroad_deploy.dir/fleet.cc.o.d"
+  "/root/repo/src/deploy/topology.cc" "src/deploy/CMakeFiles/silkroad_deploy.dir/topology.cc.o" "gcc" "src/deploy/CMakeFiles/silkroad_deploy.dir/topology.cc.o.d"
+  "/root/repo/src/deploy/vip_assignment.cc" "src/deploy/CMakeFiles/silkroad_deploy.dir/vip_assignment.cc.o" "gcc" "src/deploy/CMakeFiles/silkroad_deploy.dir/vip_assignment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silkroad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/silkroad_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/silkroad_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/silkroad_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/silkroad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/silkroad_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_deploy.dir/fleet.cc.o"
+  "CMakeFiles/silkroad_deploy.dir/fleet.cc.o.d"
+  "CMakeFiles/silkroad_deploy.dir/topology.cc.o"
+  "CMakeFiles/silkroad_deploy.dir/topology.cc.o.d"
+  "CMakeFiles/silkroad_deploy.dir/vip_assignment.cc.o"
+  "CMakeFiles/silkroad_deploy.dir/vip_assignment.cc.o.d"
+  "libsilkroad_deploy.a"
+  "libsilkroad_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

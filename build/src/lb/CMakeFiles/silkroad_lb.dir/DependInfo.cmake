@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/dip_pool.cc" "src/lb/CMakeFiles/silkroad_lb.dir/dip_pool.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/dip_pool.cc.o.d"
+  "/root/repo/src/lb/duet.cc" "src/lb/CMakeFiles/silkroad_lb.dir/duet.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/duet.cc.o.d"
+  "/root/repo/src/lb/hash_ring.cc" "src/lb/CMakeFiles/silkroad_lb.dir/hash_ring.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/hash_ring.cc.o.d"
+  "/root/repo/src/lb/maglev.cc" "src/lb/CMakeFiles/silkroad_lb.dir/maglev.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/maglev.cc.o.d"
+  "/root/repo/src/lb/packet_level.cc" "src/lb/CMakeFiles/silkroad_lb.dir/packet_level.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/packet_level.cc.o.d"
+  "/root/repo/src/lb/pcc_tracker.cc" "src/lb/CMakeFiles/silkroad_lb.dir/pcc_tracker.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/pcc_tracker.cc.o.d"
+  "/root/repo/src/lb/scenario.cc" "src/lb/CMakeFiles/silkroad_lb.dir/scenario.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/scenario.cc.o.d"
+  "/root/repo/src/lb/slb.cc" "src/lb/CMakeFiles/silkroad_lb.dir/slb.cc.o" "gcc" "src/lb/CMakeFiles/silkroad_lb.dir/slb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/silkroad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/silkroad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/silkroad_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_lb.dir/dip_pool.cc.o"
+  "CMakeFiles/silkroad_lb.dir/dip_pool.cc.o.d"
+  "CMakeFiles/silkroad_lb.dir/duet.cc.o"
+  "CMakeFiles/silkroad_lb.dir/duet.cc.o.d"
+  "CMakeFiles/silkroad_lb.dir/hash_ring.cc.o"
+  "CMakeFiles/silkroad_lb.dir/hash_ring.cc.o.d"
+  "CMakeFiles/silkroad_lb.dir/maglev.cc.o"
+  "CMakeFiles/silkroad_lb.dir/maglev.cc.o.d"
+  "CMakeFiles/silkroad_lb.dir/packet_level.cc.o"
+  "CMakeFiles/silkroad_lb.dir/packet_level.cc.o.d"
+  "CMakeFiles/silkroad_lb.dir/pcc_tracker.cc.o"
+  "CMakeFiles/silkroad_lb.dir/pcc_tracker.cc.o.d"
+  "CMakeFiles/silkroad_lb.dir/scenario.cc.o"
+  "CMakeFiles/silkroad_lb.dir/scenario.cc.o.d"
+  "CMakeFiles/silkroad_lb.dir/slb.cc.o"
+  "CMakeFiles/silkroad_lb.dir/slb.cc.o.d"
+  "libsilkroad_lb.a"
+  "libsilkroad_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

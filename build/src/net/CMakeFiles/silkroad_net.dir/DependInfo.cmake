@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/endpoint.cc" "src/net/CMakeFiles/silkroad_net.dir/endpoint.cc.o" "gcc" "src/net/CMakeFiles/silkroad_net.dir/endpoint.cc.o.d"
+  "/root/repo/src/net/hash.cc" "src/net/CMakeFiles/silkroad_net.dir/hash.cc.o" "gcc" "src/net/CMakeFiles/silkroad_net.dir/hash.cc.o.d"
+  "/root/repo/src/net/ip_address.cc" "src/net/CMakeFiles/silkroad_net.dir/ip_address.cc.o" "gcc" "src/net/CMakeFiles/silkroad_net.dir/ip_address.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

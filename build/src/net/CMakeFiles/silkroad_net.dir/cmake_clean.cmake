@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_net.dir/endpoint.cc.o"
+  "CMakeFiles/silkroad_net.dir/endpoint.cc.o.d"
+  "CMakeFiles/silkroad_net.dir/hash.cc.o"
+  "CMakeFiles/silkroad_net.dir/hash.cc.o.d"
+  "CMakeFiles/silkroad_net.dir/ip_address.cc.o"
+  "CMakeFiles/silkroad_net.dir/ip_address.cc.o.d"
+  "libsilkroad_net.a"
+  "libsilkroad_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

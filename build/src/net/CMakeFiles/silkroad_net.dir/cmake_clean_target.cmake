@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsilkroad_net.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_sim.dir/distributions.cc.o"
+  "CMakeFiles/silkroad_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/silkroad_sim.dir/event_queue.cc.o"
+  "CMakeFiles/silkroad_sim.dir/event_queue.cc.o.d"
+  "libsilkroad_sim.a"
+  "libsilkroad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cluster_model.cc" "src/workload/CMakeFiles/silkroad_workload.dir/cluster_model.cc.o" "gcc" "src/workload/CMakeFiles/silkroad_workload.dir/cluster_model.cc.o.d"
+  "/root/repo/src/workload/flow_gen.cc" "src/workload/CMakeFiles/silkroad_workload.dir/flow_gen.cc.o" "gcc" "src/workload/CMakeFiles/silkroad_workload.dir/flow_gen.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/silkroad_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/silkroad_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/update_gen.cc" "src/workload/CMakeFiles/silkroad_workload.dir/update_gen.cc.o" "gcc" "src/workload/CMakeFiles/silkroad_workload.dir/update_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/silkroad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/silkroad_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_workload.dir/cluster_model.cc.o"
+  "CMakeFiles/silkroad_workload.dir/cluster_model.cc.o.d"
+  "CMakeFiles/silkroad_workload.dir/flow_gen.cc.o"
+  "CMakeFiles/silkroad_workload.dir/flow_gen.cc.o.d"
+  "CMakeFiles/silkroad_workload.dir/trace.cc.o"
+  "CMakeFiles/silkroad_workload.dir/trace.cc.o.d"
+  "CMakeFiles/silkroad_workload.dir/update_gen.cc.o"
+  "CMakeFiles/silkroad_workload.dir/update_gen.cc.o.d"
+  "libsilkroad_workload.a"
+  "libsilkroad_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

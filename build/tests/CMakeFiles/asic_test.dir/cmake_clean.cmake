@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_test.dir/asic_test.cc.o"
+  "CMakeFiles/asic_test.dir/asic_test.cc.o.d"
+  "asic_test"
+  "asic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_checker_test.dir/health_checker_test.cc.o"
+  "CMakeFiles/health_checker_test.dir/health_checker_test.cc.o.d"
+  "health_checker_test"
+  "health_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

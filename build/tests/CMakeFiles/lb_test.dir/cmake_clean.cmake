@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_test.dir/lb_test.cc.o"
+  "CMakeFiles/lb_test.dir/lb_test.cc.o.d"
+  "lb_test"
+  "lb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_level_test.dir/packet_level_test.cc.o"
+  "CMakeFiles/packet_level_test.dir/packet_level_test.cc.o.d"
+  "packet_level_test"
+  "packet_level_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

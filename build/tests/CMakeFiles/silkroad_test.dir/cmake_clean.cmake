@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silkroad_test.dir/silkroad_test.cc.o"
+  "CMakeFiles/silkroad_test.dir/silkroad_test.cc.o.d"
+  "silkroad_test"
+  "silkroad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silkroad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
