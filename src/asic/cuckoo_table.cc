@@ -1,9 +1,10 @@
 #include "asic/cuckoo_table.h"
 
-#include <cassert>
 #include <deque>
 #include <functional>
 #include <unordered_set>
+
+#include "check/sr_check.h"
 
 namespace silkroad::asic {
 
@@ -11,8 +12,8 @@ DigestCuckooTable::DigestCuckooTable(const CuckooConfig& config)
     : config_(config),
       slots_(config.stages * config.buckets_per_stage * config.ways),
       shadow_keys_(slots_.size()) {
-  assert(config_.stages >= 2 && "cuckoo needs at least two stages");
-  assert(config_.buckets_per_stage > 0 && config_.ways > 0);
+  SR_CHECKF(config_.stages >= 2, "cuckoo needs at least two stages");
+  SR_CHECK(config_.buckets_per_stage > 0 && config_.ways > 0);
 }
 
 std::uint32_t DigestCuckooTable::bucket_of(const net::FiveTuple& key,
@@ -65,7 +66,7 @@ bool DigestCuckooTable::update_value(const net::FiveTuple& key,
 void DigestCuckooTable::place(const net::FiveTuple& key, std::uint32_t value,
                               const SlotRef& ref) {
   const std::size_t idx = flat_index(ref);
-  assert(!slots_[idx].used);
+  SR_DCHECK(!slots_[idx].used);
   slots_[idx] = Slot{true, digest_of(key), value};
   shadow_keys_[idx] = key;
   index_[key] = ref;
@@ -74,7 +75,7 @@ void DigestCuckooTable::place(const net::FiveTuple& key, std::uint32_t value,
 void DigestCuckooTable::move_entry(const SlotRef& from, const SlotRef& to) {
   const std::size_t src = flat_index(from);
   const std::size_t dst = flat_index(to);
-  assert(slots_[src].used && !slots_[dst].used);
+  SR_DCHECK(slots_[src].used && !slots_[dst].used);
   slots_[dst] = slots_[src];
   shadow_keys_[dst] = shadow_keys_[src];
   slots_[src].used = false;
@@ -193,6 +194,23 @@ std::vector<net::FiveTuple> DigestCuckooTable::collect_idle(
     if (slots_[flat_index(ref)].last_hit < older_than) idle.push_back(key);
   }
   return idle;
+}
+
+std::vector<DigestCuckooTable::Entry> DigestCuckooTable::entries() const {
+  std::vector<Entry> out;
+  out.reserve(index_.size());
+  for (const auto& [key, ref] : index_) {
+    out.push_back(Entry{key, slots_[flat_index(ref)].value, ref});
+  }
+  return out;
+}
+
+std::size_t DigestCuckooTable::used_slot_count() const noexcept {
+  std::size_t used = 0;
+  for (const auto& slot : slots_) {
+    if (slot.used) ++used;
+  }
+  return used;
 }
 
 bool DigestCuckooTable::relocate_for(const net::FiveTuple& arriving,

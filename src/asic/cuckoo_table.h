@@ -26,6 +26,10 @@
 #include "net/hash.h"
 #include "net/five_tuple.h"
 
+namespace silkroad::check {
+struct TestingHooks;
+}  // namespace silkroad::check
+
 namespace silkroad::asic {
 
 struct CuckooConfig {
@@ -138,6 +142,22 @@ class DigestCuckooTable {
   std::uint64_t total_moves() const noexcept { return total_moves_; }
   std::uint64_t failed_inserts() const noexcept { return failed_inserts_; }
 
+  /// One installed connection as the control plane sees it (shadow 5-tuple +
+  /// the entry's action data).
+  struct Entry {
+    net::FiveTuple key;
+    std::uint32_t value = 0;
+    SlotRef slot;
+  };
+  /// Snapshot of every installed entry (invariant-auditor input; order is
+  /// unspecified).
+  std::vector<Entry> entries() const;
+
+  /// Number of physically occupied slots. Always equals size() unless the
+  /// word array and the CPU shadow index have diverged — the "phantom SRAM
+  /// accounting" corruption the invariant auditor detects.
+  std::size_t used_slot_count() const noexcept;
+
   /// Bucket index of `key` at `stage` (exposed for tests/analysis).
   std::uint32_t bucket_of(const net::FiveTuple& key, std::uint32_t stage) const;
   /// The digest stored for `key` (exposed for tests/analysis).
@@ -146,6 +166,10 @@ class DigestCuckooTable {
   }
 
  private:
+  /// check_test.cc's corruption hooks reach in to break slot/shadow agreement
+  /// on purpose, proving the invariant auditor can fail.
+  friend struct silkroad::check::TestingHooks;
+
   struct Slot {
     bool used = false;
     std::uint32_t digest = 0;

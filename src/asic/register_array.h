@@ -9,9 +9,11 @@
 // width, stateful-ALU usage) and enforces width wrap-around.
 #pragma once
 
-#include <cassert>
+#include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "check/sr_check.h"
 
 namespace silkroad::asic {
 
@@ -23,7 +25,8 @@ class RegisterArray {
         mask_(width_bits >= 64 ? ~std::uint64_t{0}
                                : ((std::uint64_t{1} << width_bits) - 1)),
         cells_(cells, 0) {
-    assert(width_bits >= 1 && width_bits <= 64);
+    SR_CHECKF(width_bits >= 1 && width_bits <= 64,
+              "register width %u outside 1..64", width_bits);
   }
 
   std::uint64_t read(std::size_t index) const { return cells_.at(index); }

@@ -1,0 +1,97 @@
+// Runtime invariant auditor for the SilkRoad PCC state machine.
+//
+// The paper's guarantees are structural: per-connection consistency holds
+// because every ConnTable entry resolves through a DIP-pool version that is
+// still alive (§4.2), version numbers are recycled only once no connection
+// references them (§4.4), and the TransitTable is consulted only inside an
+// open 3-step update window (§4.3). The auditor walks a SilkRoadSwitch and
+// re-derives each of those facts from scratch, reporting every divergence it
+// finds instead of aborting on the first — so tests can assert on the precise
+// violation set.
+//
+// Invariant families (the `invariant` field of each Violation):
+//   "version-liveness"    — every version referenced by a pending (non-dead)
+//                           connection has a live pool in its VIP's manager.
+//   "refcount-match"      — VersionManager refcounts equal the number of
+//                           connections the switch CPU tracks per version,
+//                           and every tracked flow is pending or installed.
+//   "version-recycling"   — the free ring buffer and the live pool set
+//                           partition the version space; a recycled version
+//                           is never referenced by any entry or pending flow.
+//   "transit-window"      — the TransitTable is empty whenever no 3-step
+//                           update is in flight; in-flight state (update VIP,
+//                           old/new versions, member sets) is coherent.
+//   "sram-accounting"     — reported SRAM usage matches the table geometry
+//                           and the physical slot occupancy matches the CPU
+//                           shadow index (no phantom entries).
+//   "dip-pool-coverage"   — every (VIP, version) pair a ConnTable entry can
+//                           resolve to has a DIPPoolTable pool, including
+//                           each VIP's current version.
+//
+// `SilkRoadSwitch::self_check()` (defined in invariant_auditor.cc) runs the
+// auditor and SR_CHECK-fails on any violation; the scenario driver calls it
+// after every pool-update step, so tier-1 audits continuously.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/silkroad_switch.h"
+#include "net/five_tuple.h"
+
+namespace silkroad::check {
+
+struct Violation {
+  std::string invariant;  ///< Family id, e.g. "refcount-match".
+  std::string detail;     ///< Human-readable specifics.
+
+  std::string to_string() const { return invariant + ": " + detail; }
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(const core::SilkRoadSwitch& sw) : sw_(sw) {}
+
+  /// Runs every invariant family; returns all violations found (empty on a
+  /// healthy switch).
+  std::vector<Violation> audit() const;
+
+  // Individual families, each appending its findings to `out`.
+  void check_version_liveness(std::vector<Violation>& out) const;
+  void check_refcounts(std::vector<Violation>& out) const;
+  void check_version_recycling(std::vector<Violation>& out) const;
+  void check_transit_window(std::vector<Violation>& out) const;
+  void check_sram_accounting(std::vector<Violation>& out) const;
+  void check_dip_pool_coverage(std::vector<Violation>& out) const;
+
+ private:
+  const core::SilkRoadSwitch& sw_;
+};
+
+/// Deliberate state-corruption hooks for check_test.cc: the auditor must be
+/// *proven* able to fail, so each hook plants one class of violation that a
+/// subsequent audit() is asserted to report. Never use outside tests.
+struct TestingHooks {
+  /// Acquires a phantom reference on `vip`'s current version without
+  /// tracking a connection (refcount skew).
+  static void skew_refcount(core::SilkRoadSwitch& sw, const net::Endpoint& vip);
+
+  /// Installs a ConnTable entry stamped with `version` without any
+  /// control-plane tracking — pass a recycled (free) version number to plant
+  /// a stale version reference (§4.4 hazard).
+  static void inject_stale_conn_entry(core::SilkRoadSwitch& sw,
+                                      const net::FiveTuple& flow,
+                                      std::uint32_t version);
+
+  /// Desynchronizes the physical slot array from the CPU shadow index
+  /// (phantom SRAM accounting): clears one occupied slot's used bit if any
+  /// entry exists, otherwise fabricates an occupied slot.
+  static void corrupt_slot_accounting(core::SilkRoadSwitch& sw);
+
+  /// Inserts `flow` into the TransitTable while no update window is open.
+  static void pollute_transit(core::SilkRoadSwitch& sw,
+                              const net::FiveTuple& flow);
+};
+
+}  // namespace silkroad::check

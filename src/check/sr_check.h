@@ -1,0 +1,66 @@
+// Always-on runtime check macros — the repo's replacement for raw assert().
+//
+// The default build type is RelWithDebInfo, which defines NDEBUG, so a plain
+// assert() silently vanishes exactly where we need it most: long randomized
+// property runs and production-scale simulations. SilkRoad's core claim is an
+// *invariant* (per-connection consistency under pool updates, paper §4.3), so
+// invariant checks must survive release builds and fail loudly with context.
+//
+//   SR_CHECK(cond)            — always compiled in; aborts with file:line and
+//                               the failed expression.
+//   SR_CHECKF(cond, fmt, ...) — same, plus a printf-style context message.
+//   SR_DCHECK / SR_DCHECKF    — compiled in only in debug builds (or when
+//                               SILKROAD_FORCE_DCHECKS is defined): for hot
+//                               per-packet/per-slot checks too expensive for
+//                               release, but still checked under `scripts/
+//                               check.sh`'s Debug+sanitizer leg.
+//
+// scripts/lint.py enforces that library code under src/ uses these instead of
+// raw assert() (static_assert is fine).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace silkroad::check {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr) {
+  std::fprintf(stderr, "SR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace silkroad::check
+
+#define SR_CHECK(cond)                                              \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::silkroad::check::check_failed(__FILE__, __LINE__, #cond);   \
+    }                                                               \
+  } while (false)
+
+#define SR_CHECKF(cond, ...)                                        \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::fprintf(stderr, "SR_CHECK context: " __VA_ARGS__);       \
+      std::fputc('\n', stderr);                                     \
+      ::silkroad::check::check_failed(__FILE__, __LINE__, #cond);   \
+    }                                                               \
+  } while (false)
+
+#if !defined(NDEBUG) || defined(SILKROAD_FORCE_DCHECKS)
+#define SR_DCHECK(cond) SR_CHECK(cond)
+#define SR_DCHECKF(cond, ...) SR_CHECKF(cond, __VA_ARGS__)
+#else
+// sizeof keeps the condition parsed (and its operands "used") without
+// evaluating it.
+#define SR_DCHECK(cond)           \
+  do {                            \
+    (void)sizeof(!(cond));        \
+  } while (false)
+#define SR_DCHECKF(cond, ...)     \
+  do {                            \
+    (void)sizeof(!(cond));        \
+  } while (false)
+#endif

@@ -1,8 +1,9 @@
 #include "core/silkroad_switch.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "check/sr_check.h"
 
 namespace silkroad::core {
 
@@ -413,7 +414,8 @@ void SilkRoadSwitch::try_start_next_update() {
 
 void SilkRoadSwitch::execute_flip() {
   VipState* state = find_vip(update_vip_);
-  assert(state != nullptr);
+  SR_CHECKF(state != nullptr, "update in flight for an unknown VIP %s",
+            update_vip_.to_string().c_str());
   state->versions->commit(update_new_version_);
   phase_ = Phase::kStep2;
   if (risk_cb_) risk_cb_(update_vip_);

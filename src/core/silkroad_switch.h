@@ -35,6 +35,11 @@
 #include "lb/load_balancer.h"
 #include "sim/event_queue.h"
 
+namespace silkroad::check {
+class InvariantAuditor;
+struct TestingHooks;
+}  // namespace silkroad::check
+
 namespace silkroad::core {
 
 class SilkRoadSwitch : public lb::LoadBalancer {
@@ -84,6 +89,11 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     risk_cb_ = std::move(cb);
   }
   bool vip_at_slb(const net::Endpoint&) const override { return false; }
+  /// Runs the invariant auditor (check/invariant_auditor.h) over the whole
+  /// switch and SR_CHECK-fails on any violation. The scenario driver calls
+  /// this after every pool-update step, so tier-1 exercises the paper's
+  /// structural invariants continuously. Defined in invariant_auditor.cc.
+  void self_check() const override;
 
   // --- Extras beyond the common interface -----------------------------------
 
@@ -150,6 +160,12 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   std::string debug_report() const;
 
  private:
+  /// The auditor reads (never mutates) the full private state; the testing
+  /// hooks deliberately corrupt it so check_test.cc can prove the auditor
+  /// detects each violation class.
+  friend class silkroad::check::InvariantAuditor;
+  friend struct silkroad::check::TestingHooks;
+
   enum class Phase : std::uint8_t { kIdle, kStep1, kStep2 };
 
   struct VipState {

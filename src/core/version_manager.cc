@@ -1,8 +1,9 @@
 #include "core/version_manager.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "check/sr_check.h"
 
 namespace silkroad::core {
 
@@ -45,7 +46,7 @@ std::optional<std::uint32_t> VipVersionManager::allocate_version() {
 std::optional<VipVersionManager::StagedUpdate> VipVersionManager::stage_update(
     const workload::DipUpdate& update) {
   const auto cur_it = pools_.find(current_);
-  assert(cur_it != pools_.end());
+  SR_CHECK(cur_it != pools_.end());
 
   if (update.action == workload::UpdateAction::kAddDip) {
     if (config_.enable_reuse) {
@@ -123,7 +124,7 @@ VipVersionManager::stage_update_batch(
   if (updates.empty()) return std::nullopt;
   if (updates.size() == 1) return stage_update(updates.front());
   const auto cur_it = pools_.find(current_);
-  assert(cur_it != pools_.end());
+  SR_CHECK(cur_it != pools_.end());
   const auto version = allocate_version();
   if (!version) return std::nullopt;
   lb::DipPool next = cur_it->second.pool;
@@ -141,7 +142,8 @@ VipVersionManager::stage_update_batch(
 }
 
 void VipVersionManager::commit(std::uint32_t target_version) {
-  assert(pools_.contains(target_version));
+  SR_CHECKF(pools_.contains(target_version),
+            "commit of version %u with no staged pool", target_version);
   const std::uint32_t previous = current_;
   current_ = target_version;
   // The displaced version may already be unreferenced.
@@ -156,14 +158,14 @@ void VipVersionManager::commit(std::uint32_t target_version) {
 
 void VipVersionManager::acquire(std::uint32_t version) {
   const auto it = pools_.find(version);
-  assert(it != pools_.end());
+  SR_CHECKF(it != pools_.end(), "acquire of dead version %u", version);
   ++it->second.refcount;
 }
 
 void VipVersionManager::release(std::uint32_t version) {
   const auto it = pools_.find(version);
   if (it == pools_.end()) return;
-  assert(it->second.refcount > 0);
+  SR_CHECKF(it->second.refcount > 0, "release of version %u underflows its refcount", version);
   if (--it->second.refcount == 0 && version != current_) {
     pools_.erase(it);
     free_versions_.push_back(version);
@@ -189,7 +191,7 @@ std::optional<std::uint32_t> VipVersionManager::eviction_candidate() const {
 }
 
 void VipVersionManager::force_destroy(std::uint32_t version) {
-  assert(version != current_);
+  SR_CHECKF(version != current_, "cannot destroy current version %u", version);
   const auto it = pools_.find(version);
   if (it == pools_.end()) return;
   pools_.erase(it);
@@ -203,6 +205,13 @@ std::size_t VipVersionManager::mark_dip_down(const net::Endpoint& dip) {
     if (info.pool.remove(dip)) ++touched;
   }
   return touched;
+}
+
+std::vector<std::uint32_t> VipVersionManager::live_versions() const {
+  std::vector<std::uint32_t> versions;
+  versions.reserve(pools_.size());
+  for (const auto& [version, info] : pools_) versions.push_back(version);
+  return versions;
 }
 
 std::size_t VipVersionManager::pool_table_bytes() const {

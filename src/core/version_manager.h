@@ -93,6 +93,13 @@ class VipVersionManager {
   // --- Introspection --------------------------------------------------------
   const net::Endpoint& vip() const noexcept { return vip_; }
   std::size_t active_versions() const noexcept { return pools_.size(); }
+  /// Version numbers with a live pool, ascending (invariant-auditor input).
+  std::vector<std::uint32_t> live_versions() const;
+  /// Snapshot of the recycling ring buffer: version numbers currently free
+  /// for allocation. A free version must never be referenced anywhere.
+  std::vector<std::uint32_t> free_versions() const {
+    return {free_versions_.begin(), free_versions_.end()};
+  }
   std::uint64_t versions_allocated() const noexcept { return allocations_; }
   std::uint64_t versions_reused() const noexcept { return reuses_; }
   std::uint64_t exhaustions() const noexcept { return exhaustions_; }

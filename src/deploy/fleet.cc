@@ -1,6 +1,6 @@
 #include "deploy/fleet.h"
 
-#include <cassert>
+#include "check/sr_check.h"
 
 namespace silkroad::deploy {
 
@@ -8,7 +8,7 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
                              const core::SilkRoadSwitch::Config& config,
                              std::size_t replicas, std::uint64_t ecmp_seed)
     : sim_(simulator), alive_(replicas, true), ecmp_seed_(ecmp_seed) {
-  assert(replicas > 0);
+  SR_CHECK(replicas > 0);
   switches_.reserve(replicas);
   for (std::size_t i = 0; i < replicas; ++i) {
     switches_.push_back(

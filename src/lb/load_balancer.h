@@ -73,6 +73,13 @@ class LoadBalancer {
   /// True while `vip`'s traffic is served by SLB servers (Fig. 5a
   /// accounting). Pure-switch designs return false, pure-SLB designs true.
   virtual bool vip_at_slb(const net::Endpoint& vip) const = 0;
+
+  /// Verifies the implementation's internal structural invariants, aborting
+  /// (SR_CHECK) on any violation. The scenario driver invokes this after
+  /// every pool-update step so long randomized runs audit consistency
+  /// machinery continuously; the default is a no-op for balancers without
+  /// auditable internal state.
+  virtual void self_check() const {}
 };
 
 }  // namespace silkroad::lb

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
+#include "check/sr_check.h"
 
 namespace silkroad::lb {
 namespace {
@@ -80,7 +80,9 @@ std::vector<double> MaglevTable::slot_shares() const {
 }
 
 double MaglevTable::disruption_vs(const MaglevTable& other) const {
-  assert(table_.size() == other.table_.size());
+  SR_CHECKF(table_.size() == other.table_.size(),
+            "disruption_vs needs equally sized tables (%zu vs %zu)",
+            table_.size(), other.table_.size());
   std::size_t moved = 0;
   for (std::size_t i = 0; i < table_.size(); ++i) {
     const std::int32_t a = table_[i];

@@ -1,14 +1,17 @@
 #include "lb/scenario.h"
 
-#include <cassert>
 #include <map>
+
+#include "check/sr_check.h"
 
 namespace silkroad::lb {
 
 Scenario::Scenario(sim::Simulator& simulator, LoadBalancer& lb,
                    ScenarioConfig config)
     : sim_(simulator), lb_(lb), config_(std::move(config)) {
-  assert(config_.vip_loads.size() == config_.dip_pools.size());
+  SR_CHECKF(config_.vip_loads.size() == config_.dip_pools.size(),
+            "one initial DIP pool per VIP load (%zu loads, %zu pools)",
+            config_.vip_loads.size(), config_.dip_pools.size());
   for (std::size_t i = 0; i < config_.vip_loads.size(); ++i) {
     lb_.add_vip(config_.vip_loads[i].vip, config_.dip_pools[i]);
     registry_[config_.vip_loads[i].vip] = VipRegistry{};
@@ -42,6 +45,10 @@ ScenarioStats Scenario::run() {
         lb_.request_update(update);
         ++updates_applied_;
       }
+      // Audit the balancer's structural invariants at t_req of every update
+      // batch (the other half of each update window is audited at the
+      // mapping-risk callback, i.e. t_exec).
+      lb_.self_check();
     });
   }
   if (config_.replay_flows.empty()) {
@@ -57,6 +64,7 @@ ScenarioStats Scenario::run() {
   }
   sim_.run();
   settle_volume();
+  lb_.self_check();  // final audit once every event has drained
 
   ScenarioStats stats;
   stats.flows = tracker_.flows_seen();
@@ -157,6 +165,9 @@ void Scenario::on_mapping_risk(const net::Endpoint& vip) {
     slb_rate_bps_ += now_at_slb ? vip_reg.rate_bps : -vip_reg.rate_bps;
     vip_reg.at_slb = now_at_slb;
   }
+  // Mapping-risk events fire exactly when consistency machinery commits
+  // (VIPTable flips, migrations): audit the balancer in its new state.
+  lb_.self_check();
 }
 
 void Scenario::settle_volume() {

@@ -1,6 +1,6 @@
 #include "sim/distributions.h"
 
-#include <cassert>
+#include "check/sr_check.h"
 
 namespace silkroad::sim {
 
@@ -79,7 +79,7 @@ double EmpiricalCdf::quantile(double p) const noexcept {
 }
 
 Zipf::Zipf(std::size_t n, double s) {
-  assert(n > 0);
+  SR_CHECKF(n > 0, "Zipf needs a non-empty support");
   cdf_.resize(n);
   double total = 0;
   for (std::size_t k = 0; k < n; ++k) {

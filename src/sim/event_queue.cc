@@ -1,12 +1,15 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
 #include <utility>
+
+#include "check/sr_check.h"
 
 namespace silkroad::sim {
 
 EventHandle Simulator::schedule_at(Time when, Callback fn) {
-  assert(when >= now_ && "cannot schedule in the past");
+  SR_CHECKF(when >= now_, "cannot schedule in the past (when=%llu now=%llu)",
+            static_cast<unsigned long long>(when),
+            static_cast<unsigned long long>(now_));
   auto canceled = std::make_shared<bool>(false);
   queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn),
                     canceled});

@@ -116,7 +116,9 @@ TEST(DipPool, ReplaceDeadSlotPreservesLiveMappings) {
     const auto new_dip = *pool.select(make_flow(i));
     // Flows that were diverted off the dead slot may return to it (they were
     // broken); everyone else must be untouched.
-    if (old_dip != new_dip) EXPECT_EQ(new_dip, fresh);
+    if (old_dip != new_dip) {
+      EXPECT_EQ(new_dip, fresh);
+    }
   }
 }
 
@@ -213,7 +215,9 @@ TEST(HashRing, AdditionStealsOnlyFromSuccessors) {
   for (std::uint32_t i = 0; i < 8000; ++i) {
     const auto a = *before.select(make_flow(i));
     const auto b = *after.select(make_flow(i));
-    if (!(a == b)) EXPECT_EQ(b, fresh);  // moved flows go to the newcomer
+    if (!(a == b)) {
+      EXPECT_EQ(b, fresh);  // moved flows go to the newcomer
+    }
   }
 }
 

@@ -183,7 +183,9 @@ TEST_P(DigestCollisionRate, MatchesBirthdayExpectation) {
   const double expected =
       static_cast<double>(n) * n / std::pow(2.0, bits + 1);
   EXPECT_LE(static_cast<double>(collisions), expected * 3 + 8);
-  if (bits >= 28) EXPECT_EQ(collisions, 0u);
+  if (bits >= 28) {
+    EXPECT_EQ(collisions, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, DigestCollisionRate,

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "asic/cuckoo_table.h"
+#include "check/invariant_auditor.h"
 #include "core/silkroad_switch.h"
 #include "core/version_manager.h"
 #include "lb/scenario.h"
@@ -192,15 +193,82 @@ TEST_P(PccProperty, SilkRoadNeverViolatesAcrossSeeds) {
     sc.updates.insert(sc.updates.end(), updates.begin(), updates.end());
   }
   lb::Scenario scenario(sim, sw, sc);
+  // The scenario driver also self_check()s the switch at every update step;
+  // a final explicit audit here keeps the violation list visible to gtest.
   const auto stats = scenario.run();
   EXPECT_GT(stats.flows, 500u);
   EXPECT_EQ(stats.violations, 0u)
       << "seed " << GetParam() << " with " << stats.updates_applied
       << " updates broke PCC";
+  const check::InvariantAuditor auditor(sw);
+  for (const auto& violation : auditor.audit()) {
+    ADD_FAILURE() << "seed " << GetParam() << ": " << violation.to_string();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PccProperty,
                          ::testing::Range(std::uint64_t{100}, std::uint64_t{112}));
+
+// --- Invariant auditor runs clean after every update step -----------------------
+
+class AuditorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuditorProperty, CleanAfterEveryUpdateStep) {
+  sim::Simulator sim;
+  core::SilkRoadSwitch::Config config;
+  config.conn_table = core::SilkRoadSwitch::conn_table_for(5'000);
+  config.learning = {.capacity = 128, .timeout = sim::kMillisecond};
+  config.version_bits = 4;  // tight: exercises recycling + eviction paths
+  core::SilkRoadSwitch sw(sim, config);
+  const auto dips = make_dips(16);
+  sw.add_vip(vip_ep(), dips);
+  const check::InvariantAuditor auditor(sw);
+  sim::Rng rng(GetParam());
+
+  const auto audit_now = [&](const char* when, int step) {
+    for (const auto& violation : auditor.audit()) {
+      ADD_FAILURE() << "seed " << GetParam() << " step " << step << " ("
+                    << when << "): " << violation.to_string();
+    }
+  };
+
+  std::uint32_t next_client = 0;
+  for (int step = 0; step < 120; ++step) {
+    // A burst of new connections...
+    for (int i = 0; i < 20; ++i) {
+      net::Packet syn;
+      syn.flow = make_flow(next_client++);
+      syn.syn = true;
+      syn.size_bytes = 64;
+      sw.process_packet(syn);
+    }
+    // ...then a pool update, audited at request time (Step1 of the 3-step
+    // protocol may already be open) and again once the queue drains (the
+    // window has committed and closed).
+    workload::DipUpdate update;
+    update.at = sim.now();
+    update.vip = vip_ep();
+    update.dip = dips[rng.uniform_int(dips.size())];
+    update.action = rng.bernoulli(0.5) ? workload::UpdateAction::kAddDip
+                                       : workload::UpdateAction::kRemoveDip;
+    sw.request_update(update);
+    audit_now("t_req", step);
+    if (rng.bernoulli(0.3)) {
+      // Occasionally end a known connection mid-update.
+      net::Packet fin;
+      fin.flow = make_flow(rng.uniform_int(next_client));
+      fin.fin = true;
+      fin.size_bytes = 64;
+      sw.process_packet(fin);
+    }
+    sim.run();
+    audit_now("drained", step);
+  }
+  EXPECT_GT(sw.stats().updates_completed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditorProperty,
+                         ::testing::Values(3ull, 7ull, 31ull, 127ull));
 
 // --- SLB is PCC-clean under the same randomized scenarios -----------------------
 
