@@ -56,6 +56,10 @@ int main() {
     const double secs = sim::to_seconds(sim.now());
     if (pipes == 1) base = secs;
     std::printf("%-8zu %18.3f %13.2fx\n", pipes, secs, base / secs);
+    if (pipes == 8) {
+      bench::headline("drain_speedup_8_pipes", base / secs,
+                      "multi-core insertion scales across pipes");
+    }
   }
 
   std::printf("\n-- (b) ConnTable occupancy vs software spill --\n");
@@ -86,5 +90,6 @@ int main() {
   std::printf("\n(spilled connections keep exact software mappings — the §7 "
               "\"ConnTable as cache\" fallback; a hybrid deployment would "
               "send them to SLBs instead, see core/hybrid.h)\n");
+  bench::emit_headlines("ablation_control_plane");
   return 0;
 }

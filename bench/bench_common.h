@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/exporters.h"
+#include "obs/metrics.h"
 #include "sim/distributions.h"
 
 namespace silkroad::bench {
@@ -44,6 +46,36 @@ inline void print_cdf(const sim::EmpiricalCdf& cdf, const char* value_label,
 /// Fraction of samples in `cdf` exceeding `threshold`, in percent.
 inline double percent_above(const sim::EmpiricalCdf& cdf, double threshold) {
   return 100.0 * (1.0 - cdf.cdf(threshold));
+}
+
+// --- Machine-readable headline numbers (DESIGN.md §9) -----------------------
+//
+// Each harness records the numbers it prints as headline gauges and emits
+// them as BENCH_<name>.json (obs JSON exporter format) so CI and plotting
+// scripts consume the same values the console shows. Files land in
+// SILKROAD_BENCH_JSON_DIR when set, else the working directory.
+
+/// Process-wide registry backing headline().
+inline obs::MetricsRegistry& headlines() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+/// Records one headline number, e.g. headline("pcc_violation_fraction", f).
+inline void headline(const std::string& name, double value,
+                     const std::string& help = "") {
+  headlines().gauge(name, help)->set(value);
+}
+
+/// Writes the accumulated headlines as BENCH_<bench>.json and reports the
+/// path on stdout. Call once at the end of main().
+inline std::string emit_headlines(const std::string& bench) {
+  const char* dir = std::getenv("SILKROAD_BENCH_JSON_DIR");
+  const std::string path = std::string(dir == nullptr ? "." : dir) +
+                           "/BENCH_" + bench + ".json";
+  obs::write_file(path, obs::to_json(headlines().snapshot()));
+  std::printf("headline JSON: %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace silkroad::bench

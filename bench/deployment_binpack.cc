@@ -56,6 +56,9 @@ int main() {
   std::printf("bottleneck SRAM utilization:\n");
   std::printf("  %-22s %8.1f%%\n", "bin-packing (ours)",
               100 * assignment.max_sram_utilization);
+  bench::headline("binpack_bottleneck_sram_pct",
+                  100 * assignment.max_sram_utilization,
+                  "bin-packing beats any single-layer placement");
   for (const Layer layer : kAllLayers) {
     std::printf("  %-22s %8.1f%%\n",
                 (std::string("all on ") + to_string(layer)).c_str(),
@@ -81,5 +84,6 @@ int main() {
                 static_cast<unsigned long long>(switch_failure_broken_conns(
                     topo, assignment, demands, /*failed=*/0, stale)));
   }
+  bench::emit_headlines("deployment_binpack");
   return 0;
 }

@@ -44,5 +44,11 @@ int main() {
       "\nmeasured vs paper: %.0f%% of clusters >10 updates/min at p99 "
       "(paper 32%%); %.0f%% >50 (paper 3%%)\n",
       bench::percent_above(all_p99, 10), bench::percent_above(all_p99, 50));
+  bench::headline("clusters_above_10_upd_per_min_p99_pct",
+                  bench::percent_above(all_p99, 10), "paper: 32%");
+  bench::headline("clusters_above_50_upd_per_min_p99_pct",
+                  bench::percent_above(all_p99, 50), "paper: 3%");
+  bench::headline("median_updates_per_min_p50", all_p50.quantile(0.5));
+  bench::emit_headlines("fig02_update_frequency");
   return 0;
 }

@@ -45,5 +45,13 @@ int main() {
               static_cast<unsigned long long>(adds),
               static_cast<unsigned long long>(removes),
               static_cast<unsigned long long>(events.size()));
+  bench::headline("upgrade_share_pct",
+                  100.0 *
+                      static_cast<double>(
+                          counts[workload::UpdateCause::kServiceUpgrade]) /
+                      total,
+                  "paper: ~82.7%");
+  bench::headline("total_updates", total);
+  bench::emit_headlines("fig03_update_root_causes");
   return 0;
 }

@@ -26,8 +26,12 @@ int main() {
     const auto cdf = sim::EmpiricalCdf::from_samples(std::move(samples));
     std::printf("\n-- %s (downtime, minutes) --\n", workload::to_string(cause));
     bench::print_cdf(cdf, "minutes");
+    const std::string slug = workload::to_string(cause);
+    bench::headline(slug + "_downtime_median_min", cdf.quantile(0.5));
+    bench::headline(slug + "_downtime_p99_min", cdf.quantile(0.99));
   }
   std::printf("\nprovisioning / removal: no downtime pairing (pure add / pure remove)\n");
   std::printf("measured upgrade median/p99 vs paper: 3 min / 100 min\n");
+  bench::emit_headlines("fig04_downtime");
   return 0;
 }

@@ -91,5 +91,9 @@ int main() {
   std::printf("Migrate-10min: SLB traffic %.1f%%, PCC violations %.1f%% "
               "(paper: 53.5%% of connections broken)\n",
               cache10.slb_pct, cache10.pcc_pct);
+  bench::headline("cache_migrate10_slb_traffic_pct", cache10.slb_pct);
+  bench::headline("cache_migrate10_pcc_violations_pct", cache10.pcc_pct,
+                  "paper: 53.5% of connections broken");
+  bench::emit_headlines("fig05_slb_dilemma");
   return 0;
 }

@@ -23,9 +23,14 @@ int main() {
     }
     std::printf("\n-- %s: p99-minute active connections per ToR --\n",
                 workload::to_string(type));
-    bench::print_cdf(sim::EmpiricalCdf::from_samples(std::move(p99s)), "conns");
+    const auto p99_cdf = sim::EmpiricalCdf::from_samples(std::move(p99s));
+    bench::print_cdf(p99_cdf, "conns");
     std::printf("-- %s: median-minute --\n", workload::to_string(type));
     bench::print_cdf(sim::EmpiricalCdf::from_samples(std::move(p50s)), "conns");
+    bench::headline(std::string(workload::to_string(type)) +
+                        "_active_conns_per_tor_p99_max",
+                    p99_cdf.quantile(1.0));
   }
+  bench::emit_headlines("fig06_active_connections");
   return 0;
 }

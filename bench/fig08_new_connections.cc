@@ -27,5 +27,8 @@ int main() {
   std::printf(
       "implication: at 1M new conns/min and a 500 us learning-filter "
       "timeout, ~8 connections are always pending (paper §4.3)\n");
+  bench::headline("busiest_vip_new_conns_per_min_max", busiest_cdf.quantile(1.0),
+                  "paper: >50M observed");
+  bench::emit_headlines("fig08_new_connections");
   return 0;
 }

@@ -49,5 +49,14 @@ int main() {
       peak.dip_pool_table / 1e6, peak.transit_table, peak.total() / 1e6);
   std::printf("\nall clusters fit under %.0f MB (ASIC envelope 50-100 MB)\n",
               global_peak);
+  bench::headline("global_peak_sram_mb", global_peak,
+                  "ASIC envelope 50-100 MB");
+  bench::headline("peak_backend_total_mb", peak.total() / 1e6,
+                  "paper: 58 MB");
+  bench::headline("peak_backend_conn_table_share_pct",
+                  100.0 * static_cast<double>(peak.conn_table) /
+                      static_cast<double>(peak.total()),
+                  "paper: 91.7%");
+  bench::emit_headlines("fig12_sram_usage");
   return 0;
 }

@@ -38,5 +38,8 @@ int main() {
       "\ncost model (per equal packet rate): power ratio 1/%.0f, capital "
       "ratio 1/%.0f (paper: ~1/500 power, ~1/250 cost)\n",
       cmp.power_ratio, cmp.cost_ratio);
+  bench::headline("power_ratio_inverse", cmp.power_ratio, "paper: ~500");
+  bench::headline("cost_ratio_inverse", cmp.cost_ratio, "paper: ~250");
+  bench::emit_headlines("fig13_slb_replacement");
   return 0;
 }

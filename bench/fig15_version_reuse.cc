@@ -112,6 +112,14 @@ int main() {
                 static_cast<double>(without.max_live_versions) /
                     static_cast<double>(with.max_live_versions),
                 static_cast<unsigned long long>(with.reuses));
+    if (updates == 330) {
+      bench::headline("max_live_versions_no_reuse_330upd",
+                      static_cast<double>(without.max_live_versions),
+                      "paper: needs 9 version bits");
+      bench::headline("max_live_versions_with_reuse_330upd",
+                      static_cast<double>(with.max_live_versions),
+                      "paper: <=64 versions (6 bits)");
+    }
   }
   std::printf(
       "\nversion bits: ceil(log2(versions)) — paper: 9 bits without reuse vs "
@@ -119,5 +127,6 @@ int main() {
   std::printf(
       "memory effect (paper): 10M conns + 4K DIPs -> 7.5 MB ConnTable + "
       "4.5 MB DIPPoolTable saved, 74.6%% total reduction\n");
+  bench::emit_headlines("fig15_version_reuse");
   return 0;
 }

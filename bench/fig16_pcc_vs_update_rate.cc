@@ -89,7 +89,15 @@ int main() {
     std::printf("%-10.0f %12llu | %14.4f %20.6f %12.6f\n", upd,
                 static_cast<unsigned long long>(row.flows), row.duet,
                 row.silkroad_no_transit, row.silkroad);
+    if (upd == 50.0) {
+      bench::headline("duet_violation_pct_50upd", row.duet);
+      bench::headline("silkroad_no_transit_violation_pct_50upd",
+                      row.silkroad_no_transit);
+      bench::headline("silkroad_violation_pct_50upd", row.silkroad,
+                      "paper: 0 up to 50 upd/min");
+    }
   }
   std::printf("\nexpected shape: Duet >> SilkRoad-noTT >> SilkRoad == 0\n");
+  bench::emit_headlines("fig16_pcc_vs_update_rate");
   return 0;
 }

@@ -73,6 +73,10 @@ int main() {
     }
     std::printf("%-14.1f %12llu | %16.2f %22.4f %16.4f\n", factor,
                 static_cast<unsigned long long>(flows), duet_v, nott_v, sr_v);
+    bench::headline("silkroad_violations_per_min_factor_" +
+                        std::to_string(static_cast<int>(factor * 10)),
+                    sr_v, "expected 0 at every arrival rate");
   }
+  bench::emit_headlines("fig17_pcc_vs_arrival_rate");
   return 0;
 }

@@ -79,8 +79,18 @@ int main() {
     std::printf("%13zu B  | %14.0f %14.0f %14.0f\n", bytes,
                 a.violations + a.stale_routed, b.violations + b.stale_routed,
                 c.violations + c.stale_routed);
+    if (bytes == 256u) {
+      bench::headline("affected_conns_256B_5ms",
+                      c.violations + c.stale_routed,
+                      "paper: 256 B affects none even at 5 ms");
+    }
+    if (bytes == 8u) {
+      bench::headline("affected_conns_8B_5ms", c.violations + c.stale_routed,
+                      "paper: ~20 connections");
+    }
   }
   std::printf("\n(affected connections over the run; expected: "
               "non-increasing in size, increasing in timeout, ~0 at 256 B)\n");
+  bench::emit_headlines("fig18_transit_table_size");
   return 0;
 }

@@ -87,10 +87,16 @@ int main() {
 
     std::printf("%-8d %13.1f%% %17.1f%% %11.1f%% %11.1f%% %11.1f%%\n", n, ecmp,
                 resilient, maglev, ring, 100.0 / n);
+    if (n == 64) {
+      bench::headline("ecmp_remap_pct_n64", ecmp,
+                      "stateless ECMP re-maps ~everything");
+      bench::headline("maglev_remap_pct_n64", maglev, "ideal is 1/N = 1.6%");
+    }
   }
 
   std::printf(
       "\nand with per-connection state (SilkRoad ConnTable / SLB ConnTable): "
       "0%% — which is the whole point of §4\n");
+  bench::emit_headlines("hash_churn");
   return 0;
 }

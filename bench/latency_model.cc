@@ -83,6 +83,8 @@ int main() {
     const auto s = measure(lb, sim, true);
     std::printf("%-26s %12.2f %12.2f %14.2f\n", "silkroad", s.p50_us, s.p99_us,
                 s.max_us);
+    bench::headline("silkroad_p50_us", s.p50_us, "paper: sub-µs, every packet");
+    bench::headline("silkroad_p99_us", s.p99_us);
   }
   {
     sim::Simulator sim;
@@ -108,10 +110,12 @@ int main() {
     const auto s = measure(lb, sim, true);
     std::printf("%-26s %12.2f %12.2f %14.2f\n", "slb (maglev)", s.p50_us,
                 s.p99_us, s.max_us);
+    bench::headline("slb_p50_us", s.p50_us, "paper: 50 µs - 1 ms software");
   }
 
   std::printf(
       "\ncontext: median datacenter RTT ~250 µs; RDMA RTT 2-5 µs — only the "
       "sub-µs path stays invisible to both (§2.2)\n");
+  bench::emit_headlines("latency_model");
   return 0;
 }

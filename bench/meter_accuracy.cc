@@ -66,5 +66,10 @@ int main() {
   std::printf("40K meter instances: %.2f MB = %.2f%% of a 60 MB SRAM budget "
               "(paper: ~1%%)\n",
               meters_bytes / 1e6, 100 * meters_bytes / 60e6);
+  bench::headline("avg_color_error_pct", 100 * total_error / cases,
+                  "paper: <1%");
+  bench::headline("meters_40k_sram_share_pct", 100 * meters_bytes / 60e6,
+                  "paper: ~1% of SRAM");
+  bench::emit_headlines("meter_accuracy");
   return 0;
 }

@@ -41,6 +41,13 @@ int main() {
   std::printf("\n-- combined placement detail at 10M connections --\n");
   auto combined = PipelineProgram::baseline_switch_p4();
   combined.merge(PipelineProgram::silkroad_p4(10'000'000));
-  std::printf("%s", format_placement(combined.place(chip)).c_str());
+  const auto detail = combined.place(chip);
+  std::printf("%s", format_placement(detail).c_str());
+  bench::headline("fits_10m_conns", detail.fits ? 1.0 : 0.0,
+                  "paper: 10M connections fit on-chip");
+  bench::headline("stages_used_10m", detail.stages_used);
+  bench::headline("combined_sram_mb_10m",
+                  combined.total_resources().sram_bytes / 1e6);
+  bench::emit_headlines("pipeline_placement");
   return 0;
 }

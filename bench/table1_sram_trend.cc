@@ -31,5 +31,17 @@ int main() {
       core::conn_table_bytes(10'000'000, core::naive_entry(true)) / 1'000'000,
       core::conn_table_bytes(10'000'000, core::digest_version_entry()) /
           1'000'000);
+  bench::headline(
+      "naive_conn_table_mb_10m_ipv6",
+      static_cast<double>(
+          core::conn_table_bytes(10'000'000, core::naive_entry(true))) /
+          1e6);
+  bench::headline(
+      "silkroad_conn_table_mb_10m",
+      static_cast<double>(
+          core::conn_table_bytes(10'000'000, core::digest_version_entry())) /
+          1e6,
+      "inside the 2016 SRAM envelope");
+  bench::emit_headlines("table1_sram_trend");
   return 0;
 }

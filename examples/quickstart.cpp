@@ -4,9 +4,11 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "core/silkroad_switch.h"
+#include "obs/exporters.h"
 #include "sim/event_queue.h"
 
 using namespace silkroad;
@@ -94,5 +96,22 @@ int main() {
               static_cast<unsigned long long>(versions->versions_reused()));
 
   std::printf("\n%s", lb.debug_report().c_str());
+
+  // With SILKROAD_TELEMETRY_DIR set, dump all three telemetry formats: the
+  // Prometheus text and JSON snapshot of every metric, and the trace ring as
+  // Chrome trace-event JSON (open trace.json in chrome://tracing or
+  // https://ui.perfetto.dev to see the 3-step update spans per VIP).
+  if (const char* dir = std::getenv("SILKROAD_TELEMETRY_DIR")) {
+    const std::string base = std::string(dir) + "/";
+    const obs::Snapshot snapshot = lb.metrics().snapshot();
+    const bool ok =
+        obs::write_file(base + "metrics.prom", obs::to_prometheus(snapshot)) &&
+        obs::write_file(base + "metrics.json", obs::to_json(snapshot)) &&
+        obs::write_file(base + "trace.json", obs::to_chrome_trace(lb.trace()));
+    std::printf("telemetry written to %s{metrics.prom,metrics.json,"
+                "trace.json}%s\n",
+                base.c_str(), ok ? "" : " (write failed)");
+    if (!ok) return 1;
+  }
   return 0;
 }

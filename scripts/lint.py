@@ -16,6 +16,11 @@ R3  no <iostream> in src/         — library code reports through return
                                     values, strings, or stderr (cstdio);
                                     iostreams drag in static initializers.
 R4  #pragma once in every header  — all .h files, repo-wide.
+R5  no ad-hoc `struct ...Stats` in src/ outside src/obs/ — counters belong in
+                                    the obs::MetricsRegistry (DESIGN.md §9);
+                                    the three legacy snapshot-view structs
+                                    (assembled FROM the registry) are
+                                    grandfathered explicitly.
 """
 
 from __future__ import annotations
@@ -32,11 +37,21 @@ CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 # assert( in its documentation; it is the single allowed exception to R1.
 R1_EXEMPT = {Path("src/check/sr_check.h")}
 
+# Legacy Stats structs kept as snapshot views over the metrics registry —
+# they hold no state of their own and are allowed to stay for API stability.
+# Do NOT add to this list: new counters go through obs::MetricsRegistry.
+R5_EXEMPT = {
+    Path("src/core/silkroad_switch.h"),
+    Path("src/lb/scenario.h"),
+    Path("src/lb/packet_level.h"),
+}
+
 RAW_ASSERT = re.compile(r"(?<![_\w])assert\s*\(")
 STATIC_ASSERT = re.compile(r"static_assert\s*\(")
 RAW_RAND = re.compile(r"(?<![_\w])(?:std::)?rand\s*\(\s*\)")
 IOSTREAM = re.compile(r"^\s*#\s*include\s*<iostream>")
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
+STATS_STRUCT = re.compile(r"\bstruct\s+\w*Stats\b")
 LINE_COMMENT = re.compile(r"//.*$")
 
 
@@ -90,6 +105,17 @@ def main() -> int:
             if in_src and IOSTREAM.match(line):
                 problems.append(
                     f"{rel}:{lineno}: <iostream> in library code (R3)"
+                )
+
+            if (
+                in_src
+                and rel.parts[1] != "obs"
+                and rel not in R5_EXEMPT
+                and STATS_STRUCT.search(line)
+            ):
+                problems.append(
+                    f"{rel}:{lineno}: ad-hoc Stats struct — register the "
+                    f"counters in obs::MetricsRegistry instead (R5)"
                 )
 
     if problems:

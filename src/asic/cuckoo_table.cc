@@ -31,9 +31,11 @@ std::optional<DigestCuckooTable::LookupResult> DigestCuckooTable::lookup(
       const SlotRef ref{stage, bucket, way};
       const Slot& slot = slots_[flat_index(ref)];
       if (slot.used && slot.digest == digest) {
+        if (profiler_ != nullptr) profiler_->record_lookup(stage, true);
         return LookupResult{slot.value, ref};
       }
     }
+    if (profiler_ != nullptr) profiler_->record_lookup(stage, false);
   }
   return std::nullopt;
 }
@@ -114,6 +116,9 @@ DigestCuckooTable::InsertResult DigestCuckooTable::insert(
   // Fast path: a free way in one of the key's buckets.
   if (const auto free = find_free_slot(key)) {
     place(key, value, *free);
+    if (trace_ != nullptr) {
+      trace_->record(obs::TraceEventKind::kCuckooInsert, obs::kNoScope, value);
+    }
     return InsertResult{true, 0};
   }
   // BFS cuckoo over displacement chains.
@@ -153,6 +158,12 @@ DigestCuckooTable::InsertResult DigestCuckooTable::insert(
             at = n.parent;
           }
           place(key, value, to);
+          if (trace_ != nullptr) {
+            trace_->record(obs::TraceEventKind::kCuckooInsert, obs::kNoScope,
+                           value, moves);
+            trace_->record(obs::TraceEventKind::kCuckooEvict, obs::kNoScope,
+                           value, moves);
+          }
           return InsertResult{true, moves};
         }
       }
@@ -165,6 +176,10 @@ DigestCuckooTable::InsertResult DigestCuckooTable::insert(
     }
   }
   ++failed_inserts_;
+  if (trace_ != nullptr) {
+    trace_->record(obs::TraceEventKind::kCuckooInsertFail, obs::kNoScope,
+                   value);
+  }
   return InsertResult{false, 0};
 }
 

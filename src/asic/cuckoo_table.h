@@ -25,6 +25,8 @@
 #include "asic/sram.h"
 #include "net/hash.h"
 #include "net/five_tuple.h"
+#include "obs/stage_profiler.h"
+#include "obs/trace.h"
 
 namespace silkroad::check {
 struct TestingHooks;
@@ -158,6 +160,18 @@ class DigestCuckooTable {
   /// accounting" corruption the invariant auditor detects.
   std::size_t used_slot_count() const noexcept;
 
+  // --- Telemetry -----------------------------------------------------------
+
+  /// Attaches per-stage lookup profiling and/or structured event tracing
+  /// (obs layer). Either pointer may be null; both must outlive the table.
+  /// Lookups then record one probe per examined stage, and inserts emit
+  /// cuckoo-insert / cuckoo-evict / cuckoo-insert-fail trace events.
+  void bind_observer(obs::StageProfiler* profiler,
+                     obs::TraceRing* trace) noexcept {
+    profiler_ = profiler;
+    trace_ = trace;
+  }
+
   /// Bucket index of `key` at `stage` (exposed for tests/analysis).
   std::uint32_t bucket_of(const net::FiveTuple& key, std::uint32_t stage) const;
   /// The digest stored for `key` (exposed for tests/analysis).
@@ -202,6 +216,8 @@ class DigestCuckooTable {
   std::unordered_map<net::FiveTuple, SlotRef, net::FiveTupleHash> index_;
   std::uint64_t total_moves_ = 0;
   std::uint64_t failed_inserts_ = 0;
+  obs::StageProfiler* profiler_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace silkroad::asic

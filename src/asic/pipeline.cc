@@ -301,4 +301,20 @@ std::string format_placement(const PipelineProgram::Placement& placement) {
   return out;
 }
 
+void export_placement_metrics(const PipelineProgram::Placement& placement,
+                              obs::MetricsRegistry& registry,
+                              const std::string& prefix) {
+  registry.gauge(prefix + "_fits", "1 when the program placement succeeded")
+      ->set(placement.fits ? 1 : 0);
+  registry.gauge(prefix + "_stages_used", "physical stages the placement uses")
+      ->set(placement.stages_used);
+  for (std::size_t i = 0; i < placement.stage_sram_utilization.size(); ++i) {
+    registry
+        .gauge(prefix + "_stage_sram_utilization",
+               "fraction of the stage's SRAM words allocated",
+               "stage=\"" + std::to_string(i) + "\"")
+        ->set(placement.stage_sram_utilization[i]);
+  }
+}
+
 }  // namespace silkroad::asic

@@ -18,6 +18,7 @@
 
 #include "asic/resources.h"
 #include "asic/sram.h"
+#include "obs/metrics.h"
 
 namespace silkroad::asic {
 
@@ -135,5 +136,13 @@ class PipelineProgram {
 };
 
 std::string format_placement(const PipelineProgram::Placement& placement);
+
+/// Publishes a placement into the metrics registry: per-stage SRAM
+/// utilization gauges (`silkroad_pipeline_stage_sram_utilization{stage=…}`),
+/// stages used, and a fits boolean — so placement feasibility shows up in
+/// the same Prometheus/JSON snapshots as the runtime counters.
+void export_placement_metrics(const PipelineProgram::Placement& placement,
+                              obs::MetricsRegistry& registry,
+                              const std::string& prefix = "silkroad_pipeline");
 
 }  // namespace silkroad::asic

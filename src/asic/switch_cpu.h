@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace silkroad::asic {
@@ -51,6 +52,21 @@ class SwitchCpu {
       pipe.busy = true;
       schedule_next(pipe);
     }
+  }
+
+  /// Registers this CPU's pull metrics in `registry` under `prefix`
+  /// (`<prefix>_queue_depth`, `<prefix>_tasks_completed_total`). The
+  /// registry reads existing state at snapshot time — no double counting.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix) {
+    registry.register_callback(
+        prefix + "_queue_depth", obs::MetricKind::kGauge,
+        [this] { return static_cast<double>(queue_depth()); },
+        "tasks queued across all CPU pipes");
+    registry.register_callback(
+        prefix + "_tasks_completed_total", obs::MetricKind::kCounter,
+        [this] { return static_cast<double>(completed_tasks()); },
+        "control-plane tasks executed");
   }
 
   std::size_t queue_depth() const noexcept {

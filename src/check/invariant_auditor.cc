@@ -1,11 +1,15 @@
 #include "check/invariant_auditor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "asic/sram.h"
 #include "check/sr_check.h"
+#include "obs/trace.h"
 
 namespace silkroad::check {
 
@@ -17,8 +21,12 @@ std::string flow_str(const net::FiveTuple& flow) {
   return flow.src.to_string() + "->" + flow.dst.to_string();
 }
 
-Violation make(std::string invariant, std::string detail) {
-  return Violation{std::move(invariant), std::move(detail)};
+Violation make(std::string invariant, std::string detail,
+               std::optional<net::Endpoint> vip = std::nullopt,
+               std::optional<std::uint32_t> version = std::nullopt) {
+  Violation v{std::move(invariant), std::move(detail), {}, version};
+  if (vip) v.vip = vip->to_string();
+  return v;
 }
 
 }  // namespace
@@ -42,14 +50,16 @@ void InvariantAuditor::check_version_liveness(
     if (state == nullptr) {
       out.push_back(make("version-liveness",
                          "pending flow " + flow_str(flow) +
-                             " references unknown VIP " + info.vip.to_string()));
+                             " references unknown VIP " + info.vip.to_string(),
+                         info.vip));
       continue;
     }
     if (state->versions->pool(info.version) == nullptr) {
       out.push_back(make("version-liveness",
                          "pending flow " + flow_str(flow) + " holds version " +
                              std::to_string(info.version) +
-                             " which has no live pool"));
+                             " which has no live pool",
+                         info.vip, info.version));
     }
   }
 }
@@ -69,7 +79,8 @@ void InvariantAuditor::check_refcounts(std::vector<Violation>& out) const {
             "refcount-match",
             "vip " + vip.to_string() + " version " + std::to_string(version) +
                 " refcount " + std::to_string(counted) + " != " +
-                std::to_string(tracked) + " tracked connections"));
+                std::to_string(tracked) + " tracked connections",
+            vip, version));
       }
     }
     // Tracking must reference live versions only, every tracked flow must
@@ -82,20 +93,23 @@ void InvariantAuditor::check_refcounts(std::vector<Violation>& out) const {
                            "vip " + vip.to_string() + " tracks " +
                                std::to_string(flows.size()) +
                                " connections under dead version " +
-                               std::to_string(version)));
+                               std::to_string(version),
+                           vip, version));
       }
       for (const auto& flow : flows) {
         if (!seen.insert(flow).second) {
           out.push_back(make("refcount-match",
                              "flow " + flow_str(flow) +
                                  " tracked under two versions of vip " +
-                                 vip.to_string()));
+                                 vip.to_string(),
+                             vip));
         }
         if (!sw_.pending_.contains(flow) && !sw_.conn_table_.contains(flow)) {
           out.push_back(make("refcount-match",
                              "tracked flow " + flow_str(flow) + " (version " +
                                  std::to_string(version) +
-                                 ") is neither pending nor installed"));
+                                 ") is neither pending nor installed",
+                             vip, version));
         }
       }
     }
@@ -130,14 +144,16 @@ void InvariantAuditor::check_version_recycling(
     if (std::adjacent_find(free.begin(), free.end()) != free.end()) {
       out.push_back(make("version-recycling",
                          "vip " + vip.to_string() +
-                             " has duplicate entries in the free ring"));
+                             " has duplicate entries in the free ring",
+                         vip));
     }
     for (const std::uint32_t version : live) {
       if (std::binary_search(free.begin(), free.end(), version)) {
         out.push_back(make("version-recycling",
                            "vip " + vip.to_string() + " version " +
                                std::to_string(version) +
-                               " is simultaneously live and free"));
+                               " is simultaneously live and free",
+                           vip, version));
       }
     }
     if (free.size() + live.size() != mgr.version_capacity()) {
@@ -146,7 +162,8 @@ void InvariantAuditor::check_version_recycling(
           "vip " + vip.to_string() + " leaks version numbers: " +
               std::to_string(free.size()) + " free + " +
               std::to_string(live.size()) + " live != capacity " +
-              std::to_string(mgr.version_capacity())));
+              std::to_string(mgr.version_capacity()),
+          vip));
     }
     // §4.4: a recycled version must never still be referenced.
     if (const auto it = referenced.find(vip); it != referenced.end()) {
@@ -155,7 +172,8 @@ void InvariantAuditor::check_version_recycling(
           out.push_back(make("version-recycling",
                              "recycled version " + std::to_string(version) +
                                  " of vip " + vip.to_string() +
-                                 " is still referenced"));
+                                 " is still referenced",
+                             vip, version));
         }
       }
     }
@@ -184,48 +202,56 @@ void InvariantAuditor::check_transit_window(std::vector<Violation>& out) const {
 
   const auto* state = sw_.find_vip(sw_.update_vip_);
   if (state == nullptr) {
-    out.push_back(make("transit-window", "update in flight for unknown VIP " +
-                                             sw_.update_vip_.to_string()));
+    out.push_back(make("transit-window",
+                       "update in flight for unknown VIP " +
+                           sw_.update_vip_.to_string(),
+                       sw_.update_vip_));
     return;
   }
   const auto& mgr = *state->versions;
   if (mgr.pool(sw_.update_new_version_) == nullptr) {
     out.push_back(make("transit-window",
                        "in-flight update targets dead version " +
-                           std::to_string(sw_.update_new_version_)));
+                           std::to_string(sw_.update_new_version_),
+                       sw_.update_vip_, sw_.update_new_version_));
   }
   if (sw_.phase_ == Phase::kStep1 &&
       mgr.current_version() != sw_.update_old_version_) {
     out.push_back(make("transit-window",
                        "Step1 but VIPTable already flipped away from version " +
-                           std::to_string(sw_.update_old_version_)));
+                           std::to_string(sw_.update_old_version_),
+                       sw_.update_vip_, sw_.update_old_version_));
   }
   if (sw_.phase_ == Phase::kStep2) {
     if (mgr.current_version() != sw_.update_new_version_) {
       out.push_back(make("transit-window",
                          "Step2 but VIPTable does not point at new version " +
-                             std::to_string(sw_.update_new_version_)));
+                             std::to_string(sw_.update_new_version_),
+                         sw_.update_vip_, sw_.update_new_version_));
     }
     if (!sw_.transit_members_.empty() &&
         mgr.pool(sw_.update_old_version_) == nullptr) {
       out.push_back(make("transit-window",
                          "flows pinned to old version " +
                              std::to_string(sw_.update_old_version_) +
-                             " but its pool is gone"));
+                             " but its pool is gone",
+                         sw_.update_vip_, sw_.update_old_version_));
     }
   }
   for (const auto& flow : sw_.transit_members_) {
     if (!sw_.pending_.contains(flow)) {
       out.push_back(make("transit-window",
                          "transit member " + flow_str(flow) +
-                             " has no pending insertion and cannot resolve"));
+                             " has no pending insertion and cannot resolve",
+                         sw_.update_vip_));
     }
   }
   for (const auto& flow : sw_.awaiting_pre_) {
     if (!sw_.pending_.contains(flow)) {
       out.push_back(make("transit-window",
                          "pre-update flow " + flow_str(flow) +
-                             " has no pending insertion and cannot resolve"));
+                             " has no pending insertion and cannot resolve",
+                         sw_.update_vip_));
     }
   }
 }
@@ -280,7 +306,8 @@ void InvariantAuditor::check_dip_pool_coverage(
       out.push_back(make("dip-pool-coverage",
                          "vip " + vip.to_string() + " current version " +
                              std::to_string(state.versions->current_version()) +
-                             " has no pool"));
+                             " has no pool",
+                         vip, state.versions->current_version()));
     }
   }
   for (const auto& entry : sw_.conn_table_.entries()) {
@@ -296,7 +323,8 @@ void InvariantAuditor::check_dip_pool_coverage(
                          "ConnTable entry " + flow_str(entry.key) +
                              " resolves to version " +
                              std::to_string(entry.value) +
-                             " with no DIPPoolTable pool"));
+                             " with no DIPPoolTable pool",
+                         entry.key.dst, entry.value));
     }
   }
 }
@@ -345,6 +373,40 @@ void SilkRoadSwitch::self_check() const {
   for (const auto& violation : violations) {
     std::fprintf(stderr, "invariant violation: %s\n",
                  violation.to_string().c_str());
+  }
+  if (!violations.empty()) {
+    // Causal context for the failure: the offending VIP's (and version's)
+    // recent TraceRing timeline, oldest first.
+    constexpr std::size_t kTailEvents = 16;
+    std::set<std::pair<std::string, std::optional<std::uint32_t>>> dumped;
+    for (const auto& violation : violations) {
+      if (violation.vip.empty()) continue;
+      if (!dumped.insert({violation.vip, violation.version}).second) continue;
+      const auto scope = trace_.find_scope(violation.vip);
+      if (!scope) continue;
+      const auto tail = trace_.tail_for(*scope, violation.version, kTailEvents);
+      if (violation.version) {
+        std::fprintf(stderr, "trace tail for vip %s version %u (%zu events):\n",
+                     violation.vip.c_str(), *violation.version, tail.size());
+      } else {
+        std::fprintf(stderr, "trace tail for vip %s (%zu events):\n",
+                     violation.vip.c_str(), tail.size());
+      }
+      for (const auto& event : tail) {
+        std::fprintf(stderr, "  %s\n",
+                     obs::format_event(trace_, event).c_str());
+      }
+    }
+    if (dumped.empty()) {
+      const auto all = trace_.events();
+      const std::size_t start =
+          all.size() > kTailEvents ? all.size() - kTailEvents : 0;
+      std::fprintf(stderr, "trace tail (%zu events):\n", all.size() - start);
+      for (std::size_t i = start; i < all.size(); ++i) {
+        std::fprintf(stderr, "  %s\n",
+                     obs::format_event(trace_, all[i]).c_str());
+      }
+    }
   }
   SR_CHECKF(violations.empty(), "invariant auditor found %zu violation(s)",
             violations.size());

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,12 @@ namespace silkroad::check {
 struct Violation {
   std::string invariant;  ///< Family id, e.g. "refcount-match".
   std::string detail;     ///< Human-readable specifics.
+  /// Offending VIP (its interned trace-scope name) when the violation is
+  /// attributable to one; empty otherwise. self_check() uses it to dump the
+  /// VIP's recent TraceRing events alongside the failure.
+  std::string vip;
+  /// Offending DIP-pool version, when one is implicated.
+  std::optional<std::uint32_t> version;
 
   std::string to_string() const { return invariant + ": " + detail; }
 };

@@ -31,13 +31,191 @@ asic::CuckooConfig SilkRoadSwitch::conn_table_for(std::size_t connections,
 SilkRoadSwitch::SilkRoadSwitch(sim::Simulator& simulator, const Config& config)
     : sim_(simulator),
       config_(config),
+      trace_(4096, [this] { return sim_.now(); }),
+      conn_profiler_(metrics_, "silkroad_conn_table",
+                     config.conn_table.stages),
       conn_table_(config.conn_table),
       learning_filter_(simulator, config.learning,
                        [this](std::vector<asic::LearnEvent> batch) {
                          on_learning_flush(std::move(batch));
                        }),
       cpu_(simulator, config.cpu),
-      transit_(config.transit_table_bytes, config.transit_hashes) {}
+      transit_(config.transit_table_bytes, config.transit_hashes) {
+  init_metrics();
+  conn_table_.bind_observer(&conn_profiler_, &trace_);
+  cpu_.bind_metrics(metrics_, "silkroad_cpu");
+}
+
+void SilkRoadSwitch::init_metrics() {
+  c_.packets = metrics_.counter("silkroad_packets_total",
+                                "packets processed by the data plane");
+  c_.conn_table_hits = metrics_.counter("silkroad_conn_table_hits_total",
+                                        "ConnTable lookups that matched");
+  c_.conn_table_misses = metrics_.counter("silkroad_conn_table_misses_total",
+                                          "ConnTable lookups that missed");
+  c_.learns = metrics_.counter("silkroad_learns_total",
+                               "new flows entered into the learning filter");
+  c_.inserts = metrics_.counter("silkroad_inserts_total",
+                                "ConnTable entries installed by the CPU");
+  c_.insert_failures =
+      metrics_.counter("silkroad_insert_failures_total",
+                       "insertions abandoned after BFS budget exhaustion");
+  c_.erases = metrics_.counter("silkroad_erases_total",
+                               "ConnTable entries erased (FIN or aging)");
+  c_.syn_false_positives =
+      metrics_.counter("silkroad_syn_false_positives_total",
+                       "SYNs that hit a digest-colliding entry (#4.2)");
+  c_.non_syn_false_hits =
+      metrics_.counter("silkroad_non_syn_false_hits_total",
+                       "mid-flow packets mis-steered by a digest collision");
+  c_.relocation_failures =
+      metrics_.counter("silkroad_relocation_failures_total",
+                       "digest-collision repairs with no conflict-free slot");
+  c_.transit_false_positives =
+      metrics_.counter("silkroad_transit_false_positives_total",
+                       "TransitTable bloom false positives during Step2");
+  c_.updates_requested = metrics_.counter("silkroad_updates_requested_total",
+                                          "DIP-pool updates requested");
+  c_.updates_completed = metrics_.counter("silkroad_updates_completed_total",
+                                          "DIP-pool updates fully executed");
+  c_.versions_evicted =
+      metrics_.counter("silkroad_versions_evicted_total",
+                       "versions force-destroyed on number exhaustion");
+  c_.software_fallback_conns =
+      metrics_.counter("silkroad_software_fallback_total",
+                       "flows pinned to the slow-path exact table");
+  c_.meter_drops = metrics_.counter("silkroad_meter_drops_total",
+                                    "packets marked red by a VIP meter");
+  c_.aged_out = metrics_.counter("silkroad_aged_out_total",
+                                 "idle entries collected by the aging sweep");
+  c_.meter_green = metrics_.counter("silkroad_meter_packets_total",
+                                    "metered packets by color", "color=\"green\"");
+  c_.meter_yellow = metrics_.counter("silkroad_meter_packets_total",
+                                     "metered packets by color",
+                                     "color=\"yellow\"");
+  c_.meter_red = metrics_.counter("silkroad_meter_packets_total",
+                                  "metered packets by color", "color=\"red\"");
+  c_.packet_latency_ns = metrics_.histogram(
+      "silkroad_packet_latency_ns",
+      "per-packet added latency (pipeline + slow-path redirects)");
+  c_.learn_batch_size = metrics_.histogram(
+      "silkroad_learn_batch_size", "learning-filter flush batch sizes");
+
+  // Pull gauges: derived from live structures at snapshot time, so they can
+  // never double-count against the push counters above.
+  metrics_.register_callback(
+      "silkroad_connections_installed", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(conn_table_.size()); },
+      "entries resident in the ConnTable");
+  metrics_.register_callback(
+      "silkroad_connections_pending", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(pending_.size()); },
+      "flows awaiting CPU insertion");
+  metrics_.register_callback(
+      "silkroad_connections_software", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(software_table_.size()); },
+      "flows served from the slow-path exact table");
+  metrics_.register_callback(
+      "silkroad_conn_table_occupancy", obs::MetricKind::kGauge,
+      [this] { return conn_table_.occupancy(); },
+      "ConnTable fill fraction (0..1)");
+  metrics_.register_callback(
+      "silkroad_conn_table_moves_total", obs::MetricKind::kCounter,
+      [this] { return static_cast<double>(conn_table_.total_moves()); },
+      "cuckoo BFS relocations performed");
+  metrics_.register_callback(
+      "silkroad_update_queue_depth", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(update_queue_.size()); },
+      "pool updates queued behind the in-flight one");
+  metrics_.register_callback(
+      "silkroad_update_in_flight", obs::MetricKind::kGauge,
+      [this] { return phase_ == Phase::kIdle ? 0.0 : 1.0; },
+      "1 while the 3-step update protocol is running");
+  metrics_.register_callback(
+      "silkroad_learning_filter_pending", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(learning_filter_.pending_count()); },
+      "learn events buffered in the learning filter");
+  metrics_.register_callback(
+      "silkroad_vips", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(vips_.size()); },
+      "VIPs configured on the switch");
+  metrics_.register_callback(
+      "silkroad_versions_active", obs::MetricKind::kGauge,
+      [this] {
+        std::size_t total = 0;
+        for (const auto& [vip, state] : vips_) {
+          total += state.versions->active_versions();
+        }
+        return static_cast<double>(total);
+      },
+      "live DIP-pool versions across all VIPs");
+  metrics_.register_callback(
+      "silkroad_versions_allocated_total", obs::MetricKind::kCounter,
+      [this] {
+        std::uint64_t total = 0;
+        for (const auto& [vip, state] : vips_) {
+          total += state.versions->versions_allocated();
+        }
+        return static_cast<double>(total);
+      },
+      "version numbers taken from the ring, all VIPs");
+  metrics_.register_callback(
+      "silkroad_versions_reused_total", obs::MetricKind::kCounter,
+      [this] {
+        std::uint64_t total = 0;
+        for (const auto& [vip, state] : vips_) {
+          total += state.versions->versions_reused();
+        }
+        return static_cast<double>(total);
+      },
+      "updates satisfied by dead-slot substitution (#4.2)");
+  metrics_.register_callback(
+      "silkroad_version_exhaustions_total", obs::MetricKind::kCounter,
+      [this] {
+        std::uint64_t total = 0;
+        for (const auto& [vip, state] : vips_) {
+          total += state.versions->exhaustions();
+        }
+        return static_cast<double>(total);
+      },
+      "allocation attempts that found the version ring empty");
+  metrics_.register_callback(
+      "silkroad_sram_conn_table_bytes", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(memory_usage().conn_table_bytes); },
+      "SRAM held by the ConnTable geometry");
+  metrics_.register_callback(
+      "silkroad_sram_dip_pool_bytes", obs::MetricKind::kGauge,
+      [this] {
+        return static_cast<double>(memory_usage().dip_pool_table_bytes);
+      },
+      "SRAM held by live DIPPoolTable versions");
+  metrics_.register_callback(
+      "silkroad_sram_transit_bytes", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(memory_usage().transit_table_bytes); },
+      "SRAM held by the TransitTable bloom filter");
+}
+
+SilkRoadSwitch::Stats SilkRoadSwitch::stats() const noexcept {
+  Stats s;
+  s.packets = c_.packets->value();
+  s.conn_table_hits = c_.conn_table_hits->value();
+  s.conn_table_misses = c_.conn_table_misses->value();
+  s.learns = c_.learns->value();
+  s.inserts = c_.inserts->value();
+  s.insert_failures = c_.insert_failures->value();
+  s.erases = c_.erases->value();
+  s.syn_false_positives = c_.syn_false_positives->value();
+  s.non_syn_false_hits = c_.non_syn_false_hits->value();
+  s.relocation_failures = c_.relocation_failures->value();
+  s.transit_false_positives = c_.transit_false_positives->value();
+  s.updates_requested = c_.updates_requested->value();
+  s.updates_completed = c_.updates_completed->value();
+  s.versions_evicted = c_.versions_evicted->value();
+  s.software_fallback_conns = c_.software_fallback_conns->value();
+  s.meter_drops = c_.meter_drops->value();
+  s.aged_out = c_.aged_out->value();
+  return s;
+}
 
 SilkRoadSwitch::VipState* SilkRoadSwitch::find_vip(const net::Endpoint& vip) {
   const auto it = vips_.find(vip);
@@ -58,6 +236,8 @@ void SilkRoadSwitch::add_vip(const net::Endpoint& vip,
   vm_config.semantics = config_.pool_semantics;
   VipState state;
   state.versions = std::make_unique<VipVersionManager>(vip, dips, vm_config);
+  state.trace_scope = trace_.intern(vip.to_string());
+  state.versions->bind_trace(&trace_, state.trace_scope);
   vips_.insert_or_assign(vip, std::move(state));
 }
 
@@ -110,7 +290,9 @@ std::uint32_t SilkRoadSwitch::version_for_miss(const net::Endpoint& vip,
     // switch CPU (§4.3), which is the hook a production control plane uses
     // to repair it; the hazard this models is what Fig. 18 sizes the filter
     // against.
-    ++stats_.transit_false_positives;
+    c_.transit_false_positives->inc();
+    trace_.record(obs::TraceEventKind::kTransitFalsePositive, state.trace_scope,
+                  update_old_version_);
     if (packet.syn && redirected_to_cpu != nullptr) {
       *redirected_to_cpu = true;
     }
@@ -122,7 +304,8 @@ std::uint32_t SilkRoadSwitch::version_for_miss(const net::Endpoint& vip,
 void SilkRoadSwitch::learn_new_flow(const net::Endpoint& vip, VipState& state,
                                     const net::FiveTuple& flow,
                                     std::uint32_t version) {
-  ++stats_.learns;
+  c_.learns->inc();
+  trace_.record(obs::TraceEventKind::kLearn, state.trace_scope, version);
   learning_filter_.learn(flow, version);
   pending_.emplace(flow, PendingConn{vip, version, false});
   state.versions->acquire(version);
@@ -151,23 +334,50 @@ void SilkRoadSwitch::resolve_digest_conflicts(const net::FiveTuple& inserted) {
     const auto hit = conn_table_.lookup(flow);
     if (hit && conn_table_.is_false_positive(flow, hit->slot)) {
       if (!conn_table_.relocate_for(flow, hit->slot)) {
-        ++stats_.relocation_failures;
+        c_.relocation_failures->inc();
+        trace_.record(obs::TraceEventKind::kRelocationFail);
       }
     }
   }
 }
 
 lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
+  const lb::PacketResult result = process_packet_impl(packet);
+  // Unknown-VIP packets return a zero result; everything else was charged at
+  // least the pipeline latency, so this records exactly the counted packets.
+  if (result.added_latency > 0) {
+    c_.packet_latency_ns->record(result.added_latency);
+  }
+  return result;
+}
+
+lb::PacketResult SilkRoadSwitch::process_packet_impl(
+    const net::Packet& packet) {
   VipState* state = find_vip(packet.flow.dst);
   if (state == nullptr) return {};
-  ++stats_.packets;
+  c_.packets->inc();
   lb::PacketResult result;
   result.added_latency = config_.pipeline_latency;
 
   if (state->meter) {
     const auto color = state->meter->mark(sim_.now(), packet.size_bytes);
+    switch (color) {
+      case asic::MeterColor::kGreen:
+        c_.meter_green->inc();
+        break;
+      case asic::MeterColor::kYellow:
+        c_.meter_yellow->inc();
+        trace_.record(obs::TraceEventKind::kMeterColor, state->trace_scope,
+                      obs::kNoVersion, static_cast<std::uint64_t>(color));
+        break;
+      case asic::MeterColor::kRed:
+        c_.meter_red->inc();
+        trace_.record(obs::TraceEventKind::kMeterColor, state->trace_scope,
+                      obs::kNoVersion, static_cast<std::uint64_t>(color));
+        break;
+    }
     if (color == asic::MeterColor::kRed) {
-      ++stats_.meter_drops;
+      c_.meter_drops->inc();
       if (state->meter_enforce) return result;  // dropped
     }
   }
@@ -182,11 +392,16 @@ lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
         // re-injects the SYN, which then follows the normal miss path. The
         // few-ms redirect delays connection setup but packets before the
         // re-injected SYN do not exist, so consistency is unaffected.
-        ++stats_.syn_false_positives;
+        c_.syn_false_positives->inc();
+        trace_.record(obs::TraceEventKind::kDigestCollision,
+                      state->trace_scope, hit->value,
+                      conn_table_.digest_of(packet.flow));
         result.redirected_to_cpu = true;
         result.added_latency += config_.syn_redirect_delay;
         if (!conn_table_.relocate_for(packet.flow, hit->slot)) {
-          ++stats_.relocation_failures;
+          c_.relocation_failures->inc();
+          trace_.record(obs::TraceEventKind::kRelocationFail,
+                        state->trace_scope);
           // No conflict-free placement: pin the new flow in the slow-path
           // exact table instead.
           const std::uint32_t version =
@@ -194,7 +409,9 @@ lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
           const auto dip = state->versions->select(version, packet.flow);
           if (dip) {
             software_table_[packet.flow] = *dip;
-            ++stats_.software_fallback_conns;
+            c_.software_fallback_conns->inc();
+            trace_.record(obs::TraceEventKind::kSoftwareFallback,
+                          state->trace_scope, version);
           }
           result.dip = dip;
           return result;
@@ -204,7 +421,7 @@ lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
         // Mid-flow false hit: the ASIC cannot distinguish it, so the packet
         // follows the collided entry's version (a pending flow's transient
         // mis-steering; vanishingly rare at 16-bit digests).
-        ++stats_.non_syn_false_hits;
+        c_.non_syn_false_hits->inc();
         auto dip = state->versions->select(hit->value, packet.flow);
         if (!dip) {
           dip = state->versions->select(state->versions->current_version(),
@@ -219,7 +436,7 @@ lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
         return result;
       }
     } else {
-      ++stats_.conn_table_hits;
+      c_.conn_table_hits->inc();
       conn_table_.touch(hit->slot, sim_.now());  // hardware hit bit
       result.dip = state->versions->select(hit->value, packet.flow);
       if (packet.fin) enqueue_erase(packet.flow, vip, hit->value);
@@ -228,7 +445,7 @@ lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
   }
 
   // --- ConnTable miss --------------------------------------------------------
-  ++stats_.conn_table_misses;
+  c_.conn_table_misses->inc();
 
   if (const auto sw = software_table_.find(packet.flow);
       sw != software_table_.end()) {
@@ -267,6 +484,7 @@ lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
 // ---------------------------------------------------------------------------
 
 void SilkRoadSwitch::on_learning_flush(std::vector<asic::LearnEvent> batch) {
+  c_.learn_batch_size->record(batch.size());
   for (auto& event : batch) {
     // Shard by flow so multi-pipe CPUs keep per-flow operation order (§5.2).
     cpu_.enqueue([this, event] { complete_insertion(event); },
@@ -289,17 +507,19 @@ void SilkRoadSwitch::complete_insertion(const asic::LearnEvent& event) {
   } else {
     const auto res = conn_table_.insert(event.flow, info.version);
     if (res.inserted) {
-      ++stats_.inserts;
+      c_.inserts->inc();
       conn_table_.touch_exact(event.flow, sim_.now());
       resolve_digest_conflicts(event.flow);
       arm_aging_sweep();
     } else {
-      ++stats_.insert_failures;
+      c_.insert_failures->inc();
       untrack_digest(event.flow);
       const auto dip = state->versions->select(info.version, event.flow);
       if (dip) {
         software_table_[event.flow] = *dip;
-        ++stats_.software_fallback_conns;
+        c_.software_fallback_conns->inc();
+        trace_.record(obs::TraceEventKind::kSoftwareFallback,
+                      state->trace_scope, info.version);
       }
       release_conn(info.vip, event.flow, info.version);
     }
@@ -314,7 +534,7 @@ void SilkRoadSwitch::enqueue_erase(const net::FiveTuple& flow,
       [this, flow, vip, version] {
         aging_queue_.erase(flow);
         if (conn_table_.erase(flow)) {
-          ++stats_.erases;
+          c_.erases->inc();
           untrack_digest(flow);
           release_conn(vip, flow, version);
         }
@@ -340,7 +560,7 @@ void SilkRoadSwitch::release_conn(const net::Endpoint& vip,
 // ---------------------------------------------------------------------------
 
 void SilkRoadSwitch::request_update(const workload::DipUpdate& update) {
-  ++stats_.updates_requested;
+  c_.updates_requested->inc();
   update_queue_.push_back(update);
   // Defer the start by one event: requests landing at the same instant
   // (rolling-reboot bursts) are then all queued before the control plane
@@ -382,7 +602,10 @@ void SilkRoadSwitch::try_start_next_update() {
     if (update_new_version_ == update_old_version_) {
       // Dead-slot substitution landed in the current version: the pool
       // mutation is already in place and no VIPTable flip is needed.
-      ++stats_.updates_completed;
+      c_.updates_completed->inc();
+      trace_.record(obs::TraceEventKind::kUpdateFinish, state->trace_scope,
+                    update_new_version_, update_old_version_,
+                    update_new_version_);
       if (risk_cb_) risk_cb_(update.vip);
       continue;
     }
@@ -391,7 +614,13 @@ void SilkRoadSwitch::try_start_next_update() {
       // Ablation (Figs. 16/17): flip immediately. Flows pending insertion
       // flap to the new version until their (old-version) entries land.
       state->versions->commit(update_new_version_);
-      ++stats_.updates_completed;
+      c_.updates_completed->inc();
+      trace_.record(obs::TraceEventKind::kUpdateFlip, state->trace_scope,
+                    update_new_version_, update_old_version_,
+                    update_new_version_);
+      trace_.record(obs::TraceEventKind::kUpdateFinish, state->trace_scope,
+                    update_new_version_, update_old_version_,
+                    update_new_version_);
       if (risk_cb_) risk_cb_(update.vip);
       continue;
     }
@@ -399,6 +628,9 @@ void SilkRoadSwitch::try_start_next_update() {
     // Step 1 (t_req): record new flows in the TransitTable; flip only after
     // every flow that arrived before t_req has its entry installed.
     phase_ = Phase::kStep1;
+    trace_.record(obs::TraceEventKind::kUpdateStep1Open, state->trace_scope,
+                  update_new_version_, update_old_version_,
+                  update_new_version_);
     awaiting_pre_.clear();
     transit_members_.clear();
     for (const auto& [flow, info] : pending_) {
@@ -418,6 +650,8 @@ void SilkRoadSwitch::execute_flip() {
             update_vip_.to_string().c_str());
   state->versions->commit(update_new_version_);
   phase_ = Phase::kStep2;
+  trace_.record(obs::TraceEventKind::kUpdateFlip, state->trace_scope,
+                update_new_version_, update_old_version_, update_new_version_);
   if (risk_cb_) risk_cb_(update_vip_);
   if (transit_members_.empty()) finish_update();
 }
@@ -427,7 +661,12 @@ void SilkRoadSwitch::finish_update() {
   transit_members_.clear();
   awaiting_pre_.clear();
   phase_ = Phase::kIdle;
-  ++stats_.updates_completed;
+  c_.updates_completed->inc();
+  if (const VipState* state = find_vip(update_vip_); state != nullptr) {
+    trace_.record(obs::TraceEventKind::kUpdateFinish, state->trace_scope,
+                  update_new_version_, update_old_version_,
+                  update_new_version_);
+  }
   try_start_next_update();
 }
 
@@ -454,10 +693,12 @@ bool SilkRoadSwitch::evict_version_for(const net::Endpoint& /*vip*/,
       const auto dip = state.versions->select(*victim, flow);
       if (dip) {
         software_table_[flow] = *dip;
-        ++stats_.software_fallback_conns;
+        c_.software_fallback_conns->inc();
+        trace_.record(obs::TraceEventKind::kSoftwareFallback,
+                      state.trace_scope, *victim);
       }
       if (conn_table_.erase(flow)) {
-        ++stats_.erases;
+        c_.erases->inc();
         untrack_digest(flow);
       }
       if (const auto p = pending_.find(flow); p != pending_.end()) {
@@ -467,7 +708,7 @@ bool SilkRoadSwitch::evict_version_for(const net::Endpoint& /*vip*/,
     state.conns_by_version.erase(it);
   }
   state.versions->force_destroy(*victim);
-  ++stats_.versions_evicted;
+  c_.versions_evicted->inc();
   return true;
 }
 
@@ -486,7 +727,11 @@ void SilkRoadSwitch::aging_sweep() {
       if (!aging_queue_.insert(flow).second) continue;  // erase already queued
       const auto version = conn_table_.exact_value(flow);
       if (!version) continue;
-      ++stats_.aged_out;
+      c_.aged_out->inc();
+      if (const VipState* state = find_vip(flow.dst); state != nullptr) {
+        trace_.record(obs::TraceEventKind::kAgedOut, state->trace_scope,
+                      *version);
+      }
       // The VIP is the flow's destination endpoint by construction.
       enqueue_erase(flow, flow.dst, *version);
     }
@@ -557,18 +802,21 @@ std::string SilkRoadSwitch::debug_report() const {
                       : "");
     out += buf;
   }
+  // Counters render from a registry snapshot — the same data every exporter
+  // sees — so the CLI line can never drift from the exported telemetry.
+  const obs::Snapshot snap = metrics_.snapshot();
+  const auto count = [&snap](const char* name) {
+    return static_cast<unsigned long long>(snap.value_of(name));
+  };
   std::snprintf(
       buf, sizeof buf,
       "counters: %llu pkts, %llu learns, %llu inserts (%llu failed), "
       "%llu erases, %llu aged, %llu syn-fp, %llu updates done\n",
-      static_cast<unsigned long long>(stats_.packets),
-      static_cast<unsigned long long>(stats_.learns),
-      static_cast<unsigned long long>(stats_.inserts),
-      static_cast<unsigned long long>(stats_.insert_failures),
-      static_cast<unsigned long long>(stats_.erases),
-      static_cast<unsigned long long>(stats_.aged_out),
-      static_cast<unsigned long long>(stats_.syn_false_positives),
-      static_cast<unsigned long long>(stats_.updates_completed));
+      count("silkroad_packets_total"), count("silkroad_learns_total"),
+      count("silkroad_inserts_total"), count("silkroad_insert_failures_total"),
+      count("silkroad_erases_total"), count("silkroad_aged_out_total"),
+      count("silkroad_syn_false_positives_total"),
+      count("silkroad_updates_completed_total"));
   out += buf;
   return out;
 }

@@ -33,6 +33,9 @@
 #include "asic/switch_cpu.h"
 #include "core/version_manager.h"
 #include "lb/load_balancer.h"
+#include "obs/metrics.h"
+#include "obs/stage_profiler.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace silkroad::check {
@@ -109,6 +112,10 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   void handle_dip_failure(const net::Endpoint& vip, const net::Endpoint& dip,
                           bool resilient_in_place);
 
+  /// Snapshot view of the switch's headline counters, assembled on demand
+  /// from the metrics registry (src/obs) — the registry's counters are the
+  /// single source of truth; this struct exists for ergonomic access from
+  /// tests, benches, and the evaluation drivers.
   struct Stats {
     std::uint64_t packets = 0;
     std::uint64_t conn_table_hits = 0;
@@ -128,7 +135,17 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     std::uint64_t meter_drops = 0;
     std::uint64_t aged_out = 0;
   };
-  const Stats& stats() const noexcept { return stats_; }
+  Stats stats() const noexcept;
+
+  /// Per-switch telemetry: every counter the switch maintains lives here
+  /// (naming scheme: silkroad_<subsystem>_<quantity>[_total|_bytes|_ns]).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  /// Structured event ring covering the 3-step PCC update protocol, version
+  /// lifecycle, cuckoo insertions, and digest collisions, timestamped with
+  /// sim time. Scopes are interned VIP names (scope 0 = the switch itself).
+  obs::TraceRing& trace() noexcept { return trace_; }
+  const obs::TraceRing& trace() const noexcept { return trace_; }
 
   /// On-chip memory in use: ConnTable geometry + DIPPoolTable contents +
   /// TransitTable.
@@ -176,6 +193,8 @@ class SilkRoadSwitch : public lb::LoadBalancer {
         conns_by_version;
     std::optional<asic::TwoRateThreeColorMeter> meter;
     bool meter_enforce = false;
+    /// Interned VIP name in the switch's TraceRing.
+    std::uint32_t trace_scope = obs::kNoScope;
   };
 
   struct PendingConn {
@@ -187,6 +206,15 @@ class SilkRoadSwitch : public lb::LoadBalancer {
 
   VipState* find_vip(const net::Endpoint& vip);
   const VipState* find_vip(const net::Endpoint& vip) const;
+
+  /// Body of process_packet(); the public override wraps it to record the
+  /// packet-latency histogram exactly once per packet.
+  lb::PacketResult process_packet_impl(const net::Packet& packet);
+
+  /// Creates the registry-backed counter handles and registers the pull
+  /// (callback) gauges derived from live structures. Called once from the
+  /// constructor, after all instrumented members exist.
+  void init_metrics();
 
   /// Picks the version a ConnTable-missing packet of `vip` should use,
   /// applying the Step1/Step2 TransitTable logic when `vip` is under update.
@@ -228,6 +256,35 @@ class SilkRoadSwitch : public lb::LoadBalancer {
 
   sim::Simulator& sim_;
   Config config_;
+  /// Telemetry first: the instrumented members below bind to these.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRing trace_;
+  obs::StageProfiler conn_profiler_;
+  /// Hot-path counter handles into metrics_ (one relaxed add per bump).
+  struct CounterHandles {
+    obs::Counter* packets = nullptr;
+    obs::Counter* conn_table_hits = nullptr;
+    obs::Counter* conn_table_misses = nullptr;
+    obs::Counter* learns = nullptr;
+    obs::Counter* inserts = nullptr;
+    obs::Counter* insert_failures = nullptr;
+    obs::Counter* erases = nullptr;
+    obs::Counter* syn_false_positives = nullptr;
+    obs::Counter* non_syn_false_hits = nullptr;
+    obs::Counter* relocation_failures = nullptr;
+    obs::Counter* transit_false_positives = nullptr;
+    obs::Counter* updates_requested = nullptr;
+    obs::Counter* updates_completed = nullptr;
+    obs::Counter* versions_evicted = nullptr;
+    obs::Counter* software_fallback_conns = nullptr;
+    obs::Counter* meter_drops = nullptr;
+    obs::Counter* aged_out = nullptr;
+    obs::Counter* meter_green = nullptr;
+    obs::Counter* meter_yellow = nullptr;
+    obs::Counter* meter_red = nullptr;
+    obs::Histogram* packet_latency_ns = nullptr;
+    obs::Histogram* learn_batch_size = nullptr;
+  } c_;
   asic::DigestCuckooTable conn_table_;
   asic::LearningFilter learning_filter_;
   asic::SwitchCpu cpu_;
@@ -260,7 +317,6 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   std::unordered_set<net::FiveTuple, net::FiveTupleHash> transit_members_;
 
   lb::LoadBalancer::MappingRiskCallback risk_cb_;
-  Stats stats_;
   bool aging_armed_ = false;
 };
 

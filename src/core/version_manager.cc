@@ -40,6 +40,7 @@ std::optional<std::uint32_t> VipVersionManager::allocate_version() {
   const std::uint32_t v = free_versions_.front();
   free_versions_.pop_front();
   ++allocations_;
+  trace_event(obs::TraceEventKind::kVersionAllocate, v);
   return v;
 }
 
@@ -97,6 +98,7 @@ std::optional<VipVersionManager::StagedUpdate> VipVersionManager::stage_update(
         pools_.at(*best_version).pool.replace_member(best_slot_dip, update.dip);
         ++reuses_;
         down_dips_.erase(update.dip);  // the server is back in service
+        trace_event(obs::TraceEventKind::kVersionReuse, *best_version);
         return StagedUpdate{*best_version, true};
       }
     }
@@ -152,6 +154,7 @@ void VipVersionManager::commit(std::uint32_t target_version) {
     if (it != pools_.end() && it->second.refcount == 0) {
       pools_.erase(it);
       free_versions_.push_back(previous);
+      trace_event(obs::TraceEventKind::kVersionRecycle, previous);
     }
   }
 }
@@ -169,6 +172,7 @@ void VipVersionManager::release(std::uint32_t version) {
   if (--it->second.refcount == 0 && version != current_) {
     pools_.erase(it);
     free_versions_.push_back(version);
+    trace_event(obs::TraceEventKind::kVersionRecycle, version);
   }
 }
 
@@ -196,6 +200,7 @@ void VipVersionManager::force_destroy(std::uint32_t version) {
   if (it == pools_.end()) return;
   pools_.erase(it);
   free_versions_.push_back(version);
+  trace_event(obs::TraceEventKind::kVersionEvict, version);
 }
 
 std::size_t VipVersionManager::mark_dip_down(const net::Endpoint& dip) {

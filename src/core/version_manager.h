@@ -19,6 +19,7 @@
 
 #include "lb/dip_pool.h"
 #include "net/endpoint.h"
+#include "obs/trace.h"
 #include "workload/update_gen.h"
 
 namespace silkroad::core {
@@ -108,6 +109,14 @@ class VipVersionManager {
   /// Wire bytes of all active pools (DIPPoolTable sizing input).
   std::size_t pool_table_bytes() const;
 
+  /// Attaches structured event tracing: version allocate / reuse / recycle /
+  /// evict events are recorded under `scope` (the interned VIP name of the
+  /// owning switch's TraceRing). The ring must outlive the manager.
+  void bind_trace(obs::TraceRing* ring, std::uint32_t scope) noexcept {
+    trace_ = ring;
+    trace_scope_ = scope;
+  }
+
  private:
   struct PoolInfo {
     lb::DipPool pool;
@@ -127,6 +136,12 @@ class VipVersionManager {
   std::uint64_t allocations_ = 0;
   std::uint64_t reuses_ = 0;
   std::uint64_t exhaustions_ = 0;
+  obs::TraceRing* trace_ = nullptr;
+  std::uint32_t trace_scope_ = obs::kNoScope;
+
+  void trace_event(obs::TraceEventKind kind, std::uint32_t version) {
+    if (trace_ != nullptr) trace_->record(kind, trace_scope_, version);
+  }
 };
 
 }  // namespace silkroad::core

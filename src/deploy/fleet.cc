@@ -89,4 +89,13 @@ std::size_t SilkRoadFleet::live_count() const {
   return count;
 }
 
+obs::Snapshot SilkRoadFleet::metrics_snapshot() const {
+  std::vector<obs::Snapshot> parts;
+  parts.reserve(switches_.size());
+  for (const auto& sw : switches_) {
+    parts.push_back(sw->metrics().snapshot());
+  }
+  return obs::MetricsRegistry::aggregate(parts);
+}
+
 }  // namespace silkroad::deploy

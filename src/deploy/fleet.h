@@ -62,6 +62,12 @@ class SilkRoadFleet : public lb::LoadBalancer {
   /// nullopt when the whole fleet is down.
   std::optional<std::size_t> route_of(const net::FiveTuple& flow) const;
 
+  /// Fleet-wide telemetry: merges every member switch's registry snapshot
+  /// (counters/histograms sum; gauges sum — fleet totals, e.g. installed
+  /// connections across replicas). Dead switches still contribute their
+  /// final counter values until restore_switch() resets them.
+  obs::Snapshot metrics_snapshot() const;
+
  private:
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<core::SilkRoadSwitch>> switches_;

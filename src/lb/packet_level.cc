@@ -10,14 +10,14 @@ void PacketLevelRunner::send_packet(const workload::Flow& flow, bool syn,
   packet.fin = fin;
   packet.size_bytes = config_.packet_bytes;
   const auto result = lb_.process_packet(packet);
-  ++stats_.packets;
+  packets_->inc();
 
   if (syn) {
     if (!result.dip) {
-      ++stats_.unmapped_flows;
+      unmapped_flows_->inc();
       return;
     }
-    ++stats_.flows;
+    flows_->inc();
     active_.emplace(flow.tuple, FlowState{*result.dip, false});
     return;
   }
@@ -30,7 +30,7 @@ void PacketLevelRunner::send_packet(const workload::Flow& flow, bool syn,
   } else if (!state.violated &&
              (!result.dip || !(*result.dip == state.first_dip))) {
     state.violated = true;
-    ++stats_.violations;
+    violations_->inc();
   }
   if (fin) active_.erase(it);
 }
@@ -65,11 +65,16 @@ PacketLevelRunner::Stats PacketLevelRunner::run(
     });
   }
   sim_.run();
-  stats_.violation_fraction =
-      stats_.flows == 0 ? 0.0
-                        : static_cast<double>(stats_.violations) /
-                              static_cast<double>(stats_.flows);
-  return stats_;
+  Stats stats;
+  stats.flows = flows_->value();
+  stats.packets = packets_->value();
+  stats.violations = violations_->value();
+  stats.unmapped_flows = unmapped_flows_->value();
+  stats.violation_fraction =
+      stats.flows == 0 ? 0.0
+                       : static_cast<double>(stats.violations) /
+                             static_cast<double>(stats.flows);
+  return stats;
 }
 
 }  // namespace silkroad::lb

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "lb/load_balancer.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "workload/flow_gen.h"
 #include "workload/update_gen.h"
@@ -32,6 +33,9 @@ class PacketLevelRunner {
     std::uint32_t packet_bytes = 1000;
   };
 
+  /// Snapshot view assembled from the runner's metrics registry at the end
+  /// of run() — the registry (silkroad_packet_level_*) is the source of
+  /// truth.
   struct Stats {
     std::uint64_t flows = 0;
     std::uint64_t packets = 0;
@@ -42,7 +46,21 @@ class PacketLevelRunner {
 
   PacketLevelRunner(sim::Simulator& simulator, LoadBalancer& lb,
                     const Config& config)
-      : sim_(simulator), lb_(lb), config_(config) {}
+      : sim_(simulator), lb_(lb), config_(config) {
+    packets_ = metrics_.counter("silkroad_packet_level_packets_total",
+                                "packets materialized and audited");
+    flows_ = metrics_.counter("silkroad_packet_level_flows_total",
+                              "flows that established a mapping");
+    violations_ = metrics_.counter("silkroad_packet_level_violations_total",
+                                   "flows whose mapping changed mid-life");
+    unmapped_flows_ = metrics_.counter(
+        "silkroad_packet_level_unmapped_flows_total",
+        "SYNs that received no DIP");
+    metrics_.register_callback(
+        "silkroad_packet_level_active_flows", obs::MetricKind::kGauge,
+        [this] { return static_cast<double>(active_.size()); },
+        "flows currently in their packet train");
+  }
 
   PacketLevelRunner(const PacketLevelRunner&) = delete;
   PacketLevelRunner& operator=(const PacketLevelRunner&) = delete;
@@ -51,6 +69,9 @@ class PacketLevelRunner {
   /// on the balancer) and audits every packet.
   Stats run(const std::vector<workload::Flow>& flows,
             const std::vector<workload::DipUpdate>& updates);
+
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
  private:
   struct FlowState {
@@ -66,7 +87,11 @@ class PacketLevelRunner {
   std::unordered_map<net::FiveTuple, FlowState, net::FiveTupleHash> active_;
   /// DIPs currently out of service (server-down exemption, as in Scenario).
   std::unordered_set<net::Endpoint, net::EndpointHash> down_dips_;
-  Stats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* packets_ = nullptr;
+  obs::Counter* flows_ = nullptr;
+  obs::Counter* violations_ = nullptr;
+  obs::Counter* unmapped_flows_ = nullptr;
 };
 
 }  // namespace silkroad::lb

@@ -20,6 +20,41 @@ Scenario::Scenario(sim::Simulator& simulator, LoadBalancer& lb,
       [this](const net::Endpoint& vip) { on_mapping_risk(vip); });
   flow_gen_ = std::make_unique<workload::FlowGenerator>(
       sim_, config_.vip_loads, config_.seed);
+
+  updates_applied_ = metrics_.counter("silkroad_scenario_updates_applied_total",
+                                      "DIP-pool updates delivered to the LB");
+  cpu_redirects_ =
+      metrics_.counter("silkroad_scenario_cpu_redirects_total",
+                       "packets the LB reported as CPU-redirected");
+  unmapped_starts_ =
+      metrics_.counter("silkroad_scenario_unmapped_starts_total",
+                       "SYNs that received no DIP (connection never opened)");
+  flows_started_ = metrics_.counter("silkroad_scenario_flows_started_total",
+                                    "flows that established a mapping");
+  flows_finished_ = metrics_.counter("silkroad_scenario_flows_finished_total",
+                                     "flows whose FIN was delivered");
+  metrics_.register_callback(
+      "silkroad_scenario_flows_seen", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(tracker_.flows_seen()); },
+      "flows the PCC tracker has observed");
+  metrics_.register_callback(
+      "silkroad_scenario_violations_total", obs::MetricKind::kCounter,
+      [this] { return static_cast<double>(tracker_.violations()); },
+      "PCC violations detected by the audit");
+  metrics_.register_callback(
+      "silkroad_scenario_active_flows", obs::MetricKind::kGauge,
+      [this] {
+        std::size_t total = 0;
+        for (const auto& [vip, reg] : registry_) total += reg.flows.size();
+        return static_cast<double>(total);
+      },
+      "currently established flows across all VIPs");
+  metrics_.register_callback(
+      "silkroad_scenario_slb_traffic_fraction", obs::MetricKind::kGauge,
+      [this] {
+        return total_bytes_ <= 0 ? 0.0 : slb_bytes_ / total_bytes_;
+      },
+      "fraction of bytes carried by software load balancers");
 }
 
 ScenarioStats Scenario::run() {
@@ -43,7 +78,7 @@ ScenarioStats Scenario::run() {
       }
       for (const auto& update : batch) {
         lb_.request_update(update);
-        ++updates_applied_;
+        updates_applied_->inc();
       }
       // Audit the balancer's structural invariants at t_req of every update
       // batch (the other half of each update window is audited at the
@@ -74,9 +109,9 @@ ScenarioStats Scenario::run() {
   stats.total_bytes = total_bytes_;
   stats.slb_traffic_fraction =
       total_bytes_ <= 0 ? 0.0 : slb_bytes_ / total_bytes_;
-  stats.updates_applied = updates_applied_;
-  stats.cpu_redirects = cpu_redirects_;
-  stats.unmapped_starts = unmapped_starts_;
+  stats.updates_applied = updates_applied_->value();
+  stats.cpu_redirects = cpu_redirects_->value();
+  stats.unmapped_starts = unmapped_starts_->value();
   const double minutes = sim::to_seconds(config_.horizon) / 60.0;
   stats.violations_per_minute =
       minutes <= 0 ? 0.0 : static_cast<double>(stats.violations) / minutes;
@@ -90,11 +125,12 @@ void Scenario::on_flow_start(const workload::Flow& flow) {
   syn.syn = true;
   syn.size_bytes = 64;
   const PacketResult result = lb_.process_packet(syn);
-  if (result.redirected_to_cpu) ++cpu_redirects_;
+  if (result.redirected_to_cpu) cpu_redirects_->inc();
   if (!result.dip) {
-    ++unmapped_starts_;
+    unmapped_starts_->inc();
     return;  // No pool / not a VIP: connection never establishes.
   }
+  flows_started_->inc();
   tracker_.flow_started(flow.tuple, *result.dip, sim_.now());
   auto& vip_reg = registry_[flow.tuple.dst];
   vip_reg.flows.emplace(flow.tuple, ActiveFlow{flow.rate_bps});
@@ -127,6 +163,7 @@ void Scenario::on_flow_end(const workload::Flow& flow) {
   // The closing packet is still subject to the PCC audit.
   audit(flow.tuple, result.dip);
   tracker_.flow_finished(flow.tuple);
+  flows_finished_->inc();
 }
 
 void Scenario::audit(const net::FiveTuple& flow,
@@ -156,7 +193,7 @@ void Scenario::on_mapping_risk(const net::Endpoint& vip) {
     probe.flow = tuple;
     probe.size_bytes = 1000;
     const PacketResult result = lb_.process_packet(probe);
-    if (result.redirected_to_cpu) ++cpu_redirects_;
+    if (result.redirected_to_cpu) cpu_redirects_->inc();
     audit(tuple, result.dip);
   }
   // The event may mark a mode flip (e.g., Duet migration): re-split rates.

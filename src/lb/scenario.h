@@ -18,6 +18,7 @@
 
 #include "lb/load_balancer.h"
 #include "lb/pcc_tracker.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "workload/flow_gen.h"
 #include "workload/update_gen.h"
@@ -41,6 +42,8 @@ struct ScenarioConfig {
   std::vector<workload::Flow> replay_flows;
 };
 
+/// Snapshot view assembled from the scenario's metrics registry at the end
+/// of run() — the registry is the source of truth (see Scenario::metrics()).
 struct ScenarioStats {
   std::uint64_t flows = 0;
   std::uint64_t violations = 0;
@@ -63,6 +66,12 @@ class Scenario {
   ScenarioStats run();
 
   const PccTracker& tracker() const noexcept { return tracker_; }
+
+  /// Driver-side telemetry (silkroad_scenario_*): update/redirect counters
+  /// plus pull gauges over the PCC tracker and traffic split. Snapshot it
+  /// alongside the balancer's own registry for a complete picture.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
  private:
   void on_flow_start(const workload::Flow& flow);
@@ -98,9 +107,12 @@ class Scenario {
   double slb_bytes_ = 0;
   double total_bytes_ = 0;
   sim::Time last_settle_ = 0;
-  std::uint64_t updates_applied_ = 0;
-  std::uint64_t cpu_redirects_ = 0;
-  std::uint64_t unmapped_starts_ = 0;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* updates_applied_ = nullptr;
+  obs::Counter* cpu_redirects_ = nullptr;
+  obs::Counter* unmapped_starts_ = nullptr;
+  obs::Counter* flows_started_ = nullptr;
+  obs::Counter* flows_finished_ = nullptr;
 };
 
 }  // namespace silkroad::lb

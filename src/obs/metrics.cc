@@ -1,0 +1,255 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "check/sr_check.h"
+
+namespace silkroad::obs {
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    default: return "histogram";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t histogram_bucket_total(unsigned log2_sub) {
+  // Values < 2^(log2_sub+1) get exact/linear buckets; each higher power-of-two
+  // range [2^e, 2^(e+1)) contributes 2^log2_sub buckets, up to e = 63.
+  const std::size_t sub = std::size_t{1} << log2_sub;
+  return 2 * sub + (63 - (log2_sub + 1) + 1) * sub;
+}
+
+}  // namespace
+
+Histogram::Histogram(const Options& options)
+    : log2_sub_(std::min(options.log2_subdivisions, 6u)),
+      buckets_(histogram_bucket_total(log2_sub_)) {}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
+  const std::uint64_t sub = std::uint64_t{1} << log2_sub_;
+  if (value < 2 * sub) return static_cast<std::size_t>(value);
+  const unsigned exponent = std::bit_width(value) - 1;  // >= log2_sub_ + 1
+  const unsigned shift = exponent - log2_sub_;
+  const std::uint64_t mantissa = (value >> shift) & (sub - 1);
+  return static_cast<std::size_t>(
+      (exponent - log2_sub_ + 1) * sub + mantissa);
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t index) const noexcept {
+  const std::uint64_t sub = std::uint64_t{1} << log2_sub_;
+  if (index < 2 * sub) return index;
+  const std::uint64_t exponent = index / sub + log2_sub_ - 1;
+  const std::uint64_t mantissa = index % sub;
+  return (std::uint64_t{1} << exponent) +
+         (mantissa << (exponent - log2_sub_));
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+const MetricSample* Snapshot::find(const std::string& name,
+                                   const std::string& labels) const {
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+double Snapshot::value_of(const std::string& name, const std::string& labels,
+                          double fallback) const {
+  const MetricSample* sample = find(name, labels);
+  return sample == nullptr ? fallback : sample->value;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Series* MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& labels,
+    const std::string& help, MetricKind kind) {
+  for (auto& series : series_) {
+    if (series.name == name && series.labels == labels) {
+      SR_CHECKF(series.kind == kind,
+                "metric %s{%s} re-registered as %s but exists as %s",
+                name.c_str(), labels.c_str(), to_string(kind),
+                to_string(series.kind));
+      return &series;
+    }
+  }
+  Series& series = series_.emplace_back();
+  series.name = name;
+  series.labels = labels;
+  series.help = help;
+  series.kind = kind;
+  return &series;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return &find_or_create(name, labels, help, MetricKind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return &find_or_create(name, labels, help, MetricKind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels,
+                                      const Histogram::Options& options) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Series* series = find_or_create(name, labels, help, MetricKind::kHistogram);
+  if (!series->histogram) {
+    series->histogram = std::make_unique<Histogram>(options);
+  }
+  return series->histogram.get();
+}
+
+void MetricsRegistry::register_callback(const std::string& name,
+                                        MetricKind kind,
+                                        std::function<double()> fn,
+                                        const std::string& help,
+                                        const std::string& labels) {
+  SR_CHECK(kind != MetricKind::kHistogram);
+  const std::lock_guard<std::mutex> lock(mu_);
+  Series* series = find_or_create(name, labels, help, kind);
+  series->callback = std::move(fn);
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(series_.size());
+    for (const auto& series : series_) {
+      MetricSample sample;
+      sample.name = series.name;
+      sample.labels = series.labels;
+      sample.help = series.help;
+      sample.kind = series.kind;
+      if (series.callback) {
+        sample.value = series.callback();
+      } else if (series.kind == MetricKind::kCounter) {
+        sample.value = static_cast<double>(series.counter.value());
+      } else if (series.kind == MetricKind::kGauge) {
+        sample.value = series.gauge.value();
+      } else if (series.histogram) {
+        std::uint64_t cumulative = 0;
+        const Histogram& hist = *series.histogram;
+        for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+          const std::uint64_t n = hist.bucket_value(i);
+          if (n == 0) continue;
+          cumulative += n;
+          const std::uint64_t upper =
+              i + 1 < hist.bucket_count()
+                  ? hist.bucket_lower_bound(i + 1) - 1
+                  : ~std::uint64_t{0};
+          sample.buckets.push_back({upper, cumulative});
+        }
+        sample.count = cumulative;
+        sample.sum = static_cast<double>(hist.sum());
+      }
+      snap.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+Snapshot MetricsRegistry::aggregate(const std::vector<Snapshot>& parts) {
+  Snapshot merged;
+  for (const auto& part : parts) {
+    for (const auto& sample : part.samples) {
+      MetricSample* existing = nullptr;
+      for (auto& candidate : merged.samples) {
+        if (candidate.name == sample.name &&
+            candidate.labels == sample.labels &&
+            candidate.kind == sample.kind) {
+          existing = &candidate;
+          break;
+        }
+      }
+      if (existing == nullptr) {
+        merged.samples.push_back(sample);
+        continue;
+      }
+      existing->value += sample.value;
+      existing->count += sample.count;
+      existing->sum += sample.sum;
+      if (!sample.buckets.empty()) {
+        // Merge cumulative bucket lists: union of bounds, counts summed.
+        // De-cumulate, add, re-cumulate over the merged bound set.
+        std::vector<HistogramBucket> out;
+        std::size_t i = 0, j = 0;
+        std::uint64_t prev_a = 0, prev_b = 0, cumulative = 0;
+        const auto& a = existing->buckets;
+        const auto& b = sample.buckets;
+        while (i < a.size() || j < b.size()) {
+          std::uint64_t bound = 0;
+          std::uint64_t delta = 0;
+          const bool take_a =
+              j >= b.size() ||
+              (i < a.size() && a[i].upper_bound <= b[j].upper_bound);
+          const bool take_b =
+              i >= a.size() ||
+              (j < b.size() && b[j].upper_bound <= a[i].upper_bound);
+          if (take_a) {
+            bound = a[i].upper_bound;
+            delta += a[i].cumulative_count - prev_a;
+            prev_a = a[i].cumulative_count;
+            ++i;
+          }
+          if (take_b) {
+            bound = b[j].upper_bound;
+            delta += b[j].cumulative_count - prev_b;
+            prev_b = b[j].cumulative_count;
+            ++j;
+          }
+          cumulative += delta;
+          out.push_back({bound, cumulative});
+        }
+        existing->buckets = std::move(out);
+      }
+    }
+  }
+  std::sort(merged.samples.begin(), merged.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return merged;
+}
+
+}  // namespace silkroad::obs

@@ -1,0 +1,52 @@
+// Per-pipeline-stage profiling hooks (DESIGN.md §9).
+//
+// A PISA pipeline's cost structure is per-stage: each stage sees every
+// packet, matches or misses its tables, and contributes a fixed slice of the
+// pipeline latency. The profiler materializes that as labeled registry
+// series — `<prefix>_stage_packets_total{stage="2"}` etc. — so a snapshot
+// answers "which stage is the bottleneck" directly. Handles are resolved
+// once at construction; the per-event cost is one counter increment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace silkroad::obs {
+
+class StageProfiler {
+ public:
+  /// Registers packets/hits/misses/latency series for `stages` stages under
+  /// `prefix` (e.g. "silkroad_conn_table") in `registry`.
+  StageProfiler(MetricsRegistry& registry, const std::string& prefix,
+                std::size_t stages);
+
+  std::size_t stages() const noexcept { return stages_.size(); }
+
+  /// One lookup probe at `stage`: the stage examined the packet and hit or
+  /// missed its table.
+  void record_lookup(std::size_t stage, bool hit) noexcept {
+    if (stage >= stages_.size()) return;
+    stages_[stage].packets->inc();
+    (hit ? stages_[stage].hits : stages_[stage].misses)->inc();
+  }
+
+  /// Modeled processing latency charged to `stage`, in nanoseconds.
+  void add_latency(std::size_t stage, std::uint64_t ns) noexcept {
+    if (stage >= stages_.size()) return;
+    stages_[stage].latency_ns->inc(ns);
+  }
+
+ private:
+  struct Stage {
+    Counter* packets = nullptr;
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* latency_ns = nullptr;
+  };
+  std::vector<Stage> stages_;
+};
+
+}  // namespace silkroad::obs

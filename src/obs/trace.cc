@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "check/sr_check.h"
+
+namespace silkroad::obs {
+
+const char* to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kUpdateStep1Open: return "update-step1-open";
+    case TraceEventKind::kUpdateFlip: return "update-flip";
+    case TraceEventKind::kUpdateFinish: return "update-finish";
+    case TraceEventKind::kVersionAllocate: return "version-allocate";
+    case TraceEventKind::kVersionReuse: return "version-reuse";
+    case TraceEventKind::kVersionRecycle: return "version-recycle";
+    case TraceEventKind::kVersionEvict: return "version-evict";
+    case TraceEventKind::kCuckooInsert: return "cuckoo-insert";
+    case TraceEventKind::kCuckooEvict: return "cuckoo-evict";
+    case TraceEventKind::kCuckooInsertFail: return "cuckoo-insert-fail";
+    case TraceEventKind::kDigestCollision: return "digest-collision";
+    case TraceEventKind::kRelocationFail: return "relocation-fail";
+    case TraceEventKind::kTransitFalsePositive: return "transit-false-positive";
+    case TraceEventKind::kMeterColor: return "meter-color";
+    case TraceEventKind::kLearn: return "learn";
+    case TraceEventKind::kSoftwareFallback: return "software-fallback";
+    case TraceEventKind::kAgedOut: return "aged-out";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity, Clock clock)
+    : clock_(std::move(clock)),
+      buffer_(capacity == 0 ? 1 : capacity),
+      scopes_{""} {}
+
+std::uint32_t TraceRing::intern(std::string_view name) {
+  for (std::size_t i = 1; i < scopes_.size(); ++i) {
+    if (scopes_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  scopes_.emplace_back(name);
+  return static_cast<std::uint32_t>(scopes_.size() - 1);
+}
+
+std::optional<std::uint32_t> TraceRing::find_scope(
+    std::string_view name) const {
+  for (std::size_t i = 1; i < scopes_.size(); ++i) {
+    if (scopes_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+const std::string& TraceRing::scope_name(std::uint32_t id) const {
+  SR_CHECK(id < scopes_.size());
+  return scopes_[id];
+}
+
+void TraceRing::record_at(sim::Time at, TraceEventKind kind,
+                          std::uint32_t scope, std::uint32_t version,
+                          std::uint64_t arg0, std::uint64_t arg1) {
+  buffer_[next_] = TraceEvent{at, kind, scope, version, arg0, arg1};
+  next_ = (next_ + 1) % buffer_.size();
+  if (count_ < buffer_.size()) ++count_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const std::size_t start = (next_ + buffer_.size() - count_) % buffer_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRing::tail_for(
+    std::uint32_t scope, std::optional<std::uint32_t> version,
+    std::size_t limit) const {
+  std::vector<TraceEvent> matched;
+  for (const auto& event : events()) {
+    if (event.scope != scope) continue;
+    if (version && event.version != kNoVersion && event.version != *version) {
+      continue;
+    }
+    matched.push_back(event);
+  }
+  if (matched.size() > limit) {
+    matched.erase(matched.begin(),
+                  matched.begin() +
+                      static_cast<std::ptrdiff_t>(matched.size() - limit));
+  }
+  return matched;
+}
+
+void TraceRing::clear() {
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+}
+
+std::string format_event(const TraceRing& ring, const TraceEvent& event) {
+  char buf[192];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "[%.6fs] %-22s", sim::to_seconds(event.at),
+                to_string(event.kind));
+  out += buf;
+  if (event.scope != kNoScope) {
+    out += " vip=";
+    out += ring.scope_name(event.scope);
+  }
+  if (event.version != kNoVersion) {
+    std::snprintf(buf, sizeof buf, " v=%u", event.version);
+    out += buf;
+  }
+  if (event.arg0 != 0 || event.arg1 != 0) {
+    std::snprintf(buf, sizeof buf, " args=%llu,%llu",
+                  static_cast<unsigned long long>(event.arg0),
+                  static_cast<unsigned long long>(event.arg1));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace silkroad::obs

@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/silkroad_switch.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace silkroad::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, SameSeriesReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("silkroad_x_total", "help");
+  Counter* b = registry.counter("silkroad_x_total");
+  EXPECT_EQ(a, b);
+  a->inc(3);
+  b->inc();
+  EXPECT_EQ(a->value(), 4u);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishSeries) {
+  MetricsRegistry registry;
+  Counter* green = registry.counter("pkts", "", R"(color="green")");
+  Counter* red = registry.counter("pkts", "", R"(color="red")");
+  EXPECT_NE(green, red);
+  green->inc(2);
+  red->inc(5);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("pkts", R"(color="green")"), 2);
+  EXPECT_EQ(snap.value_of("pkts", R"(color="red")"), 5);
+  EXPECT_EQ(snap.value_of("pkts", R"(color="blue")", -1), -1);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("zeta");
+  registry.counter("alpha");
+  registry.gauge("mid");
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      snap.samples.begin(), snap.samples.end(),
+      [](const MetricSample& a, const MetricSample& b) {
+        return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+      }));
+}
+
+TEST(MetricsRegistry, CallbackIsEvaluatedAtSnapshotTime) {
+  MetricsRegistry registry;
+  double level = 1.0;
+  registry.register_callback("depth", MetricKind::kGauge,
+                             [&level] { return level; });
+  EXPECT_EQ(registry.snapshot().value_of("depth"), 1.0);
+  level = 42.0;
+  EXPECT_EQ(registry.snapshot().value_of("depth"), 42.0);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("hits");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter->inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+}
+
+TEST(Counter, OverflowWrapsModulo64Bits) {
+  Counter c;
+  c.inc(~std::uint64_t{0});  // 2^64 - 1
+  c.inc(5);
+  EXPECT_EQ(c.value(), 4u);
+}
+
+TEST(MetricsRegistry, AggregateSumsMatchingSeries) {
+  MetricsRegistry a, b;
+  a.counter("pkts")->inc(10);
+  b.counter("pkts")->inc(32);
+  a.gauge("occ")->set(0.5);
+  b.gauge("occ")->set(0.25);
+  b.counter("only_b")->inc(7);
+  const Snapshot merged =
+      MetricsRegistry::aggregate({a.snapshot(), b.snapshot()});
+  EXPECT_EQ(merged.value_of("pkts"), 42);
+  EXPECT_EQ(merged.value_of("occ"), 0.75);
+  EXPECT_EQ(merged.value_of("only_b"), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SmallValuesGetExactUnitBuckets) {
+  Histogram h(Histogram::Options{.log2_subdivisions = 2});  // 4 subdivisions
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(h.bucket_index(v), v) << "value " << v;
+    EXPECT_EQ(h.bucket_lower_bound(v), v);
+  }
+}
+
+TEST(Histogram, EveryValueFallsInsideItsBucketBounds) {
+  Histogram h(Histogram::Options{.log2_subdivisions = 2});
+  const std::uint64_t probes[] = {
+      0,    1,    3,         4,             5, 7, 8, 9, 15, 16, 17, 100,
+      1023, 1024, 1'000'000, 1'000'000'000, std::uint64_t{1} << 40,
+      ~std::uint64_t{0}};
+  for (const std::uint64_t v : probes) {
+    const std::size_t i = h.bucket_index(v);
+    ASSERT_LT(i, h.bucket_count()) << "value " << v;
+    EXPECT_LE(h.bucket_lower_bound(i), v) << "value " << v;
+    if (i + 1 < h.bucket_count()) {
+      EXPECT_LT(v, h.bucket_lower_bound(i + 1)) << "value " << v;
+    }
+  }
+}
+
+TEST(Histogram, BucketBoundsAreMonotone) {
+  Histogram h(Histogram::Options{.log2_subdivisions = 2});
+  for (std::size_t i = 0; i + 1 < h.bucket_count(); ++i) {
+    EXPECT_LT(h.bucket_lower_bound(i), h.bucket_lower_bound(i + 1))
+        << "bucket " << i;
+  }
+}
+
+TEST(Histogram, CountAndSumTrackRecords) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  h->record(1);
+  h->record(100);
+  h->record(10'000);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 10'101u);
+  const Snapshot snap = registry.snapshot();
+  const MetricSample* sample = snap.find("lat");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kHistogram);
+  EXPECT_EQ(sample->count, 3u);
+  ASSERT_FALSE(sample->buckets.empty());
+  // Buckets are cumulative: the last non-empty bucket holds the full count.
+  EXPECT_EQ(sample->buckets.back().cumulative_count, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+// ---------------------------------------------------------------------------
+
+TEST(TraceRing, WraparoundKeepsNewestEvents) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.record_at(static_cast<sim::Time>(i), TraceEventKind::kLearn, kNoScope,
+                   kNoVersion, i);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].arg0, i + 2) << "oldest-first order";
+  }
+}
+
+TEST(TraceRing, InternIsIdempotentAndFindable) {
+  TraceRing ring(8);
+  const std::uint32_t a = ring.intern("20.0.0.1:80");
+  const std::uint32_t b = ring.intern("20.0.0.1:80");
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 1u);
+  EXPECT_EQ(ring.find_scope("20.0.0.1:80"), a);
+  EXPECT_EQ(ring.find_scope("never-interned"), std::nullopt);
+  EXPECT_EQ(ring.scope_name(a), "20.0.0.1:80");
+}
+
+TEST(TraceRing, TailForFiltersByScopeAndVersion) {
+  TraceRing ring(16);
+  const std::uint32_t vip1 = ring.intern("vip1");
+  const std::uint32_t vip2 = ring.intern("vip2");
+  ring.record(TraceEventKind::kUpdateFlip, vip1, 3);
+  ring.record(TraceEventKind::kUpdateFlip, vip1, 4);
+  ring.record(TraceEventKind::kUpdateFlip, vip2, 3);
+  ring.record(TraceEventKind::kLearn, vip1);  // version-less event of vip1
+
+  const auto all_vip1 = ring.tail_for(vip1, std::nullopt, 16);
+  EXPECT_EQ(all_vip1.size(), 3u);
+
+  const auto v3 = ring.tail_for(vip1, 3, 16);
+  ASSERT_EQ(v3.size(), 2u);  // the v=3 flip plus the version-less learn
+  EXPECT_EQ(v3[0].version, 3u);
+  EXPECT_EQ(v3[1].kind, TraceEventKind::kLearn);
+
+  const auto limited = ring.tail_for(vip1, std::nullopt, 2);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[1].kind, TraceEventKind::kLearn);  // newest retained
+}
+
+TEST(TraceRing, ClockStampsEvents) {
+  sim::Time now = 0;
+  TraceRing ring(4, [&now] { return now; });
+  now = 1500;
+  ring.record(TraceEventKind::kLearn);
+  EXPECT_EQ(ring.events().at(0).at, 1500);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters (golden outputs)
+// ---------------------------------------------------------------------------
+
+TEST(Exporters, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.counter("silkroad_packets_total", "Packets processed")->inc(12);
+  registry.gauge("silkroad_occupancy", "", R"(stage="1")")->set(0.5);
+  const std::string out = to_prometheus(registry.snapshot());
+  EXPECT_EQ(out,
+            "# TYPE silkroad_occupancy gauge\n"
+            "silkroad_occupancy{stage=\"1\"} 0.5\n"
+            "# HELP silkroad_packets_total Packets processed\n"
+            "# TYPE silkroad_packets_total counter\n"
+            "silkroad_packets_total 12\n");
+}
+
+TEST(Exporters, PrometheusHistogramHasCumulativeBucketsAndInf) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat_ns");
+  h->record(1);
+  h->record(1);
+  h->record(1000);
+  const std::string out = to_prometheus(registry.snapshot());
+  EXPECT_NE(out.find("# TYPE lat_ns histogram"), std::string::npos);
+  EXPECT_NE(out.find("lat_ns_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(out.find("lat_ns_sum 1002"), std::string::npos);
+  EXPECT_NE(out.find("lat_ns_count 3"), std::string::npos);
+}
+
+TEST(Exporters, JsonGolden) {
+  MetricsRegistry registry;
+  registry.counter("pkts")->inc(7);
+  const std::string out = to_json(registry.snapshot());
+  EXPECT_EQ(out,
+            "{\"metrics\":[\n"
+            "  {\"name\":\"pkts\",\"labels\":\"\",\"kind\":\"counter\","
+            "\"value\":7}\n"
+            "]}\n");
+}
+
+TEST(Exporters, ChromeTracePairsStep1WithFinish) {
+  TraceRing ring(16);
+  const std::uint32_t vip = ring.intern("20.0.0.1:80");
+  ring.record_at(1000, TraceEventKind::kUpdateStep1Open, vip, 2, 1, 2);
+  ring.record_at(2000, TraceEventKind::kUpdateFlip, vip, 2, 1, 2);
+  ring.record_at(3000, TraceEventKind::kUpdateFinish, vip, 2);
+  const std::string out = to_chrome_trace(ring);
+  // Span open (B) before instant flip before span close (E), on the VIP track.
+  const auto open = out.find("\"ph\":\"B\"");
+  const auto flip = out.find("\"name\":\"update-flip\"");
+  const auto close = out.find("\"ph\":\"E\"");
+  EXPECT_NE(open, std::string::npos);
+  EXPECT_NE(flip, std::string::npos);
+  EXPECT_NE(close, std::string::npos);
+  EXPECT_LT(open, flip);
+  EXPECT_LT(flip, close);
+  EXPECT_NE(out.find("\"args\":{\"name\":\"20.0.0.1:80\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Switch integration: event order and zero double-counting
+// ---------------------------------------------------------------------------
+
+net::Endpoint vip_ep() { return {net::IpAddress::v4(0x14000001), 80}; }
+
+std::vector<net::Endpoint> make_dips(int n) {
+  std::vector<net::Endpoint> dips;
+  for (int i = 0; i < n; ++i) {
+    dips.push_back(
+        {net::IpAddress::v4(0x0A000000 + static_cast<std::uint32_t>(i)), 20});
+  }
+  return dips;
+}
+
+net::Packet packet_of(std::uint32_t client, bool syn) {
+  net::Packet p;
+  p.flow = {{net::IpAddress::v4(0x0B000000 + client), 1234}, vip_ep(),
+            net::Protocol::kTcp};
+  p.syn = syn;
+  p.size_bytes = 100;
+  return p;
+}
+
+core::SilkRoadSwitch::Config small_config() {
+  core::SilkRoadSwitch::Config config;
+  config.conn_table = core::SilkRoadSwitch::conn_table_for(4096);
+  config.learning = {.capacity = 64, .timeout = sim::kMillisecond};
+  config.cpu = {.tasks_per_second = 200'000.0};
+  return config;
+}
+
+TEST(SwitchTelemetry, PccUpdateEventsArriveInProtocolOrder) {
+  sim::Simulator sim;
+  core::SilkRoadSwitch sw(sim, small_config());
+  const auto dips = make_dips(8);
+  sw.add_vip(vip_ep(), dips);
+  for (std::uint32_t i = 0; i < 32; ++i) sw.process_packet(packet_of(i, true));
+  sw.request_update({sim.now(), vip_ep(), dips[0],
+                     workload::UpdateAction::kRemoveDip,
+                     workload::UpdateCause::kServiceUpgrade});
+  sim.run();
+
+  const auto scope = sw.trace().find_scope(vip_ep().to_string());
+  ASSERT_TRUE(scope.has_value());
+  std::vector<TraceEventKind> protocol;
+  for (const auto& event : sw.trace().events()) {
+    if (event.scope != *scope) continue;
+    if (event.kind == TraceEventKind::kUpdateStep1Open ||
+        event.kind == TraceEventKind::kUpdateFlip ||
+        event.kind == TraceEventKind::kUpdateFinish) {
+      protocol.push_back(event.kind);
+    }
+  }
+  ASSERT_EQ(protocol.size(), 3u) << "one update => step1, flip, finish";
+  EXPECT_EQ(protocol[0], TraceEventKind::kUpdateStep1Open);
+  EXPECT_EQ(protocol[1], TraceEventKind::kUpdateFlip);
+  EXPECT_EQ(protocol[2], TraceEventKind::kUpdateFinish);
+}
+
+TEST(SwitchTelemetry, LegacyStatsViewMatchesRegistryExactly) {
+  sim::Simulator sim;
+  core::SilkRoadSwitch sw(sim, small_config());
+  const auto dips = make_dips(8);
+  sw.add_vip(vip_ep(), dips);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    sw.process_packet(packet_of(i, true));
+    sw.process_packet(packet_of(i, false));
+  }
+  sw.request_update({sim.now(), vip_ep(), dips[1],
+                     workload::UpdateAction::kRemoveDip,
+                     workload::UpdateCause::kServiceUpgrade});
+  sim.run();
+
+  // The Stats struct is a snapshot view over the registry: every field must
+  // equal the registry series it is assembled from — same source, counted
+  // exactly once.
+  const auto stats = sw.stats();
+  const Snapshot snap = sw.metrics().snapshot();
+  EXPECT_EQ(static_cast<double>(stats.packets),
+            snap.value_of("silkroad_packets_total"));
+  EXPECT_EQ(static_cast<double>(stats.conn_table_hits),
+            snap.value_of("silkroad_conn_table_hits_total"));
+  EXPECT_EQ(static_cast<double>(stats.learns),
+            snap.value_of("silkroad_learns_total"));
+  EXPECT_EQ(static_cast<double>(stats.inserts),
+            snap.value_of("silkroad_inserts_total"));
+  EXPECT_EQ(static_cast<double>(stats.updates_completed),
+            snap.value_of("silkroad_updates_completed_total"));
+  EXPECT_GT(stats.packets, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_EQ(stats.updates_completed, 1u);
+
+  // Pull gauges are live views of the same structures (no second bookkeeping).
+  EXPECT_EQ(snap.value_of("silkroad_connections_installed"),
+            static_cast<double>(sw.conn_table().size()));
+
+  // The packet-latency histogram saw exactly one record per processed packet.
+  const MetricSample* latency = snap.find("silkroad_packet_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, stats.packets);
+}
+
+}  // namespace
+}  // namespace silkroad::obs
