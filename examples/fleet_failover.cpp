@@ -5,10 +5,14 @@
 //   ./build/examples/fleet_failover
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "core/health_checker.h"
 #include "deploy/fleet.h"
+#include "obs/exporters.h"
+#include "obs/scrape_server.h"
+#include "obs/timeseries.h"
 
 using namespace silkroad;
 
@@ -54,6 +58,35 @@ int main() {
         }
       });
   for (const auto& dip : dips) checker.watch(vip, dip);
+
+  // Fleet-wide time series: one recorder over the aggregate of all four
+  // member registries, sampled every 250 ms of sim time. The
+  // silkroad_fleet_switches_live series captures the failover itself.
+  obs::TimeSeriesRecorder::Options rec_opts;
+  rec_opts.interval = 250 * sim::kMillisecond;
+  obs::TimeSeriesRecorder recorder(fleet.snapshot_source(), rec_opts);
+  recorder.attach(sim);
+
+  // Optional live scrape endpoint over the fleet-wide aggregate
+  // (SILKROAD_SCRAPE_PORT, see quickstart for the endpoint list; /tables
+  // shows switch 0's ConnTable).
+  std::optional<obs::ScrapeServer> server;
+  std::uint16_t scrape_port = 0;
+  if (obs::scrape_port_from_env(scrape_port)) {
+    obs::ScrapeServer::Options sopts;
+    sopts.port = scrape_port;
+    server.emplace(sopts);
+    server->handle("/metrics", "text/plain; version=0.0.4", [&fleet] {
+      return obs::to_prometheus(fleet.metrics_snapshot());
+    });
+    server->handle("/timeseries.json", "application/json",
+                   [&recorder] { return recorder.to_json(); });
+    server->handle("/tables", "application/json",
+                   [&fleet] { return fleet.switch_at(0).tables_json(); });
+    if (server->start()) {
+      std::printf("scrape server on http://127.0.0.1:%u\n", server->port());
+    }
+  }
 
   // 2000 long-lived connections spread across the fleet.
   std::map<std::uint32_t, net::Endpoint> assigned;
@@ -112,5 +145,13 @@ int main() {
               "lose their ConnTable pin and re-hash under the new pool). "
               "The same blast radius as losing one SLB's ConnTable.\n",
               broken);
+
+  recorder.detach();
+  const auto live = recorder.find("silkroad_fleet_switches_live");
+  std::printf("\nrecorder: %zu samples; fleet-live series has %zu points "
+              "(last value %.0f)\n",
+              recorder.sample_count(), live.size(),
+              live.empty() ? 0.0 : live.back().value);
+  if (server) server->stop();
   return 0;
 }

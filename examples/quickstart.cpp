@@ -3,12 +3,17 @@
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "core/silkroad_switch.h"
 #include "obs/exporters.h"
+#include "obs/journey.h"
+#include "obs/scrape_server.h"
+#include "obs/timeseries.h"
 #include "sim/event_queue.h"
 
 using namespace silkroad;
@@ -95,6 +100,63 @@ int main() {
               versions->active_versions(),
               static_cast<unsigned long long>(versions->versions_reused()));
 
+  // --- Live observability (DESIGN.md §10) -----------------------------------
+  // Sample every metric each 50 ms of sim time while a churn phase runs:
+  // ~1500 new connections over 3 s with a rolling remove/add of one DIP.
+  // The recorder derives per-interval rates and p50/p99 latency series.
+  obs::TimeSeriesRecorder::Options rec_opts;
+  rec_opts.interval = 50 * sim::kMillisecond;
+  rec_opts.capacity = 4096;
+  obs::TimeSeriesRecorder recorder(lb.metrics(), rec_opts);
+  recorder.attach(sim);
+
+  const sim::Time churn_start = sim.now();
+  for (int client = 0; client < 1500; ++client) {
+    const sim::Time at =
+        churn_start + static_cast<sim::Time>(client) * 2 * sim::kMillisecond;
+    sim.schedule_at(at, [&lb, vip, client] {
+      net::Packet syn;
+      syn.flow = {{net::IpAddress::v4(0x05000000u +
+                                      static_cast<std::uint32_t>(client)),
+                   41000},
+                  vip,
+                  net::Protocol::kTcp};
+      syn.syn = true;
+      syn.size_bytes = 64;
+      lb.process_packet(syn);
+    });
+  }
+  const net::Endpoint churn_dip = dips[2];
+  for (int round = 0; round < 3; ++round) {
+    sim.schedule_at(
+        churn_start + (round * 2 + 1) * 500 * sim::kMillisecond,
+        [&lb, &sim, vip, churn_dip] {
+          lb.request_update({sim.now(), vip, churn_dip,
+                             workload::UpdateAction::kRemoveDip,
+                             workload::UpdateCause::kServiceUpgrade});
+        });
+    sim.schedule_at(
+        churn_start + (round * 2 + 2) * 500 * sim::kMillisecond,
+        [&lb, &sim, vip, churn_dip] {
+          lb.request_update({sim.now(), vip, churn_dip,
+                             workload::UpdateAction::kAddDip,
+                             workload::UpdateCause::kServiceUpgrade});
+        });
+  }
+  sim.run_until(churn_start + 4 * sim::kSecond);
+  recorder.detach();
+  sim.run();  // drain any remaining learning/insertion events
+
+  const auto p99 = recorder.find("silkroad_insert_latency_ns:p99");
+  std::printf("\nrecorder: %zu samples, %zu series; insert-latency p99 has "
+              "%zu points\n",
+              recorder.sample_count(), recorder.series_count(), p99.size());
+  const auto journeys = obs::FlowJourneyTracer::reconstruct(lb.trace());
+  std::printf("journeys: %zu flows reconstructed from the trace ring "
+              "(%llu events dropped to wraparound)\n",
+              journeys.size(),
+              static_cast<unsigned long long>(lb.trace().dropped()));
+
   std::printf("\n%s", lb.debug_report().c_str());
 
   // With SILKROAD_TELEMETRY_DIR set, dump all three telemetry formats: the
@@ -107,11 +169,54 @@ int main() {
     const bool ok =
         obs::write_file(base + "metrics.prom", obs::to_prometheus(snapshot)) &&
         obs::write_file(base + "metrics.json", obs::to_json(snapshot)) &&
-        obs::write_file(base + "trace.json", obs::to_chrome_trace(lb.trace()));
+        obs::write_file(base + "trace.json",
+                        obs::to_chrome_trace(lb.trace())) &&
+        obs::write_file(base + "timeseries.json", recorder.to_json()) &&
+        obs::write_file(base + "timeseries.csv", recorder.to_csv()) &&
+        obs::write_file(base + "journeys.json",
+                        obs::FlowJourneyTracer::to_chrome_trace(lb.trace(),
+                                                                journeys)) &&
+        obs::write_file(base + "tables.json", lb.tables_json());
     std::printf("telemetry written to %s{metrics.prom,metrics.json,"
-                "trace.json}%s\n",
+                "trace.json,timeseries.json,timeseries.csv,journeys.json,"
+                "tables.json}%s\n",
                 base.c_str(), ok ? "" : " (write failed)");
     if (!ok) return 1;
+  }
+
+  // With SILKROAD_SCRAPE_PORT set (0 = ephemeral), serve the live telemetry
+  // over loopback HTTP so curl/Prometheus can watch:
+  //   SILKROAD_SCRAPE_PORT=9100 ./quickstart &
+  //   curl localhost:9100/metrics   (also /healthz /timeseries.json /tables)
+  // The process lingers SILKROAD_SCRAPE_LINGER_S wall seconds (default 30).
+  std::uint16_t scrape_port = 0;
+  if (obs::scrape_port_from_env(scrape_port)) {
+    obs::ScrapeServer::Options sopts;
+    sopts.port = scrape_port;
+    obs::ScrapeServer server(sopts);
+    server.handle("/metrics", "text/plain; version=0.0.4",
+                  [&lb] { return obs::to_prometheus(lb.metrics().snapshot()); });
+    server.handle("/timeseries.json", "application/json",
+                  [&recorder] { return recorder.to_json(); });
+    server.handle("/tables", "application/json",
+                  [&lb] { return lb.tables_json(); });
+    if (!server.start()) {
+      std::printf("scrape server: could not bind 127.0.0.1:%u\n", scrape_port);
+      return 1;
+    }
+    long linger = 30;
+    if (const char* s = std::getenv("SILKROAD_SCRAPE_LINGER_S")) {
+      linger = std::strtol(s, nullptr, 10);
+    }
+    std::printf("scrape server on http://127.0.0.1:%u "
+                "(/metrics /healthz /timeseries.json /tables), "
+                "lingering %lds\n",
+                server.port(), linger);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger));
+    server.stop();
+    std::printf("scrape server served %llu requests\n",
+                static_cast<unsigned long long>(server.requests_served()));
   }
   return 0;
 }

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare candidate BENCH_*.json against baselines.
+
+The bench harnesses emit their headline numbers as BENCH_<name>.json (obs
+JSON exporter format, DESIGN.md §9). This gate re-runs the deterministic
+benches in CI and fails if any headline drifts beyond its tolerance, so a
+perf- or model-regression cannot land silently.
+
+Usage:
+  scripts/bench_gate.py --candidate-dir /tmp/bench_out
+  scripts/bench_gate.py --candidate-dir /tmp/bench_out --baseline-dir bench/baselines
+  scripts/bench_gate.py --self-test
+
+Comparison rule per metric:
+  pass iff |candidate - baseline| <= abs_tol + rel_tol * |baseline|
+
+Tolerances come from <baseline-dir>/tolerances.json:
+  {
+    "default_rel_tol": 0.05,
+    "default_abs_tol": 1e-9,
+    "overrides": { "<bench>.<metric>": {"rel_tol": 0.2, "abs_tol": 1.0} }
+  }
+Override keys are "<bench>.<metric>" where <bench> is the BENCH_<bench>.json
+stem and <metric> the sample name (labels are appended as {labels} when
+present). Missing benches or metrics on either side fail the gate: a deleted
+headline is a regression until the baseline is re-recorded.
+
+To refresh baselines intentionally (tolerated drift or a model change), run
+the benches with SILKROAD_BENCH_JSON_DIR=bench/baselines and commit the
+diff; in CI, apply the `perf-baseline-override` PR label to skip the gate.
+
+Exit codes: 0 all within tolerance, 1 regression/missing data, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent.parent / "bench" / "baselines"
+
+
+def load_bench_json(path: Path) -> dict[str, float]:
+    """Parses one BENCH_*.json into {metric_key: value}."""
+    with path.open() as f:
+        doc = json.load(f)
+    metrics = {}
+    for sample in doc.get("metrics", []):
+        key = sample["name"]
+        if sample.get("labels"):
+            key += "{" + sample["labels"] + "}"
+        metrics[key] = float(sample["value"])
+    return metrics
+
+
+def load_tolerances(baseline_dir: Path) -> dict:
+    path = baseline_dir / "tolerances.json"
+    if not path.is_file():
+        return {"default_rel_tol": 0.05, "default_abs_tol": 1e-9, "overrides": {}}
+    with path.open() as f:
+        return json.load(f)
+
+
+def tolerance_for(tolerances: dict, bench: str, metric: str) -> tuple[float, float]:
+    override = tolerances.get("overrides", {}).get(f"{bench}.{metric}", {})
+    rel = override.get("rel_tol", tolerances.get("default_rel_tol", 0.05))
+    abs_ = override.get("abs_tol", tolerances.get("default_abs_tol", 1e-9))
+    return float(rel), float(abs_)
+
+
+def compare(baseline_dir: Path, candidate_dir: Path) -> int:
+    """Returns the number of failures; prints a verdict per metric drift."""
+    tolerances = load_tolerances(baseline_dir)
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"bench_gate: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    checked = 0
+    for base_path in baseline_files:
+        bench = base_path.stem.removeprefix("BENCH_")
+        cand_path = candidate_dir / base_path.name
+        if not cand_path.is_file():
+            print(f"FAIL {bench}: candidate file {cand_path} missing "
+                  f"(bench not run or renamed)")
+            failures += 1
+            continue
+        base = load_bench_json(base_path)
+        cand = load_bench_json(cand_path)
+        for metric, base_value in sorted(base.items()):
+            checked += 1
+            if metric not in cand:
+                print(f"FAIL {bench}.{metric}: missing from candidate "
+                      f"(headline deleted?)")
+                failures += 1
+                continue
+            cand_value = cand[metric]
+            rel, abs_ = tolerance_for(tolerances, bench, metric)
+            budget = abs_ + rel * abs(base_value)
+            drift = abs(cand_value - base_value)
+            if math.isnan(cand_value) or drift > budget:
+                print(f"FAIL {bench}.{metric}: baseline {base_value:g}, "
+                      f"candidate {cand_value:g}, |drift| {drift:g} > "
+                      f"allowed {budget:g}")
+                failures += 1
+        for metric in sorted(set(cand) - set(base)):
+            # New headlines are fine to add, but flag them so the baseline
+            # gets re-recorded (otherwise they are never gated).
+            print(f"NOTE {bench}.{metric}: in candidate but not baseline — "
+                  f"re-record baselines to start gating it")
+
+    print(f"bench_gate: {checked} metrics checked across "
+          f"{len(baseline_files)} benches, {failures} failure(s)")
+    return failures
+
+
+def self_test(baseline_dir: Path, tmp_root: Path) -> int:
+    """Verifies the gate logic: identical dirs pass, perturbed dirs fail."""
+    import shutil
+
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"bench_gate --self-test: no baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    identical = tmp_root / "identical"
+    perturbed = tmp_root / "perturbed"
+    for d in (identical, perturbed):
+        if d.exists():
+            shutil.rmtree(d)
+        d.mkdir(parents=True)
+    for path in baseline_files:
+        shutil.copy(path, identical / path.name)
+        shutil.copy(path, perturbed / path.name)
+
+    # Perturb one metric of the first bench far beyond any sane tolerance.
+    victim = perturbed / baseline_files[0].name
+    doc = json.loads(victim.read_text())
+    if not doc.get("metrics"):
+        print("bench_gate --self-test: first baseline has no metrics",
+              file=sys.stderr)
+        return 1
+    original = doc["metrics"][0]["value"]
+    doc["metrics"][0]["value"] = original * 10 + 1e6
+    victim.write_text(json.dumps(doc))
+
+    print("--- self-test: identical candidate must pass ---")
+    if compare(baseline_dir, identical) != 0:
+        print("bench_gate --self-test: FAILED (identical candidate rejected)",
+              file=sys.stderr)
+        return 1
+    print("--- self-test: perturbed candidate must fail ---")
+    if compare(baseline_dir, perturbed) == 0:
+        print("bench_gate --self-test: FAILED (perturbation not caught)",
+              file=sys.stderr)
+        return 1
+    print("bench_gate --self-test: OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json headlines against committed baselines.")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=DEFAULT_BASELINE_DIR)
+    parser.add_argument("--candidate-dir", type=Path,
+                        help="directory holding freshly generated BENCH_*.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches an injected regression")
+    parser.add_argument("--tmp-dir", type=Path, default=Path("/tmp/bench_gate"),
+                        help="scratch space for --self-test")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.baseline_dir, args.tmp_dir)
+    if args.candidate_dir is None:
+        parser.error("--candidate-dir is required unless --self-test")
+    if not args.candidate_dir.is_dir():
+        print(f"bench_gate: candidate dir {args.candidate_dir} does not exist",
+              file=sys.stderr)
+        return 2
+    return 1 if compare(args.baseline_dir, args.candidate_dir) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,12 @@ R5  no ad-hoc `struct ...Stats` in src/ outside src/obs/ — counters belong in
                                     the three legacy snapshot-view structs
                                     (assembled FROM the registry) are
                                     grandfathered explicitly.
+R6  no printf/fprintf in src/ outside src/obs/ and src/check/ — library code
+                                    reports through the metrics registry,
+                                    trace ring, or returned strings
+                                    (DESIGN.md §10); only the observability
+                                    and check layers own process output.
+                                    snprintf into buffers is fine.
 """
 
 from __future__ import annotations
@@ -52,6 +58,8 @@ RAW_RAND = re.compile(r"(?<![_\w])(?:std::)?rand\s*\(\s*\)")
 IOSTREAM = re.compile(r"^\s*#\s*include\s*<iostream>")
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
 STATS_STRUCT = re.compile(r"\bstruct\s+\w*Stats\b")
+# Lookbehind keeps snprintf/vsnprintf (buffer formatting) out of R6's reach.
+RAW_PRINTF = re.compile(r"(?<![\w.:])(?:std::)?f?printf\s*\(")
 LINE_COMMENT = re.compile(r"//.*$")
 
 
@@ -116,6 +124,16 @@ def main() -> int:
                 problems.append(
                     f"{rel}:{lineno}: ad-hoc Stats struct — register the "
                     f"counters in obs::MetricsRegistry instead (R5)"
+                )
+
+            if (
+                in_src
+                and rel.parts[1] not in {"obs", "check"}
+                and RAW_PRINTF.search(line)
+            ):
+                problems.append(
+                    f"{rel}:{lineno}: printf/fprintf in library code — report "
+                    f"through metrics, traces, or returned strings (R6)"
                 )
 
     if problems:

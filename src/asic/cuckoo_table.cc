@@ -1,5 +1,6 @@
 #include "asic/cuckoo_table.h"
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <unordered_set>
@@ -117,7 +118,8 @@ DigestCuckooTable::InsertResult DigestCuckooTable::insert(
   if (const auto free = find_free_slot(key)) {
     place(key, value, *free);
     if (trace_ != nullptr) {
-      trace_->record(obs::TraceEventKind::kCuckooInsert, obs::kNoScope, value);
+      trace_->record(obs::TraceEventKind::kCuckooInsert, obs::kNoScope, value,
+                     0, net::FiveTupleHash{}(key));
     }
     return InsertResult{true, 0};
   }
@@ -159,10 +161,11 @@ DigestCuckooTable::InsertResult DigestCuckooTable::insert(
           }
           place(key, value, to);
           if (trace_ != nullptr) {
+            const std::uint64_t fid = net::FiveTupleHash{}(key);
             trace_->record(obs::TraceEventKind::kCuckooInsert, obs::kNoScope,
-                           value, moves);
+                           value, moves, fid);
             trace_->record(obs::TraceEventKind::kCuckooEvict, obs::kNoScope,
-                           value, moves);
+                           value, moves, fid);
           }
           return InsertResult{true, moves};
         }
@@ -178,7 +181,7 @@ DigestCuckooTable::InsertResult DigestCuckooTable::insert(
   ++failed_inserts_;
   if (trace_ != nullptr) {
     trace_->record(obs::TraceEventKind::kCuckooInsertFail, obs::kNoScope,
-                   value);
+                   value, 0, net::FiveTupleHash{}(key));
   }
   return InsertResult{false, 0};
 }
@@ -226,6 +229,45 @@ std::size_t DigestCuckooTable::used_slot_count() const noexcept {
     if (slot.used) ++used;
   }
   return used;
+}
+
+std::size_t DigestCuckooTable::used_in_stage(
+    std::uint32_t stage) const noexcept {
+  if (stage >= config_.stages) return 0;
+  const std::size_t per_stage = config_.buckets_per_stage * config_.ways;
+  const std::size_t begin = static_cast<std::size_t>(stage) * per_stage;
+  std::size_t used = 0;
+  for (std::size_t i = begin; i < begin + per_stage; ++i) {
+    if (slots_[i].used) ++used;
+  }
+  return used;
+}
+
+std::vector<DigestCuckooTable::StageOccupancy>
+DigestCuckooTable::stage_occupancy(std::size_t bins) const {
+  bins = std::max<std::size_t>(1, std::min(bins, config_.buckets_per_stage));
+  std::vector<StageOccupancy> rows(config_.stages);
+  for (std::uint32_t stage = 0; stage < config_.stages; ++stage) {
+    StageOccupancy& row = rows[stage];
+    row.stage = stage;
+    row.capacity = config_.buckets_per_stage * config_.ways;
+    row.bins.assign(bins, 0);
+    for (std::uint32_t bucket = 0; bucket < config_.buckets_per_stage;
+         ++bucket) {
+      const std::size_t bin = bucket * bins / config_.buckets_per_stage;
+      for (std::uint32_t way = 0; way < config_.ways; ++way) {
+        if (slots_[flat_index(SlotRef{stage, bucket, way})].used) {
+          ++row.bins[bin];
+          ++row.used;
+        }
+      }
+    }
+    // Bucket-range sizes differ by at most one when bins does not divide the
+    // bucket count; report the largest so heat normalizes conservatively.
+    row.bin_capacity =
+        (config_.buckets_per_stage + bins - 1) / bins * config_.ways;
+  }
+  return rows;
 }
 
 bool DigestCuckooTable::relocate_for(const net::FiveTuple& arriving,

@@ -160,6 +160,23 @@ class DigestCuckooTable {
   /// accounting" corruption the invariant auditor detects.
   std::size_t used_slot_count() const noexcept;
 
+  /// Occupied slots in physical stage `stage` (cuckoo fills earlier stages
+  /// first, so the per-stage skew is itself a signal — paper §6.1).
+  std::size_t used_in_stage(std::uint32_t stage) const noexcept;
+
+  /// One stage's occupancy heatmap row: `bins` contiguous bucket ranges,
+  /// each counting its occupied slots (of bin_capacity possible).
+  struct StageOccupancy {
+    std::uint32_t stage = 0;
+    std::size_t used = 0;      ///< occupied slots in the whole stage
+    std::size_t capacity = 0;  ///< slots in the whole stage
+    std::size_t bin_capacity = 0;
+    std::vector<std::size_t> bins;
+  };
+  /// Heatmap rows for every stage — the ScrapeServer's /tables payload.
+  /// `bins` is clamped to the bucket count.
+  std::vector<StageOccupancy> stage_occupancy(std::size_t bins = 16) const;
+
   // --- Telemetry -----------------------------------------------------------
 
   /// Attaches per-stage lookup profiling and/or structured event tracing

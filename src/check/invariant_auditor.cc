@@ -378,6 +378,12 @@ void SilkRoadSwitch::self_check() const {
     // Causal context for the failure: the offending VIP's (and version's)
     // recent TraceRing timeline, oldest first.
     constexpr std::size_t kTailEvents = 16;
+    if (trace_.dropped() > 0) {
+      std::fprintf(stderr,
+                   "note: %llu trace events lost to ring wraparound; the "
+                   "tails below may start mid-story\n",
+                   static_cast<unsigned long long>(trace_.dropped()));
+    }
     std::set<std::pair<std::string, std::optional<std::uint32_t>>> dumped;
     for (const auto& violation : violations) {
       if (violation.vip.empty()) continue;

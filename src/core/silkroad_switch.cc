@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "check/sr_check.h"
+#include "obs/exporters.h"
 
 namespace silkroad::core {
 
@@ -100,6 +101,12 @@ void SilkRoadSwitch::init_metrics() {
       "per-packet added latency (pipeline + slow-path redirects)");
   c_.learn_batch_size = metrics_.histogram(
       "silkroad_learn_batch_size", "learning-filter flush batch sizes");
+  c_.insert_latency_ns = metrics_.histogram(
+      "silkroad_insert_latency_ns",
+      "learn-to-ConnTable-entry-landed latency per installed connection");
+  c_.update_duration_ns = metrics_.histogram(
+      "silkroad_update_duration_ns",
+      "staged-to-finished duration of the 3-step update protocol");
 
   // Pull gauges: derived from live structures at snapshot time, so they can
   // never double-count against the push counters above.
@@ -193,6 +200,19 @@ void SilkRoadSwitch::init_metrics() {
       "silkroad_sram_transit_bytes", obs::MetricKind::kGauge,
       [this] { return static_cast<double>(memory_usage().transit_table_bytes); },
       "SRAM held by the TransitTable bloom filter");
+  for (std::uint32_t stage = 0; stage < config_.conn_table.stages; ++stage) {
+    metrics_.register_callback(
+        "silkroad_conn_table_stage_occupancy", obs::MetricKind::kGauge,
+        [this, stage] {
+          return static_cast<double>(conn_table_.used_in_stage(stage));
+        },
+        "occupied ConnTable slots per physical pipeline stage",
+        "stage=\"" + std::to_string(stage) + "\"");
+  }
+  metrics_.register_callback(
+      "obs_trace_dropped_total", obs::MetricKind::kCounter,
+      [this] { return static_cast<double>(trace_.dropped()); },
+      "trace events lost to ring wraparound");
 }
 
 SilkRoadSwitch::Stats SilkRoadSwitch::stats() const noexcept {
@@ -292,7 +312,7 @@ std::uint32_t SilkRoadSwitch::version_for_miss(const net::Endpoint& vip,
     // against.
     c_.transit_false_positives->inc();
     trace_.record(obs::TraceEventKind::kTransitFalsePositive, state.trace_scope,
-                  update_old_version_);
+                  update_old_version_, net::FiveTupleHash{}(packet.flow));
     if (packet.syn && redirected_to_cpu != nullptr) {
       *redirected_to_cpu = true;
     }
@@ -305,9 +325,10 @@ void SilkRoadSwitch::learn_new_flow(const net::Endpoint& vip, VipState& state,
                                     const net::FiveTuple& flow,
                                     std::uint32_t version) {
   c_.learns->inc();
-  trace_.record(obs::TraceEventKind::kLearn, state.trace_scope, version);
+  trace_.record(obs::TraceEventKind::kLearn, state.trace_scope, version,
+                net::FiveTupleHash{}(flow));
   learning_filter_.learn(flow, version);
-  pending_.emplace(flow, PendingConn{vip, version, false});
+  pending_.emplace(flow, PendingConn{vip, version, false, sim_.now()});
   state.versions->acquire(version);
   state.conns_by_version[version].insert(flow);
   track_digest(flow);
@@ -395,7 +416,8 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
         c_.syn_false_positives->inc();
         trace_.record(obs::TraceEventKind::kDigestCollision,
                       state->trace_scope, hit->value,
-                      conn_table_.digest_of(packet.flow));
+                      conn_table_.digest_of(packet.flow),
+                      net::FiveTupleHash{}(packet.flow));
         result.redirected_to_cpu = true;
         result.added_latency += config_.syn_redirect_delay;
         if (!conn_table_.relocate_for(packet.flow, hit->slot)) {
@@ -411,7 +433,8 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
             software_table_[packet.flow] = *dip;
             c_.software_fallback_conns->inc();
             trace_.record(obs::TraceEventKind::kSoftwareFallback,
-                          state->trace_scope, version);
+                          state->trace_scope, version,
+                          net::FiveTupleHash{}(packet.flow));
           }
           result.dip = dip;
           return result;
@@ -508,6 +531,7 @@ void SilkRoadSwitch::complete_insertion(const asic::LearnEvent& event) {
     const auto res = conn_table_.insert(event.flow, info.version);
     if (res.inserted) {
       c_.inserts->inc();
+      c_.insert_latency_ns->record(sim_.now() - info.learned_at);
       conn_table_.touch_exact(event.flow, sim_.now());
       resolve_digest_conflicts(event.flow);
       arm_aging_sweep();
@@ -519,7 +543,8 @@ void SilkRoadSwitch::complete_insertion(const asic::LearnEvent& event) {
         software_table_[event.flow] = *dip;
         c_.software_fallback_conns->inc();
         trace_.record(obs::TraceEventKind::kSoftwareFallback,
-                      state->trace_scope, info.version);
+                      state->trace_scope, info.version,
+                      net::FiveTupleHash{}(event.flow));
       }
       release_conn(info.vip, event.flow, info.version);
     }
@@ -598,11 +623,13 @@ void SilkRoadSwitch::try_start_next_update() {
     update_vip_ = update.vip;
     update_old_version_ = state->versions->current_version();
     update_new_version_ = staged->target_version;
+    update_started_at_ = sim_.now();
 
     if (update_new_version_ == update_old_version_) {
       // Dead-slot substitution landed in the current version: the pool
       // mutation is already in place and no VIPTable flip is needed.
       c_.updates_completed->inc();
+      c_.update_duration_ns->record(0);
       trace_.record(obs::TraceEventKind::kUpdateFinish, state->trace_scope,
                     update_new_version_, update_old_version_,
                     update_new_version_);
@@ -615,6 +642,7 @@ void SilkRoadSwitch::try_start_next_update() {
       // flap to the new version until their (old-version) entries land.
       state->versions->commit(update_new_version_);
       c_.updates_completed->inc();
+      c_.update_duration_ns->record(0);
       trace_.record(obs::TraceEventKind::kUpdateFlip, state->trace_scope,
                     update_new_version_, update_old_version_,
                     update_new_version_);
@@ -662,6 +690,7 @@ void SilkRoadSwitch::finish_update() {
   awaiting_pre_.clear();
   phase_ = Phase::kIdle;
   c_.updates_completed->inc();
+  c_.update_duration_ns->record(sim_.now() - update_started_at_);
   if (const VipState* state = find_vip(update_vip_); state != nullptr) {
     trace_.record(obs::TraceEventKind::kUpdateFinish, state->trace_scope,
                   update_new_version_, update_old_version_,
@@ -695,7 +724,8 @@ bool SilkRoadSwitch::evict_version_for(const net::Endpoint& /*vip*/,
         software_table_[flow] = *dip;
         c_.software_fallback_conns->inc();
         trace_.record(obs::TraceEventKind::kSoftwareFallback,
-                      state.trace_scope, *victim);
+                      state.trace_scope, *victim,
+                      net::FiveTupleHash{}(flow));
       }
       if (conn_table_.erase(flow)) {
         c_.erases->inc();
@@ -730,7 +760,7 @@ void SilkRoadSwitch::aging_sweep() {
       c_.aged_out->inc();
       if (const VipState* state = find_vip(flow.dst); state != nullptr) {
         trace_.record(obs::TraceEventKind::kAgedOut, state->trace_scope,
-                      *version);
+                      *version, net::FiveTupleHash{}(flow));
       }
       // The VIP is the flow's destination endpoint by construction.
       enqueue_erase(flow, flow.dst, *version);
@@ -818,6 +848,59 @@ std::string SilkRoadSwitch::debug_report() const {
       count("silkroad_syn_false_positives_total"),
       count("silkroad_updates_completed_total"));
   out += buf;
+  const auto quantile_pair = [&snap, &buf, &out](const char* label,
+                                                 const char* name) {
+    const double p50 = snap.quantile(name, "", 0.50);
+    const double p99 = snap.quantile(name, "", 0.99);
+    if (std::isnan(p50)) return;  // histogram empty: nothing to report
+    std::snprintf(buf, sizeof buf, "latency: %s p50 %.0f ns, p99 %.0f ns\n",
+                  label, p50, p99);
+    out += buf;
+  };
+  quantile_pair("packet", "silkroad_packet_latency_ns");
+  quantile_pair("insert", "silkroad_insert_latency_ns");
+  quantile_pair("update", "silkroad_update_duration_ns");
+  return out;
+}
+
+std::string SilkRoadSwitch::tables_json() const {
+  std::string out = "{\"conn_table\":{\"size\":";
+  out += std::to_string(conn_table_.size());
+  out += ",\"capacity\":";
+  out += std::to_string(conn_table_.capacity());
+  out += ",\"occupancy\":";
+  out += obs::format_number(conn_table_.occupancy());
+  out += ",\"stages\":[";
+  bool first = true;
+  for (const auto& row : conn_table_.stage_occupancy()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"stage\":";
+    out += std::to_string(row.stage);
+    out += ",\"used\":";
+    out += std::to_string(row.used);
+    out += ",\"capacity\":";
+    out += std::to_string(row.capacity);
+    out += ",\"bin_capacity\":";
+    out += std::to_string(row.bin_capacity);
+    out += ",\"bins\":[";
+    bool first_bin = true;
+    for (const std::size_t bin : row.bins) {
+      if (!first_bin) out += ",";
+      first_bin = false;
+      out += std::to_string(bin);
+    }
+    out += "]}";
+  }
+  out += "\n]},\"pending\":";
+  out += std::to_string(pending_.size());
+  out += ",\"software_table\":";
+  out += std::to_string(software_table_.size());
+  out += ",\"transit_table_bytes\":";
+  out += std::to_string(transit_.byte_count());
+  out += ",\"vips\":";
+  out += std::to_string(vips_.size());
+  out += "}\n";
   return out;
 }
 

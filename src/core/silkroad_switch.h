@@ -176,6 +176,10 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   /// `show loadbalancer` CLI would print.
   std::string debug_report() const;
 
+  /// Per-stage ConnTable occupancy heatmap plus table summaries as JSON —
+  /// the ScrapeServer's /tables payload (schema in DESIGN.md §10).
+  std::string tables_json() const;
+
  private:
   /// The auditor reads (never mutates) the full private state; the testing
   /// hooks deliberately corrupt it so check_test.cc can prove the auditor
@@ -202,6 +206,9 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     std::uint32_t version = 0;
     /// FIN observed before the entry landed: skip the insertion.
     bool dead = false;
+    /// When the flow entered the learning filter; the insert-latency
+    /// histogram records install-time minus this.
+    sim::Time learned_at = 0;
   };
 
   VipState* find_vip(const net::Endpoint& vip);
@@ -284,6 +291,10 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     obs::Counter* meter_red = nullptr;
     obs::Histogram* packet_latency_ns = nullptr;
     obs::Histogram* learn_batch_size = nullptr;
+    /// learn -> ConnTable-entry-landed, per installed connection.
+    obs::Histogram* insert_latency_ns = nullptr;
+    /// request-staged -> update-finish, per completed 3-step update.
+    obs::Histogram* update_duration_ns = nullptr;
   } c_;
   asic::DigestCuckooTable conn_table_;
   asic::LearningFilter learning_filter_;
@@ -310,6 +321,8 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   net::Endpoint update_vip_;
   std::uint32_t update_old_version_ = 0;
   std::uint32_t update_new_version_ = 0;
+  /// When the in-flight update was staged (update-duration histogram).
+  sim::Time update_started_at_ = 0;
   /// S: flows pending at t_req (must land before the flip).
   std::unordered_set<net::FiveTuple, net::FiveTupleHash> awaiting_pre_;
   /// S2: flows recorded in the TransitTable during Step1 (must land before

@@ -95,7 +95,25 @@ obs::Snapshot SilkRoadFleet::metrics_snapshot() const {
   for (const auto& sw : switches_) {
     parts.push_back(sw->metrics().snapshot());
   }
-  return obs::MetricsRegistry::aggregate(parts);
+  obs::Snapshot merged = obs::MetricsRegistry::aggregate(parts);
+  // Fleet-level gauges that no member registry can know about.
+  obs::MetricSample switches;
+  switches.name = "silkroad_fleet_switches";
+  switches.help = "switches configured in the fleet";
+  switches.kind = obs::MetricKind::kGauge;
+  switches.value = static_cast<double>(switches_.size());
+  obs::MetricSample live;
+  live.name = "silkroad_fleet_switches_live";
+  live.help = "switches currently alive (ECMP members)";
+  live.kind = obs::MetricKind::kGauge;
+  live.value = static_cast<double>(live_count());
+  merged.samples.push_back(std::move(switches));
+  merged.samples.push_back(std::move(live));
+  return obs::MetricsRegistry::aggregate({std::move(merged)});  // re-sort
+}
+
+std::function<obs::Snapshot()> SilkRoadFleet::snapshot_source() const {
+  return [this] { return metrics_snapshot(); };
 }
 
 }  // namespace silkroad::deploy

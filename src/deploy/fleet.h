@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -64,9 +65,14 @@ class SilkRoadFleet : public lb::LoadBalancer {
 
   /// Fleet-wide telemetry: merges every member switch's registry snapshot
   /// (counters/histograms sum; gauges sum — fleet totals, e.g. installed
-  /// connections across replicas). Dead switches still contribute their
-  /// final counter values until restore_switch() resets them.
+  /// connections across replicas), plus silkroad_fleet_switches /
+  /// silkroad_fleet_switches_live gauges. Dead switches still contribute
+  /// their final counter values until restore_switch() resets them.
   obs::Snapshot metrics_snapshot() const;
+
+  /// The fleet-wide snapshot as a callable — plugs directly into
+  /// obs::TimeSeriesRecorder so one recorder tracks the whole fleet.
+  std::function<obs::Snapshot()> snapshot_source() const;
 
  private:
   sim::Simulator& sim_;

@@ -22,9 +22,26 @@ void append(std::string& out, const char* fmt, ...) {
   out += buf;
 }
 
-/// Formats a double the way Prometheus/JSON expect: integers without a
-/// fractional part, everything else with enough digits to round-trip.
-std::string number(double v) {
+std::string series_name(const MetricSample& sample, const char* suffix = "",
+                        const std::string& extra_label = "") {
+  std::string out = sample.name;
+  out += suffix;
+  std::string labels = sample.labels;
+  if (!extra_label.empty()) {
+    if (!labels.empty()) labels += ",";
+    labels += extra_label;
+  }
+  if (!labels.empty()) {
+    out += "{";
+    out += labels;
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_number(double v) {
   char buf[64];
   if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
     std::snprintf(buf, sizeof buf, "%.0f", v);
@@ -48,25 +65,6 @@ std::string json_escape(std::string_view s) {
   }
   return out;
 }
-
-std::string series_name(const MetricSample& sample, const char* suffix = "",
-                        const std::string& extra_label = "") {
-  std::string out = sample.name;
-  out += suffix;
-  std::string labels = sample.labels;
-  if (!extra_label.empty()) {
-    if (!labels.empty()) labels += ",";
-    labels += extra_label;
-  }
-  if (!labels.empty()) {
-    out += "{";
-    out += labels;
-    out += "}";
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
@@ -94,12 +92,12 @@ std::string to_prometheus(const Snapshot& snapshot) {
              series_name(sample, "_bucket", "le=\"+Inf\"").c_str(),
              sample.count);
       append(out, "%s %s\n", series_name(sample, "_sum").c_str(),
-             number(sample.sum).c_str());
+             format_number(sample.sum).c_str());
       append(out, "%s %" PRIu64 "\n", series_name(sample, "_count").c_str(),
              sample.count);
     } else {
       append(out, "%s %s\n", series_name(sample).c_str(),
-             number(sample.value).c_str());
+             format_number(sample.value).c_str());
     }
   }
   return out;
@@ -116,7 +114,7 @@ std::string to_json(const Snapshot& snapshot) {
            json_escape(sample.labels).c_str(), to_string(sample.kind));
     if (sample.kind == MetricKind::kHistogram) {
       append(out, ",\"count\":%" PRIu64 ",\"sum\":%s,\"buckets\":[",
-             sample.count, number(sample.sum).c_str());
+             sample.count, format_number(sample.sum).c_str());
       bool first_bucket = true;
       for (const auto& bucket : sample.buckets) {
         if (!first_bucket) out += ",";
@@ -126,7 +124,7 @@ std::string to_json(const Snapshot& snapshot) {
       }
       out += "]}";
     } else {
-      append(out, ",\"value\":%s}", number(sample.value).c_str());
+      append(out, ",\"value\":%s}", format_number(sample.value).c_str());
     }
   }
   out += "\n]}\n";

@@ -15,6 +15,13 @@
 
 namespace silkroad::obs {
 
+/// Formats a double the way Prometheus/JSON expect: integers without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string format_number(double v);
+
+/// Minimal JSON string escaping (quotes, backslash, newline, tab).
+std::string json_escape(std::string_view s);
+
 /// Prometheus exposition text format (version 0.0.4): "# HELP"/"# TYPE"
 /// headers per metric family, histograms as cumulative `_bucket{le=...}`
 /// series plus `_sum` and `_count`.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 #include "check/sr_check.h"
 
@@ -65,6 +66,38 @@ std::uint64_t Histogram::count() const noexcept {
 // Snapshot
 // ---------------------------------------------------------------------------
 
+double histogram_quantile(const MetricSample& sample, double q) {
+  if (sample.kind != MetricKind::kHistogram || sample.count == 0 ||
+      sample.buckets.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank =
+      std::max(1.0, q * static_cast<double>(sample.count));
+  std::uint64_t prev_cumulative = 0;
+  std::uint64_t lower = 0;  // upper edge of the previous non-empty bucket
+  for (const auto& bucket : sample.buckets) {
+    if (static_cast<double>(bucket.cumulative_count) >= rank) {
+      if (bucket.upper_bound == ~std::uint64_t{0}) {
+        // Unbounded top bucket: no upper edge to interpolate toward.
+        return static_cast<double>(lower);
+      }
+      const std::uint64_t in_bucket =
+          bucket.cumulative_count - prev_cumulative;
+      if (in_bucket == 0) return static_cast<double>(bucket.upper_bound);
+      const double pos = (rank - static_cast<double>(prev_cumulative)) /
+                         static_cast<double>(in_bucket);
+      return static_cast<double>(lower) +
+             (static_cast<double>(bucket.upper_bound) -
+              static_cast<double>(lower)) *
+                 pos;
+    }
+    prev_cumulative = bucket.cumulative_count;
+    lower = bucket.upper_bound;
+  }
+  return static_cast<double>(lower);
+}
+
 const MetricSample* Snapshot::find(const std::string& name,
                                    const std::string& labels) const {
   for (const auto& sample : samples) {
@@ -77,6 +110,13 @@ double Snapshot::value_of(const std::string& name, const std::string& labels,
                           double fallback) const {
   const MetricSample* sample = find(name, labels);
   return sample == nullptr ? fallback : sample->value;
+}
+
+double Snapshot::quantile(const std::string& name, const std::string& labels,
+                          double q) const {
+  const MetricSample* sample = find(name, labels);
+  if (sample == nullptr) return std::numeric_limits<double>::quiet_NaN();
+  return histogram_quantile(*sample, q);
 }
 
 // ---------------------------------------------------------------------------
@@ -167,6 +207,15 @@ Snapshot MetricsRegistry::snapshot() const {
         for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
           const std::uint64_t n = hist.bucket_value(i);
           if (n == 0) continue;
+          // A zero-delta floor marker at the bucket's lower edge keeps
+          // quantile interpolation inside the true bucket: without it a run
+          // of empty buckets would stretch the interpolation span down to
+          // the previous occupied bucket.
+          const std::uint64_t lower = hist.bucket_lower_bound(i);
+          if (lower > 0 && (sample.buckets.empty() ||
+                            sample.buckets.back().upper_bound < lower - 1)) {
+            sample.buckets.push_back({lower - 1, cumulative});
+          }
           cumulative += n;
           const std::uint64_t upper =
               i + 1 < hist.bucket_count()

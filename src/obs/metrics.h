@@ -132,6 +132,14 @@ struct MetricSample {
   double sum = 0;
 };
 
+/// Quantile `q` (in [0,1]) of a histogram sample: finds the log-linear bucket
+/// holding rank max(1, q*count) and interpolates linearly inside it, so the
+/// result inherits the histogram's bounded relative error. Values below the
+/// subdivision count sit in exact unit buckets and come back exact. Returns
+/// NaN when `sample` is not a histogram or is empty; the unbounded top
+/// bucket resolves to its lower edge.
+double histogram_quantile(const MetricSample& sample, double q);
+
 struct Snapshot {
   std::vector<MetricSample> samples;
 
@@ -141,6 +149,10 @@ struct Snapshot {
   /// Convenience: the counter/gauge value of (name, labels), or `fallback`.
   double value_of(const std::string& name, const std::string& labels = "",
                   double fallback = 0) const;
+  /// histogram_quantile() of the (name, labels) series; NaN when the series
+  /// is absent, empty, or not a histogram.
+  double quantile(const std::string& name, const std::string& labels,
+                  double q) const;
 };
 
 class MetricsRegistry {

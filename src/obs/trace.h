@@ -39,17 +39,19 @@ enum class TraceEventKind : std::uint8_t {
   kVersionReuse,          ///< dead-slot substitution reused a version (§4.2)
   kVersionRecycle,        ///< refcount hit zero, number returned to the ring
   kVersionEvict,          ///< force-destroyed on exhaustion (flows migrated)
-  kCuckooInsert,          ///< ConnTable entry landed (arg0=BFS moves)
-  kCuckooEvict,           ///< insertion displaced entries (arg0=moves)
-  kCuckooInsertFail,      ///< BFS budget exhausted, flow to software table
-  kDigestCollision,       ///< SYN hit a colliding digest (§4.2)
+  kCuckooInsert,          ///< ConnTable entry landed (arg0=BFS moves, arg1=flow)
+  kCuckooEvict,           ///< insertion displaced entries (arg0=moves, arg1=flow)
+  kCuckooInsertFail,      ///< BFS budget exhausted (arg1=flow)
+  kDigestCollision,       ///< SYN hit a colliding digest (arg0=digest, arg1=flow)
   kRelocationFail,        ///< no conflict-free relocation found
-  kTransitFalsePositive,  ///< bloom FP steered a new flow to the old pool
+  kTransitFalsePositive,  ///< bloom FP steered a new flow (arg0=flow)
   kMeterColor,            ///< meter marked non-green (arg0=color)
-  kLearn,                 ///< new flow entered the learning filter
-  kSoftwareFallback,      ///< flow pinned to the slow-path exact table
-  kAgedOut,               ///< idle entry collected by the aging sweep
+  kLearn,                 ///< new flow entered the learning filter (arg0=flow)
+  kSoftwareFallback,      ///< flow pinned to the slow-path table (arg0=flow)
+  kAgedOut,               ///< idle entry aged out (arg0=flow)
 };
+// Flow-identified kinds carry the connection's 64-bit five-tuple hash in the
+// noted arg slot; journey.h reconstructs per-connection timelines from it.
 
 const char* to_string(TraceEventKind kind) noexcept;
 

@@ -1,12 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "core/silkroad_switch.h"
 #include "obs/exporters.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
+#include "obs/scrape_server.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace silkroad::obs {
@@ -155,6 +165,109 @@ TEST(Histogram, CountAndSumTrackRecords) {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram quantiles (Snapshot::quantile / histogram_quantile)
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantile, ExactForUnitBuckets) {
+  // Default log2_subdivisions=2: values below 8 land in exact unit buckets,
+  // so interpolated quantiles match the textbook percentile exactly.
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  for (std::uint64_t v = 1; v <= 4; ++v) h->record(v);
+  const Snapshot snap = registry.snapshot();
+  // rank(q) = max(1, q*4); each unit bucket spans (v-1, v].
+  EXPECT_DOUBLE_EQ(snap.quantile("lat", "", 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile("lat", "", 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(snap.quantile("lat", "", 0.75), 3.0);
+  EXPECT_DOUBLE_EQ(snap.quantile("lat", "", 1.00), 4.0);
+  EXPECT_NEAR(snap.quantile("lat", "", 0.99), 3.96, 1e-9);
+  // q below the first sample's rank clamps to the first value's bucket.
+  EXPECT_LE(snap.quantile("lat", "", 0.0), 1.0);
+}
+
+TEST(HistogramQuantile, FloorMarkerKeepsEstimateInsideTrueBucket) {
+  // 400 lands in bucket [384, 447] (width 64). Without the floor-marker
+  // bucket the interpolation span would stretch down to 0 and p50 would
+  // come out near 224; with it the error is bounded by the bucket width.
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  for (int i = 0; i < 100; ++i) h->record(400);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_NEAR(snap.quantile("lat", "", 0.50), 400.0, 64.0);
+  EXPECT_NEAR(snap.quantile("lat", "", 0.99), 400.0, 64.0);
+}
+
+TEST(HistogramQuantile, NanForMissingEmptyOrNonHistogram) {
+  MetricsRegistry registry;
+  registry.gauge("g")->set(5);
+  registry.histogram("empty");
+  const Snapshot snap = registry.snapshot();
+  EXPECT_TRUE(std::isnan(snap.quantile("nope", "", 0.5)));
+  EXPECT_TRUE(std::isnan(snap.quantile("g", "", 0.5)));
+  EXPECT_TRUE(std::isnan(snap.quantile("empty", "", 0.5)));
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry::aggregate edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Aggregate, DisjointLabelSetsStaySeparate) {
+  MetricsRegistry a, b;
+  a.counter("pkts", "", R"(color="green")")->inc(2);
+  b.counter("pkts", "", R"(color="red")")->inc(5);
+  const Snapshot merged =
+      MetricsRegistry::aggregate({a.snapshot(), b.snapshot()});
+  ASSERT_EQ(merged.samples.size(), 2u);
+  EXPECT_EQ(merged.value_of("pkts", R"(color="green")"), 2);
+  EXPECT_EQ(merged.value_of("pkts", R"(color="red")"), 5);
+}
+
+TEST(Aggregate, PullCallbacksEvaluatePerSnapshotAndSum) {
+  // Each snapshot() evaluates the pull callback once; aggregating two
+  // snapshots of the same registry therefore double-counts by design —
+  // aggregate() is for snapshots of *distinct* registries.
+  MetricsRegistry registry;
+  int calls = 0;
+  registry.register_callback("depth", MetricKind::kGauge,
+                             [&calls] { return static_cast<double>(++calls); });
+  const Snapshot first = registry.snapshot();
+  const Snapshot second = registry.snapshot();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(first.value_of("depth"), 1.0);
+  EXPECT_EQ(second.value_of("depth"), 2.0);
+  const Snapshot merged = MetricsRegistry::aggregate({first, second});
+  EXPECT_EQ(merged.value_of("depth"), 3.0);
+}
+
+TEST(Aggregate, EmptySnapshotsMergeToIdentity) {
+  EXPECT_TRUE(MetricsRegistry::aggregate({}).samples.empty());
+  MetricsRegistry registry;
+  registry.counter("pkts")->inc(9);
+  const Snapshot merged =
+      MetricsRegistry::aggregate({Snapshot{}, registry.snapshot(), Snapshot{}});
+  ASSERT_EQ(merged.samples.size(), 1u);
+  EXPECT_EQ(merged.value_of("pkts"), 9);
+}
+
+TEST(Aggregate, HistogramBucketsMergeCumulatively) {
+  MetricsRegistry a, b;
+  Histogram* ha = a.histogram("lat");
+  Histogram* hb = b.histogram("lat");
+  for (int i = 0; i < 10; ++i) ha->record(2);
+  for (int i = 0; i < 10; ++i) hb->record(1000);
+  const Snapshot merged =
+      MetricsRegistry::aggregate({a.snapshot(), b.snapshot()});
+  const MetricSample* lat = merged.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 20u);
+  EXPECT_EQ(lat->buckets.back().cumulative_count, 20u);
+  // Half the mass at 2, half near 1000: the median sits between them and
+  // p99 lands in 1000's bucket.
+  const double p99 = histogram_quantile(*lat, 0.99);
+  EXPECT_NEAR(p99, 1000.0, 256.0);
+}
+
+// ---------------------------------------------------------------------------
 // TraceRing
 // ---------------------------------------------------------------------------
 
@@ -278,6 +391,295 @@ TEST(Exporters, ChromeTracePairsStep1WithFinish) {
 }
 
 // ---------------------------------------------------------------------------
+// TimeSeriesRecorder
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesRecorder, CounterRawAndRateSeries) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("pkts");
+  TimeSeriesRecorder recorder(registry);
+  recorder.sample(0);
+  c->inc(100);
+  recorder.sample(sim::kSecond);
+  c->inc(50);
+  recorder.sample(2 * sim::kSecond);
+
+  const auto raw = recorder.find("pkts");
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_EQ(raw[0].value, 0);
+  EXPECT_EQ(raw[1].value, 100);
+  EXPECT_EQ(raw[2].value, 150);
+
+  const auto rate = recorder.find("pkts:rate");
+  ASSERT_EQ(rate.size(), 2u);  // first sample has no previous to diff
+  EXPECT_DOUBLE_EQ(rate[0].value, 100.0);  // 100 in 1 s
+  EXPECT_DOUBLE_EQ(rate[1].value, 50.0);
+  EXPECT_EQ(rate[0].at, sim::kSecond);
+  EXPECT_EQ(recorder.sample_count(), 3u);
+}
+
+TEST(TimeSeriesRecorder, HistogramIntervalQuantilesAndGaps) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  TimeSeriesRecorder recorder(registry);
+  recorder.sample(0);
+  for (std::uint64_t v = 1; v <= 4; ++v) h->record(v);
+  recorder.sample(sim::kSecond);
+  // Quiet interval: no recordings => no derived points (gap, not zero).
+  recorder.sample(2 * sim::kSecond);
+
+  const auto p50 = recorder.find("lat:p50");
+  ASSERT_EQ(p50.size(), 1u);
+  EXPECT_DOUBLE_EQ(p50[0].value, 2.0);  // exact: unit buckets
+  const auto p99 = recorder.find("lat:p99");
+  ASSERT_EQ(p99.size(), 1u);
+  const auto mean = recorder.find("lat:mean");
+  ASSERT_EQ(mean.size(), 1u);
+  EXPECT_DOUBLE_EQ(mean[0].value, 2.5);  // (1+2+3+4)/4
+  const auto count_rate = recorder.find("lat:count_rate");
+  ASSERT_EQ(count_rate.size(), 1u);
+  EXPECT_DOUBLE_EQ(count_rate[0].value, 4.0);  // 4 records in 1 s
+}
+
+TEST(TimeSeriesRecorder, HistogramDeltaIsolatesTheInterval) {
+  // The second interval's quantiles must reflect only the second interval's
+  // values, even though snapshots are cumulative since boot.
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  TimeSeriesRecorder recorder(registry);
+  recorder.sample(0);
+  for (int i = 0; i < 100; ++i) h->record(1);
+  recorder.sample(sim::kSecond);
+  for (int i = 0; i < 100; ++i) h->record(1000);
+  recorder.sample(2 * sim::kSecond);
+
+  const auto p50 = recorder.find("lat:p50");
+  ASSERT_EQ(p50.size(), 2u);
+  EXPECT_NEAR(p50[0].value, 1.0, 1.0);
+  EXPECT_NEAR(p50[1].value, 1000.0, 128.0);  // not dragged down by the 1s
+}
+
+TEST(TimeSeriesRecorder, CapacityBoundsRetainedPoints) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("occ");
+  TimeSeriesRecorder::Options opts;
+  opts.capacity = 4;
+  TimeSeriesRecorder recorder(registry, opts);
+  for (int i = 0; i < 10; ++i) {
+    g->set(i);
+    recorder.sample(static_cast<sim::Time>(i) * sim::kSecond);
+  }
+  const auto points = recorder.find("occ");
+  ASSERT_EQ(points.size(), 4u);  // oldest evicted
+  EXPECT_EQ(points.front().value, 6);
+  EXPECT_EQ(points.back().value, 9);
+}
+
+TEST(TimeSeriesRecorder, WindowStatsOverLastN) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("occ");
+  TimeSeriesRecorder recorder(registry);
+  const double values[] = {5, 1, 9, 3};
+  for (int i = 0; i < 4; ++i) {
+    g->set(values[i]);
+    recorder.sample(static_cast<sim::Time>(i) * sim::kSecond);
+  }
+  const auto all = recorder.window("occ");
+  EXPECT_EQ(all.count, 4u);
+  EXPECT_EQ(all.min, 1);
+  EXPECT_EQ(all.max, 9);
+  EXPECT_DOUBLE_EQ(all.mean, 4.5);
+  const auto last2 = recorder.window("occ", "", 2);
+  EXPECT_EQ(last2.count, 2u);
+  EXPECT_EQ(last2.min, 3);
+  EXPECT_EQ(last2.max, 9);
+  EXPECT_EQ(recorder.window("absent").count, 0u);
+}
+
+TEST(TimeSeriesRecorder, CsvAndJsonRenderPoints) {
+  MetricsRegistry registry;
+  registry.counter("pkts")->inc(7);
+  TimeSeriesRecorder recorder(registry);
+  recorder.sample(sim::kSecond);
+  const std::string csv = recorder.to_csv();
+  EXPECT_EQ(csv.rfind("t_seconds,name,labels,value\n", 0), 0u);
+  EXPECT_NE(csv.find("1,pkts,\"\",7"), std::string::npos);
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"interval_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pkts\""), std::string::npos);
+  EXPECT_NE(json.find("[1,7]"), std::string::npos);
+}
+
+TEST(TimeSeriesRecorder, AttachSamplesOnTheSimClock) {
+  sim::Simulator sim;
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("occ");
+  TimeSeriesRecorder::Options opts;
+  opts.interval = 100 * sim::kMillisecond;
+  TimeSeriesRecorder recorder(registry, opts);
+  recorder.attach(sim, sim.now() + sim::kSecond);  // bounded: sim.run() is ok
+  g->set(3);
+  sim.run();
+  recorder.detach();
+  const auto points = recorder.find("occ");
+  // Immediate sample at t=0 plus one per 100 ms through t=1 s inclusive.
+  EXPECT_EQ(points.size(), 11u);
+  EXPECT_EQ(points.back().at, sim::kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// FlowJourneyTracer
+// ---------------------------------------------------------------------------
+
+TEST(FlowJourney, ReconstructsOneFlowWithUpdateContext) {
+  TraceRing ring(64);
+  const std::uint32_t vip = ring.intern("20.0.0.1:80");
+  const std::uint64_t flow = 0xABCDEF0123456789ull;
+  ring.record_at(100, TraceEventKind::kLearn, vip, 7, flow);
+  ring.record_at(150, TraceEventKind::kUpdateStep1Open, vip, 8, 7, 8);
+  ring.record_at(200, TraceEventKind::kCuckooInsert, vip, 7, /*moves=*/0,
+                 flow);
+  ring.record_at(250, TraceEventKind::kUpdateFlip, vip, 8, 7, 8);
+  // Outside [first, last]: must NOT appear as context.
+  ring.record_at(900, TraceEventKind::kUpdateFinish, vip, 8);
+  // A different flow: must not leak into this journey.
+  ring.record_at(120, TraceEventKind::kLearn, vip, 7, flow + 1);
+
+  const auto journey = FlowJourneyTracer::journey_of(ring, flow);
+  ASSERT_TRUE(journey.has_value());
+  EXPECT_EQ(journey->flow_id, flow);
+  EXPECT_EQ(journey->scope, vip);
+  EXPECT_EQ(journey->version, 7u);
+  EXPECT_EQ(journey->first, 100u);
+  EXPECT_EQ(journey->last, 200u);
+  ASSERT_EQ(journey->events.size(), 2u);
+  EXPECT_EQ(journey->events[0].kind, TraceEventKind::kLearn);
+  EXPECT_EQ(journey->events[1].kind, TraceEventKind::kCuckooInsert);
+  EXPECT_TRUE(journey->installed);
+  EXPECT_FALSE(journey->software_fallback);
+  ASSERT_EQ(journey->context.size(), 1u);  // only the in-window step1
+  EXPECT_EQ(journey->context[0].kind, TraceEventKind::kUpdateStep1Open);
+
+  EXPECT_EQ(FlowJourneyTracer::journey_of(ring, 0x1234).has_value(), false);
+}
+
+TEST(FlowJourney, ReconstructCapsFlowsFirstSeen) {
+  TraceRing ring(64);
+  for (std::uint64_t f = 1; f <= 10; ++f) {
+    ring.record_at(f, TraceEventKind::kLearn, kNoScope, kNoVersion, f);
+  }
+  JourneyOptions options;
+  options.max_flows = 3;
+  const auto journeys = FlowJourneyTracer::reconstruct(ring, options);
+  ASSERT_EQ(journeys.size(), 3u);
+  EXPECT_EQ(journeys[0].flow_id, 1u);  // first-seen order
+  EXPECT_EQ(journeys[2].flow_id, 3u);
+}
+
+TEST(FlowJourney, ChromeTraceHasFlowTracksAndInstallSpan) {
+  TraceRing ring(64);
+  const std::uint32_t vip = ring.intern("20.0.0.1:80");
+  const std::uint64_t flow = 0x42;
+  ring.record_at(100, TraceEventKind::kLearn, vip, 1, flow);
+  ring.record_at(150, TraceEventKind::kUpdateFlip, vip, 2, 1, 2);
+  ring.record_at(200, TraceEventKind::kCuckooInsert, vip, 1, 0, flow);
+  const auto journeys = FlowJourneyTracer::reconstruct(ring);
+  ASSERT_EQ(journeys.size(), 1u);
+  const std::string out = FlowJourneyTracer::to_chrome_trace(ring, journeys);
+  EXPECT_NE(out.find("flow 0x0000000000000042"), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);  // install span
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // event instants
+  EXPECT_NE(out.find("ctx:"), std::string::npos);  // overlapping flip
+  const std::string text = FlowJourneyTracer::format(ring, journeys[0]);
+  EXPECT_NE(text.find("installed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ScrapeServer (real sockets on loopback, ephemeral port)
+// ---------------------------------------------------------------------------
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ScrapeServer, ServesAllEndpointsOverLoopback) {
+  MetricsRegistry registry;
+  registry.counter("silkroad_packets_total")->inc(12);
+  TimeSeriesRecorder recorder(registry);
+  recorder.sample(sim::kSecond);
+
+  ScrapeServer server;  // port 0 = ephemeral
+  server.handle("/metrics", "text/plain; version=0.0.4",
+                [&registry] { return to_prometheus(registry.snapshot()); });
+  server.handle("/timeseries.json", "application/json",
+                [&recorder] { return recorder.to_json(); });
+  server.handle("/tables", "application/json",
+                [] { return std::string("{\"conn_table\":{}}"); });
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.port(), 0u);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("silkroad_packets_total 12"), std::string::npos);
+
+  const std::string healthz = http_get(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+  const std::string series = http_get(server.port(), "/timeseries.json");
+  EXPECT_NE(series.find("200 OK"), std::string::npos);
+  EXPECT_NE(series.find("\"interval_ns\""), std::string::npos);
+
+  const std::string tables = http_get(server.port(), "/tables");
+  EXPECT_NE(tables.find("200 OK"), std::string::npos);
+  EXPECT_NE(tables.find("conn_table"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 5u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(ScrapeServer, EnvPortParsing) {
+  std::uint16_t port = 1;
+  ::unsetenv("SILKROAD_SCRAPE_PORT");
+  EXPECT_FALSE(scrape_port_from_env(port));
+  ::setenv("SILKROAD_SCRAPE_PORT", "9100", 1);
+  EXPECT_TRUE(scrape_port_from_env(port));
+  EXPECT_EQ(port, 9100u);
+  ::setenv("SILKROAD_SCRAPE_PORT", "0", 1);
+  EXPECT_TRUE(scrape_port_from_env(port));
+  EXPECT_EQ(port, 0u);
+  ::setenv("SILKROAD_SCRAPE_PORT", "70000", 1);
+  EXPECT_FALSE(scrape_port_from_env(port));
+  ::setenv("SILKROAD_SCRAPE_PORT", "not-a-port", 1);
+  EXPECT_FALSE(scrape_port_from_env(port));
+  ::unsetenv("SILKROAD_SCRAPE_PORT");
+}
+
+// ---------------------------------------------------------------------------
 // Switch integration: event order and zero double-counting
 // ---------------------------------------------------------------------------
 
@@ -378,6 +780,69 @@ TEST(SwitchTelemetry, LegacyStatsViewMatchesRegistryExactly) {
   const MetricSample* latency = snap.find("silkroad_packet_latency_ns");
   ASSERT_NE(latency, nullptr);
   EXPECT_EQ(latency->count, stats.packets);
+}
+
+TEST(SwitchTelemetry, RecorderCapturesInsertLatencyTailUnderChurn) {
+  // Acceptance criterion (ISSUE): after a churn phase, the recorder's p99
+  // series for ConnTable insert latency is non-empty.
+  sim::Simulator sim;
+  core::SilkRoadSwitch sw(sim, small_config());
+  sw.add_vip(vip_ep(), make_dips(8));
+  TimeSeriesRecorder::Options opts;
+  opts.interval = 10 * sim::kMillisecond;
+  TimeSeriesRecorder recorder(sw.metrics(), opts);
+  recorder.attach(sim);
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    sim.schedule_at(static_cast<sim::Time>(i) * sim::kMillisecond / 4,
+                    [&sw, i] { sw.process_packet(packet_of(i, true)); });
+  }
+  sim.run_until(200 * sim::kMillisecond);
+  recorder.detach();
+  sim.run();
+
+  EXPECT_FALSE(recorder.find("silkroad_insert_latency_ns:p99").empty());
+  EXPECT_FALSE(recorder.find("silkroad_insert_latency_ns:p50").empty());
+  EXPECT_FALSE(recorder.find("silkroad_inserts_total:rate").empty());
+  // Every sampled p99 is a sane latency (positive, below a second).
+  for (const auto& point : recorder.find("silkroad_insert_latency_ns:p99")) {
+    EXPECT_GT(point.value, 0.0);
+    EXPECT_LT(point.value, 1e9);
+  }
+}
+
+TEST(SwitchTelemetry, JourneysReconstructFromSwitchTrace) {
+  sim::Simulator sim;
+  core::SilkRoadSwitch sw(sim, small_config());
+  sw.add_vip(vip_ep(), make_dips(8));
+  for (std::uint32_t i = 0; i < 64; ++i) sw.process_packet(packet_of(i, true));
+  sim.run();
+
+  const auto journeys = FlowJourneyTracer::reconstruct(sw.trace());
+  ASSERT_GE(journeys.size(), 32u);
+  for (const auto& journey : journeys) {
+    EXPECT_NE(journey.flow_id, 0u);
+    ASSERT_FALSE(journey.events.empty());
+    EXPECT_EQ(journey.events.front().kind, TraceEventKind::kLearn);
+    for (std::size_t i = 1; i < journey.events.size(); ++i) {
+      EXPECT_LE(journey.events[i - 1].at, journey.events[i].at);
+    }
+  }
+  // The install pipeline ran: some journey reached the ConnTable.
+  EXPECT_TRUE(std::any_of(journeys.begin(), journeys.end(),
+                          [](const FlowJourney& j) { return j.installed; }));
+}
+
+TEST(SwitchTelemetry, TraceDroppedGaugeTracksRingWraparound) {
+  sim::Simulator sim;
+  core::SilkRoadSwitch sw(sim, small_config());
+  EXPECT_EQ(sw.metrics().snapshot().value_of("obs_trace_dropped_total"), 0.0);
+  // Overflow the 4096-slot ring directly; the pull counter must follow.
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    sw.trace().record(TraceEventKind::kLearn, kNoScope, kNoVersion, i);
+  }
+  EXPECT_GT(sw.trace().dropped(), 0u);
+  EXPECT_EQ(sw.metrics().snapshot().value_of("obs_trace_dropped_total"),
+            static_cast<double>(sw.trace().dropped()));
 }
 
 }  // namespace
