@@ -94,6 +94,14 @@ class DigestCuckooTable {
   /// CPU-side removal (connection expired). Returns false if absent.
   bool erase(const net::FiveTuple& key);
 
+  /// Drops every entry (switch crash/restore: connection state is lost while
+  /// the geometry, observers, and monotone counters survive).
+  void clear() {
+    for (auto& slot : slots_) slot = Slot{};
+    for (auto& key : shadow_keys_) key = net::FiveTuple{};
+    index_.clear();
+  }
+
   /// CPU-side exact-match presence test (uses shadow state, no digests).
   bool contains(const net::FiveTuple& key) const;
 

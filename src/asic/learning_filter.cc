@@ -27,12 +27,23 @@ void LearningFilter::flush_now() {
   batch.reserve(order_.size());
   for (const auto& flow : order_) {
     const auto it = pending_.find(flow);
-    if (it != pending_.end()) batch.push_back(it->second);
+    if (it == pending_.end()) continue;
+    if (drop_hook_ && drop_hook_(it->second)) {
+      ++dropped_events_;
+      continue;
+    }
+    batch.push_back(it->second);
   }
   pending_.clear();
   order_.clear();
   ++flushes_;
   sink_(std::move(batch));
+}
+
+void LearningFilter::reset() {
+  timeout_event_.cancel();
+  pending_.clear();
+  order_.clear();
 }
 
 }  // namespace silkroad::asic

@@ -39,6 +39,12 @@ class LearningFilter {
 
   using FlushSink = std::function<void(std::vector<LearnEvent>)>;
 
+  /// Fault-injection hook: returns true to lose this event at flush time.
+  /// The filter still clears its own state (the hardware did notify; the
+  /// PCI-E message was lost), so only a CPU-side re-learn sweep can recover
+  /// the flow — exactly the failure mode a dropped notification creates.
+  using DropHook = std::function<bool(const LearnEvent& event)>;
+
   LearningFilter(sim::Simulator& simulator, const Config& config,
                  FlushSink sink)
       : sim_(simulator), config_(config), sink_(std::move(sink)) {}
@@ -59,10 +65,17 @@ class LearningFilter {
   /// Forces an immediate flush (used at teardown and in tests).
   void flush_now();
 
+  /// Drops all buffered events and cancels the notification timer (switch
+  /// crash: the hardware filter loses power with everything else).
+  void reset();
+
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
   std::size_t pending_count() const noexcept { return pending_.size(); }
   std::uint64_t total_events() const noexcept { return total_events_; }
   std::uint64_t duplicate_events() const noexcept { return duplicate_events_; }
   std::uint64_t flushes() const noexcept { return flushes_; }
+  std::uint64_t dropped_events() const noexcept { return dropped_events_; }
   const Config& config() const noexcept { return config_; }
 
  private:
@@ -72,9 +85,11 @@ class LearningFilter {
   std::unordered_map<net::FiveTuple, LearnEvent, net::FiveTupleHash> pending_;
   std::vector<net::FiveTuple> order_;  // flush in arrival order
   sim::EventHandle timeout_event_;
+  DropHook drop_hook_;
   std::uint64_t total_events_ = 0;
   std::uint64_t duplicate_events_ = 0;
   std::uint64_t flushes_ = 0;
+  std::uint64_t dropped_events_ = 0;
 };
 
 }  // namespace silkroad::asic

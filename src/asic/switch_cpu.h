@@ -30,6 +30,11 @@ class SwitchCpu {
 
   using Task = std::function<void()>;
 
+  /// Fault-injection hook: maps the nominal per-task service time to the
+  /// effective one (a stall window returns time-until-window-end + base; a
+  /// slowdown returns base x factor). Consulted once per task dispatch.
+  using DelayHook = std::function<sim::Time(sim::Time base)>;
+
   SwitchCpu(sim::Simulator& simulator, const Config& config)
       : sim_(simulator),
         service_time_(config.tasks_per_second <= 0
@@ -84,6 +89,8 @@ class SwitchCpu {
   sim::Time service_time() const noexcept { return service_time_; }
   std::size_t pipe_count() const noexcept { return pipes_.size(); }
 
+  void set_delay_hook(DelayHook hook) { delay_hook_ = std::move(hook); }
+
  private:
   struct Pipe {
     std::deque<Task> queue;
@@ -91,7 +98,9 @@ class SwitchCpu {
   };
 
   void schedule_next(Pipe& pipe) {
-    sim_.schedule_after(service_time_, [this, &pipe] {
+    const sim::Time delay =
+        delay_hook_ ? delay_hook_(service_time_) : service_time_;
+    sim_.schedule_after(delay, [this, &pipe] {
       Task task = std::move(pipe.queue.front());
       pipe.queue.pop_front();
       ++completed_;
@@ -108,6 +117,7 @@ class SwitchCpu {
   sim::Time service_time_;
   std::vector<Pipe> pipes_;
   std::uint64_t completed_ = 0;
+  DelayHook delay_hook_;
 };
 
 }  // namespace silkroad::asic

@@ -62,6 +62,18 @@ void InvariantAuditor::check_version_liveness(
                          info.vip, info.version));
     }
   }
+  for (const auto& [flow, conn] : sw_.degraded_flows_) {
+    const auto* state = sw_.find_vip(conn.vip);
+    if (state == nullptr ||
+        state->versions->pool(conn.version) == nullptr) {
+      out.push_back(make("version-liveness",
+                         "degraded flow " + flow_str(flow) +
+                             " is pinned to version " +
+                             std::to_string(conn.version) +
+                             " which has no live pool",
+                         conn.vip, conn.version));
+    }
+  }
 }
 
 void InvariantAuditor::check_refcounts(std::vector<Violation>& out) const {
@@ -104,12 +116,14 @@ void InvariantAuditor::check_refcounts(std::vector<Violation>& out) const {
                                  vip.to_string(),
                              vip));
         }
-        if (!sw_.pending_.contains(flow) && !sw_.conn_table_.contains(flow)) {
-          out.push_back(make("refcount-match",
-                             "tracked flow " + flow_str(flow) + " (version " +
-                                 std::to_string(version) +
-                                 ") is neither pending nor installed",
-                             vip, version));
+        if (!sw_.pending_.contains(flow) && !sw_.conn_table_.contains(flow) &&
+            !sw_.degraded_flows_.contains(flow)) {
+          out.push_back(make(
+              "refcount-match",
+              "tracked flow " + flow_str(flow) + " (version " +
+                  std::to_string(version) +
+                  ") is neither pending, installed, nor degraded-pinned",
+              vip, version));
         }
       }
     }

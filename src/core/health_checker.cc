@@ -1,5 +1,7 @@
 #include "core/health_checker.h"
 
+#include <algorithm>
+
 namespace silkroad::core {
 
 void HealthChecker::watch(const net::Endpoint& vip, const net::Endpoint& dip) {
@@ -17,6 +19,10 @@ void HealthChecker::unwatch(const net::Endpoint& vip,
   targets_.erase(it);
 }
 
+void HealthChecker::stop() {
+  for (auto& [key, target] : targets_) target.next_probe.cancel();
+}
+
 void HealthChecker::schedule_probe(const Key& key) {
   const auto it = targets_.find(key);
   if (it == targets_.end()) return;
@@ -31,29 +37,43 @@ void HealthChecker::probe_once(const Key& key) {
   if (it == targets_.end()) return;
   Target& target = it->second;
   ++probes_sent_;
+  target.flap_score = std::max(0.0, target.flap_score - config_.flap_decay);
   const bool alive = probe_(key.dip);
   if (alive) {
-    if (target.declared_dead) {
-      // The server answered again (rebooted): hand it back through the
-      // normal add-DIP update path so versioning (and reuse) applies.
-      target.declared_dead = false;
-      ++recoveries_;
-      workload::DipUpdate update;
-      update.at = sim_.now();
-      update.vip = key.vip;
-      update.dip = key.dip;
-      update.action = workload::UpdateAction::kAddDip;
-      update.cause = workload::UpdateCause::kFailure;
-      lb_.request_update(update);
-      if (on_recovery_) on_recovery_(key.vip, key.dip);
-    }
     target.missed = 0;
-  } else if (!target.declared_dead) {
-    if (++target.missed >= config_.failure_threshold) {
+    if (target.declared_dead) {
+      ++target.good;
+      const bool suppressed = config_.flap_penalty > 0.0 &&
+                              target.flap_score >=
+                                  config_.flap_suppress_threshold;
+      if (target.good < config_.recovery_threshold) {
+        // Recovery hysteresis: not enough consecutive answers yet.
+      } else if (suppressed) {
+        ++suppressed_recoveries_;
+      } else {
+        // The server answered consistently (rebooted): hand it back through
+        // the normal add-DIP update path so versioning (and reuse) applies.
+        target.declared_dead = false;
+        target.good = 0;
+        ++recoveries_;
+        if (on_recovery_) on_recovery_(key.vip, key.dip);
+        workload::DipUpdate update;
+        update.at = sim_.now();
+        update.vip = key.vip;
+        update.dip = key.dip;
+        update.action = workload::UpdateAction::kAddDip;
+        update.cause = workload::UpdateCause::kFailure;
+        lb_.request_update(update);
+      }
+    }
+  } else {
+    target.good = 0;
+    if (!target.declared_dead && ++target.missed >= config_.failure_threshold) {
       target.declared_dead = true;
+      target.flap_score += config_.flap_penalty;
       ++failures_;
-      lb_.handle_dip_failure(key.vip, key.dip, config_.resilient_in_place);
       if (on_failure_) on_failure_(key.vip, key.dip);
+      lb_.handle_dip_failure(key.vip, key.dip, config_.resilient_in_place);
     }
   }
   schedule_probe(key);

@@ -6,14 +6,19 @@
 // failure the checker either runs the normal removal update (new version) or
 // the in-place resilient-hashing path (mark the slot down in every version,
 // no version churn) depending on configuration.
+//
+// Recovery is hysteretic: a DIP must answer `recovery_threshold` consecutive
+// probes before it is re-added, and a DIP that keeps dying accumulates a flap
+// score that suppresses re-adds entirely until it decays — so an unstable
+// server cannot drag its VIP through a version flip on every heartbeat.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 
-#include "core/silkroad_switch.h"
+#include "lb/load_balancer.h"
+#include "net/endpoint.h"
 #include "sim/event_queue.h"
 
 namespace silkroad::core {
@@ -30,17 +35,27 @@ class HealthChecker {
     std::uint32_t probe_bytes = 100;
     /// Use the §7 in-place resilient path instead of a removal update.
     bool resilient_in_place = true;
+    /// Consecutive answered probes before a dead DIP is re-added.
+    int recovery_threshold = 1;
+    /// Flap damping: every dead declaration adds this to the DIP's flap
+    /// score; each probe decays the score by `flap_decay`. While the score
+    /// is at or above `flap_suppress_threshold`, recovery is withheld even
+    /// when the DIP answers. 0 disables damping.
+    double flap_penalty = 0.0;
+    double flap_suppress_threshold = 1.0;
+    double flap_decay = 0.0;
   };
 
   /// Liveness oracle: returns true when `dip` currently answers probes.
   /// In production this is the BFD session state; in simulation the test
   /// or scenario provides it.
   using LivenessProbe = std::function<bool(const net::Endpoint& dip)>;
-  /// Notification on state transitions.
+  /// Notification on state transitions. Invoked *before* the load balancer
+  /// is mutated, so a PCC harness can mark affected flows first.
   using FailureCallback =
       std::function<void(const net::Endpoint& vip, const net::Endpoint& dip)>;
 
-  HealthChecker(sim::Simulator& simulator, SilkRoadSwitch& lb,
+  HealthChecker(sim::Simulator& simulator, lb::LoadBalancer& lb,
                 const Config& config, LivenessProbe probe)
       : sim_(simulator), lb_(lb), config_(config), probe_(std::move(probe)) {}
 
@@ -53,6 +68,10 @@ class HealthChecker {
   /// Stops monitoring (e.g., the DIP was removed administratively).
   void unwatch(const net::Endpoint& vip, const net::Endpoint& dip);
 
+  /// Cancels every scheduled probe so an otherwise-drained simulation can
+  /// terminate; watch() re-arms.
+  void stop();
+
   void set_failure_callback(FailureCallback cb) { on_failure_ = std::move(cb); }
   void set_recovery_callback(FailureCallback cb) { on_recovery_ = std::move(cb); }
 
@@ -60,6 +79,10 @@ class HealthChecker {
   std::uint64_t probes_sent() const noexcept { return probes_sent_; }
   std::uint64_t failures_detected() const noexcept { return failures_; }
   std::uint64_t recoveries_detected() const noexcept { return recoveries_; }
+  /// Probe rounds where a recovered DIP was withheld by flap damping.
+  std::uint64_t recoveries_suppressed() const noexcept {
+    return suppressed_recoveries_;
+  }
 
   /// Probe bandwidth in bits/sec for the current watch set (the §7 estimate:
   /// 10K DIPs / 10 s / 100 B ~ 800 Kbps).
@@ -84,7 +107,9 @@ class HealthChecker {
   };
   struct Target {
     int missed = 0;
+    int good = 0;
     bool declared_dead = false;
+    double flap_score = 0.0;
     sim::EventHandle next_probe;
   };
 
@@ -92,7 +117,7 @@ class HealthChecker {
   void schedule_probe(const Key& key);
 
   sim::Simulator& sim_;
-  SilkRoadSwitch& lb_;
+  lb::LoadBalancer& lb_;
   Config config_;
   LivenessProbe probe_;
   FailureCallback on_failure_;
@@ -101,6 +126,7 @@ class HealthChecker {
   std::uint64_t probes_sent_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t suppressed_recoveries_ = 0;
 };
 
 }  // namespace silkroad::core

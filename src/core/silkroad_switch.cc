@@ -89,6 +89,18 @@ void SilkRoadSwitch::init_metrics() {
                                     "packets marked red by a VIP meter");
   c_.aged_out = metrics_.counter("silkroad_aged_out_total",
                                  "idle entries collected by the aging sweep");
+  c_.degraded_transitions =
+      metrics_.counter("silkroad_degraded_mode_transitions_total",
+                       "degraded-mode entries plus exits");
+  c_.degraded_admits =
+      metrics_.counter("silkroad_degraded_admits_total",
+                       "flows admitted version-routed in degraded mode");
+  c_.pending_shed =
+      metrics_.counter("silkroad_pending_shed_total",
+                       "flows shed by the bounded pending-insert queue");
+  c_.relearns = metrics_.counter(
+      "silkroad_relearns_total",
+      "pending flows re-enqueued after a lost learning notification");
   c_.meter_green = metrics_.counter("silkroad_meter_packets_total",
                                     "metered packets by color", "color=\"green\"");
   c_.meter_yellow = metrics_.counter("silkroad_meter_packets_total",
@@ -122,6 +134,20 @@ void SilkRoadSwitch::init_metrics() {
       "silkroad_connections_software", obs::MetricKind::kGauge,
       [this] { return static_cast<double>(software_table_.size()); },
       "flows served from the slow-path exact table");
+  metrics_.register_callback(
+      "silkroad_connections_degraded", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(degraded_flows_.size()); },
+      "flows version-pinned by shed/degraded admission");
+  metrics_.register_callback(
+      "silkroad_degraded_mode", obs::MetricKind::kGauge,
+      [this] { return degraded_ ? 1.0 : 0.0; },
+      "1 while the switch refuses new ConnTable insertions");
+  metrics_.register_callback(
+      "silkroad_learn_drops_total", obs::MetricKind::kCounter,
+      [this] {
+        return static_cast<double>(learning_filter_.dropped_events());
+      },
+      "learning-filter notifications lost before reaching the CPU");
   metrics_.register_callback(
       "silkroad_conn_table_occupancy", obs::MetricKind::kGauge,
       [this] { return conn_table_.occupancy(); },
@@ -292,7 +318,12 @@ std::uint32_t SilkRoadSwitch::version_for_miss(const net::Endpoint& vip,
     // it keeps resolving to the old version after the flip.
     if (config_.use_transit_table) {
       transit_.insert(packet.flow);
-      transit_members_.insert(packet.flow);
+      // The CPU-side completion gate only tracks flows that will resolve via
+      // a pending insertion: a FIN of an untracked flow still lands in the
+      // bloom (the ASIC cannot tell), but it must not wedge Step2.
+      if (!packet.fin || pending_.contains(packet.flow)) {
+        transit_members_.insert(packet.flow);
+      }
     }
     return current;  // still the old version
   }
@@ -332,6 +363,7 @@ void SilkRoadSwitch::learn_new_flow(const net::Endpoint& vip, VipState& state,
   state.versions->acquire(version);
   state.conns_by_version[version].insert(flow);
   track_digest(flow);
+  arm_relearn_sweep();
 }
 
 void SilkRoadSwitch::track_digest(const net::FiveTuple& flow) {
@@ -436,6 +468,9 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
                           state->trace_scope, version,
                           net::FiveTupleHash{}(packet.flow));
           }
+          // A Step1 record for this flow can never resolve (it has no
+          // pending insertion): drop it from the completion gate.
+          transit_members_.erase(packet.flow);
           result.dip = dip;
           return result;
         }
@@ -479,6 +514,48 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
     return result;
   }
 
+  if (const auto dg = degraded_flows_.find(packet.flow);
+      dg != degraded_flows_.end()) {
+    // Shed/degraded admission under kPinVersion: served version-routed from
+    // the pinned admission-time version, no ConnTable entry.
+    result.dip = state->versions->select(dg->second.version, packet.flow);
+    if (packet.fin) {
+      const DegradedConn conn = dg->second;
+      degraded_flows_.erase(dg);
+      release_conn(conn.vip, packet.flow, conn.version);
+    }
+    return result;
+  }
+
+  if (packet.fin || pending_.contains(packet.flow)) {
+    const bool was_redirected = result.redirected_to_cpu;
+    const std::uint32_t version =
+        version_for_miss(vip, *state, packet, &result.redirected_to_cpu);
+    if (result.redirected_to_cpu && !was_redirected) {
+      result.added_latency += config_.syn_redirect_delay;
+    }
+    result.dip = state->versions->select(version, packet.flow);
+    if (packet.fin) {
+      // Flow ended before its entry landed: cancel the pending insertion.
+      if (const auto p = pending_.find(packet.flow); p != pending_.end()) {
+        p->second.dead = true;
+      }
+    }
+    return result;
+  }
+
+  // Brand-new flow: the admission decision comes *before* version_for_miss
+  // so a shed/degraded flow never enters the TransitTable bookkeeping (it
+  // would have no pending insertion to drain it back out).
+  maybe_update_degraded();
+  const bool queue_full = config_.max_pending_inserts > 0 &&
+                          pending_.size() >= config_.max_pending_inserts;
+  if (degraded_ || queue_full) {
+    result.dip = admit_without_insert(vip, *state, packet.flow,
+                                      /*shed=*/queue_full && !degraded_);
+    return result;
+  }
+
   const bool was_redirected = result.redirected_to_cpu;
   const std::uint32_t version =
       version_for_miss(vip, *state, packet, &result.redirected_to_cpu);
@@ -486,19 +563,14 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
     result.added_latency += config_.syn_redirect_delay;
   }
   const auto dip = state->versions->select(version, packet.flow);
-  if (!dip) return result;  // empty pool: nothing to balance to
-  result.dip = dip;
-
-  if (packet.fin) {
-    // Flow ended before its entry landed: cancel the pending insertion.
-    if (const auto p = pending_.find(packet.flow); p != pending_.end()) {
-      p->second.dead = true;
-    }
+  if (!dip) {
+    // Empty pool: the flow is not learned, so its Step1 record (if any) must
+    // not gate the in-flight update's completion.
+    transit_members_.erase(packet.flow);
     return result;
   }
-  if (!pending_.contains(packet.flow)) {
-    learn_new_flow(vip, *state, packet.flow, version);
-  }
+  result.dip = dip;
+  learn_new_flow(vip, *state, packet.flow, version);
   return result;
 }
 
@@ -509,6 +581,9 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
 void SilkRoadSwitch::on_learning_flush(std::vector<asic::LearnEvent> batch) {
   c_.learn_batch_size->record(batch.size());
   for (auto& event : batch) {
+    if (const auto p = pending_.find(event.flow); p != pending_.end()) {
+      p->second.enqueued = true;  // notification survived the channel
+    }
     // Shard by flow so multi-pipe CPUs keep per-flow operation order (§5.2).
     cpu_.enqueue([this, event] { complete_insertion(event); },
                  net::FiveTupleHash{}(event.flow));
@@ -528,7 +603,11 @@ void SilkRoadSwitch::complete_insertion(const asic::LearnEvent& event) {
     untrack_digest(event.flow);
     release_conn(info.vip, event.flow, info.version);
   } else {
-    const auto res = conn_table_.insert(event.flow, info.version);
+    // The insert-fail fault hook forces the BFS-budget-exhausted outcome so
+    // chaos runs exercise the software-fallback path deterministically.
+    const auto res = (insert_fail_hook_ && insert_fail_hook_(event.flow))
+                         ? asic::DigestCuckooTable::InsertResult{}
+                         : conn_table_.insert(event.flow, info.version);
     if (res.inserted) {
       c_.inserts->inc();
       c_.insert_latency_ns->record(sim_.now() - info.learned_at);
@@ -734,6 +813,7 @@ bool SilkRoadSwitch::evict_version_for(const net::Endpoint& /*vip*/,
       if (const auto p = pending_.find(flow); p != pending_.end()) {
         p->second.dead = true;  // insertion will be skipped
       }
+      degraded_flows_.erase(flow);  // now exact-pinned, not version-pinned
     }
     state.conns_by_version.erase(it);
   }
@@ -791,6 +871,149 @@ void SilkRoadSwitch::handle_dip_failure(const net::Endpoint& vip,
   // the failed DIP re-map (they are broken by the server loss regardless).
   state->versions->mark_dip_down(dip);
   if (risk_cb_) risk_cb_(vip);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation + fault hooks
+// ---------------------------------------------------------------------------
+
+void SilkRoadSwitch::set_fault_hooks(FaultHooks hooks) {
+  cpu_.set_delay_hook(std::move(hooks.cpu_delay));
+  learning_filter_.set_drop_hook(std::move(hooks.learn_drop));
+  insert_fail_hook_ = std::move(hooks.insert_fail);
+}
+
+std::optional<net::Endpoint> SilkRoadSwitch::admit_without_insert(
+    const net::Endpoint& vip, VipState& state, const net::FiveTuple& flow,
+    bool shed) {
+  // current_version() directly — never version_for_miss — so the flow leaves
+  // no TransitTable record. Under kPinVersion the pin makes this equivalent
+  // to a ConnTable entry for consistency purposes: during Step1 the pin holds
+  // the old version; after a flip the pin still holds it.
+  const std::uint32_t version = state.versions->current_version();
+  const auto dip = state.versions->select(version, flow);
+  if (!dip) return std::nullopt;
+  if (config_.shed_policy == ShedPolicy::kPinVersion) {
+    degraded_flows_.emplace(flow, DegradedConn{vip, version});
+    state.versions->acquire(version);
+    state.conns_by_version[version].insert(flow);
+  }
+  if (shed) {
+    c_.pending_shed->inc();
+    trace_.record(obs::TraceEventKind::kInsertShed, state.trace_scope, version,
+                  net::FiveTupleHash{}(flow));
+  } else {
+    c_.degraded_admits->inc();
+  }
+  return dip;
+}
+
+void SilkRoadSwitch::maybe_update_degraded() {
+  const std::size_t backlog = cpu_.queue_depth();
+  const double occupancy = conn_table_.occupancy();
+  if (!degraded_) {
+    const bool backlog_high = config_.degraded_enter_backlog > 0 &&
+                              backlog >= config_.degraded_enter_backlog;
+    const bool occupancy_high = occupancy >= config_.degraded_enter_occupancy;
+    if (backlog_high || occupancy_high) {
+      degraded_ = true;
+      c_.degraded_transitions->inc();
+      trace_.record(obs::TraceEventKind::kDegradedEnter, obs::kNoScope,
+                    obs::kNoVersion, backlog, pending_.size());
+      arm_degraded_poll();
+    }
+    return;
+  }
+  const bool backlog_ok = config_.degraded_enter_backlog == 0 ||
+                          backlog <= config_.degraded_exit_backlog;
+  const bool occupancy_ok = config_.degraded_enter_occupancy > 1.0 ||
+                            occupancy <= config_.degraded_exit_occupancy;
+  if (backlog_ok && occupancy_ok) {
+    degraded_ = false;
+    c_.degraded_transitions->inc();
+    trace_.record(obs::TraceEventKind::kDegradedExit, obs::kNoScope,
+                  obs::kNoVersion, backlog, pending_.size());
+  }
+}
+
+void SilkRoadSwitch::arm_degraded_poll() {
+  // Exit is re-checked on every admission; the poll covers the case where
+  // traffic to this switch stops entirely while it is degraded.
+  if (!degraded_ || degraded_poll_armed_ ||
+      config_.degraded_poll_period == 0) {
+    return;
+  }
+  degraded_poll_armed_ = true;
+  sim_.schedule_after(config_.degraded_poll_period, [this] {
+    degraded_poll_armed_ = false;
+    maybe_update_degraded();
+    arm_degraded_poll();
+  });
+}
+
+void SilkRoadSwitch::arm_relearn_sweep() {
+  if (config_.relearn_timeout == 0 || relearn_armed_) return;
+  relearn_armed_ = true;
+  sim_.schedule_after(config_.relearn_timeout, [this] { relearn_sweep(); });
+}
+
+void SilkRoadSwitch::relearn_sweep() {
+  relearn_armed_ = false;
+  const sim::Time now = sim_.now();
+  const sim::Time cutoff =
+      now >= config_.relearn_timeout ? now - config_.relearn_timeout : 0;
+  for (auto& [flow, info] : pending_) {
+    // Dead entries are re-enqueued too: a flow that FINs after its
+    // notification was dropped still needs complete_insertion to release its
+    // version refcount and drain the update completion gate.
+    if (info.enqueued || info.learned_at > cutoff) continue;
+    if (learning_filter_.pending(flow)) continue;  // still buffered, not lost
+    // The notification was dropped between the filter and the CPU (the
+    // filter clears its own state at flush time): re-enqueue the insertion
+    // directly from the CPU's shadow record.
+    info.enqueued = true;
+    c_.relearns->inc();
+    if (const VipState* state = find_vip(info.vip); state != nullptr) {
+      trace_.record(obs::TraceEventKind::kRelearn, state->trace_scope,
+                    info.version, net::FiveTupleHash{}(flow));
+    }
+    cpu_.enqueue(
+        [this, event = asic::LearnEvent{flow, info.version, info.learned_at}] {
+          complete_insertion(event);
+        },
+        net::FiveTupleHash{}(flow));
+  }
+  if (!pending_.empty()) arm_relearn_sweep();
+}
+
+void SilkRoadSwitch::reset() {
+  conn_table_.clear();
+  learning_filter_.reset();
+  transit_.clear();
+  vips_.clear();
+  pending_.clear();
+  software_table_.clear();
+  degraded_flows_.clear();
+  digest_groups_.clear();
+  aging_queue_.clear();
+  update_queue_.clear();
+  awaiting_pre_.clear();
+  transit_members_.clear();
+  phase_ = Phase::kIdle;
+  degraded_ = false;
+}
+
+std::vector<net::FiveTuple> SilkRoadSwitch::failover_blast_radius() const {
+  std::unordered_set<net::FiveTuple, net::FiveTupleHash> flows;
+  for (const auto& [vip, state] : vips_) {
+    const std::uint32_t current = state.versions->current_version();
+    for (const auto& [version, conns] : state.conns_by_version) {
+      if (version == current) continue;
+      flows.insert(conns.begin(), conns.end());
+    }
+  }
+  for (const auto& [flow, dip] : software_table_) flows.insert(flow);
+  return {flows.begin(), flows.end()};
 }
 
 std::string SilkRoadSwitch::debug_report() const {

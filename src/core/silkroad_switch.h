@@ -47,6 +47,15 @@ namespace silkroad::core {
 
 class SilkRoadSwitch : public lb::LoadBalancer {
  public:
+  /// How a flow the control plane cannot (or will not) insert is served.
+  ///  * kPinVersion — the CPU tracks the flow in DRAM pinned to its
+  ///    admission-time pool version (the §4.2 "small software table" applied
+  ///    at version granularity): PCC-preserving, costs CPU memory only.
+  ///  * kStateless — the flow is routed by the VIPTable's current version
+  ///    with no record; cheap, but updates re-map it (the measurable PCC
+  ///    blast radius of stateless degradation).
+  enum class ShedPolicy : std::uint8_t { kPinVersion, kStateless };
+
   struct Config {
     asic::CuckooConfig conn_table;
     asic::LearningFilter::Config learning;
@@ -71,6 +80,29 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     sim::Time idle_timeout = 0;
     /// Period of the CPU aging sweep when idle_timeout is enabled.
     sim::Time aging_sweep_period = 10 * sim::kSecond;
+
+    // --- Graceful degradation (all disabled by default) ---------------------
+
+    /// Bounded pending-insert queue: a new flow arriving while this many
+    /// insertions are pending is shed per `shed_policy` instead of learned.
+    /// 0 = unbounded.
+    std::size_t max_pending_inserts = 0;
+    /// Degraded-mode hysteresis on the switch-CPU backlog: enter at or above
+    /// `enter`, leave at or below `exit`. 0 disables the backlog trigger.
+    std::size_t degraded_enter_backlog = 0;
+    std::size_t degraded_exit_backlog = 0;
+    /// Degraded-mode hysteresis on ConnTable occupancy (0..1); values above
+    /// 1.0 disable the occupancy trigger.
+    double degraded_enter_occupancy = 2.0;
+    double degraded_exit_occupancy = 2.0;
+    ShedPolicy shed_policy = ShedPolicy::kPinVersion;
+    /// While degraded, how often to re-check the exit condition when no
+    /// admission event does it first.
+    sim::Time degraded_poll_period = 1 * sim::kMillisecond;
+    /// Re-learn janitor: a pending flow whose learning notification has not
+    /// reached the CPU after this long is re-enqueued directly, recovering
+    /// dropped learning-filter notifications. 0 = off.
+    sim::Time relearn_timeout = 0;
   };
 
   /// Sizes a ConnTable geometry for `connections` at `occupancy` packing
@@ -110,7 +142,29 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   /// machinery (a new version), or — in resilient mode — marks the slot dead
   /// in *all* versions without a version flip.
   void handle_dip_failure(const net::Endpoint& vip, const net::Endpoint& dip,
-                          bool resilient_in_place);
+                          bool resilient_in_place) override;
+
+  /// Fault-injection hooks (src/fault): forwarded to the CPU and learning
+  /// filter; `insert_fail` forces the BFS-budget-exhausted path at
+  /// insertion time so the software-fallback machinery is exercised.
+  struct FaultHooks {
+    asic::SwitchCpu::DelayHook cpu_delay;
+    asic::LearningFilter::DropHook learn_drop;
+    std::function<bool(const net::FiveTuple&)> insert_fail;
+  };
+  void set_fault_hooks(FaultHooks hooks);
+
+  /// Crash model: wipes all connection and update state (ConnTable, pending
+  /// inserts, software/degraded pins, TransitTable, VIP config) while the
+  /// monotone counters and trace ring survive. The controller must replay
+  /// VIP config afterwards (see SilkRoadFleet::restore_switch).
+  void reset();
+
+  /// Flows whose mapping a healthy peer cannot reproduce from its own
+  /// current pool version — connections pinned to older versions plus every
+  /// software/degraded pin. This is the quantified §7 blast radius when this
+  /// switch dies and its ECMP share re-hashes onto peers.
+  std::vector<net::FiveTuple> failover_blast_radius() const;
 
   /// Snapshot view of the switch's headline counters, assembled on demand
   /// from the metrics registry (src/obs) — the registry's counters are the
@@ -170,6 +224,8 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   std::size_t queued_updates() const noexcept { return update_queue_.size(); }
   std::size_t pending_insertions() const noexcept { return pending_.size(); }
   std::size_t software_flows() const noexcept { return software_table_.size(); }
+  std::size_t degraded_flows() const noexcept { return degraded_flows_.size(); }
+  bool in_degraded_mode() const noexcept { return degraded_; }
 
   /// Human-readable operational snapshot: table occupancies, per-VIP version
   /// state, control-plane queue depths, and counters — what an operator's
@@ -209,6 +265,16 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     /// When the flow entered the learning filter; the insert-latency
     /// histogram records install-time minus this.
     sim::Time learned_at = 0;
+    /// The learning notification reached the CPU queue. False past
+    /// relearn_timeout means the notification was lost (see relearn_sweep).
+    bool enqueued = false;
+  };
+
+  /// A flow admitted without a ConnTable entry under ShedPolicy::kPinVersion:
+  /// served version-routed, pinned to its admission-time version.
+  struct DegradedConn {
+    net::Endpoint vip;
+    std::uint32_t version = 0;
   };
 
   VipState* find_vip(const net::Endpoint& vip);
@@ -231,6 +297,18 @@ class SilkRoadSwitch : public lb::LoadBalancer {
 
   void learn_new_flow(const net::Endpoint& vip, VipState& state,
                       const net::FiveTuple& flow, std::uint32_t version);
+  /// Serves a brand-new flow without learning it (pending queue full, or
+  /// degraded mode). Returns the chosen DIP.
+  std::optional<net::Endpoint> admit_without_insert(const net::Endpoint& vip,
+                                                    VipState& state,
+                                                    const net::FiveTuple& flow,
+                                                    bool shed);
+  /// Re-evaluates the degraded-mode hysteresis (admission events + poll).
+  void maybe_update_degraded();
+  void arm_degraded_poll();
+  /// Re-enqueues pending flows whose learning notification never arrived.
+  void arm_relearn_sweep();
+  void relearn_sweep();
   void on_learning_flush(std::vector<asic::LearnEvent> batch);
   void complete_insertion(const asic::LearnEvent& event);
   /// Control-plane digest-collision repair at insertion time: the switch
@@ -286,6 +364,10 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     obs::Counter* software_fallback_conns = nullptr;
     obs::Counter* meter_drops = nullptr;
     obs::Counter* aged_out = nullptr;
+    obs::Counter* degraded_transitions = nullptr;
+    obs::Counter* degraded_admits = nullptr;
+    obs::Counter* pending_shed = nullptr;
+    obs::Counter* relearns = nullptr;
     obs::Counter* meter_green = nullptr;
     obs::Counter* meter_yellow = nullptr;
     obs::Counter* meter_red = nullptr;
@@ -307,6 +389,9 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   /// slow-path "small table" of §4.2/§7.
   std::unordered_map<net::FiveTuple, net::Endpoint, net::FiveTupleHash>
       software_table_;
+  /// kPinVersion shed/degraded admissions: flow -> pinned (vip, version).
+  std::unordered_map<net::FiveTuple, DegradedConn, net::FiveTupleHash>
+      degraded_flows_;
   /// CPU-side digest index over pending+installed flows, used to detect
   /// lookup shadowing among digest-colliding flows at insertion time.
   std::unordered_map<std::uint32_t, std::vector<net::FiveTuple>>
@@ -331,6 +416,10 @@ class SilkRoadSwitch : public lb::LoadBalancer {
 
   lb::LoadBalancer::MappingRiskCallback risk_cb_;
   bool aging_armed_ = false;
+  bool degraded_ = false;
+  bool degraded_poll_armed_ = false;
+  bool relearn_armed_ = false;
+  std::function<bool(const net::FiveTuple&)> insert_fail_hook_;
 };
 
 }  // namespace silkroad::core

@@ -1,29 +1,153 @@
 #include "deploy/fleet.h"
 
+#include <algorithm>
+#include <string>
+
 #include "check/sr_check.h"
+#include "net/hash.h"
 
 namespace silkroad::deploy {
 
 SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
                              const core::SilkRoadSwitch::Config& config,
-                             std::size_t replicas, std::uint64_t ecmp_seed)
-    : sim_(simulator), alive_(replicas, true), ecmp_seed_(ecmp_seed) {
+                             std::size_t replicas, std::uint64_t ecmp_seed,
+                             const fault::ControlChannel::Config& channel)
+    : sim_(simulator),
+      alive_(replicas, true),
+      restoring_(replicas, false),
+      ecmp_seed_(ecmp_seed),
+      applied_(replicas) {
   SR_CHECK(replicas > 0);
   switches_.reserve(replicas);
+  channels_.reserve(replicas);
   for (std::size_t i = 0; i < replicas; ++i) {
     switches_.push_back(
         std::make_unique<core::SilkRoadSwitch>(simulator, config));
+    fault::ControlChannel::Config per_switch = channel;
+    per_switch.seed = channel.seed ^ net::mix64(ecmp_seed + i + 1);
+    channels_.push_back(std::make_unique<fault::ControlChannel>(
+        simulator, per_switch,
+        [this, i](const fault::ControlChannel::Payload& p) {
+          deliver_to(i, p);
+        },
+        [this, i] { apply_resync(i); }));
+    channels_.back()->bind_metrics(fleet_metrics_,
+                                   "switch=\"" + std::to_string(i) + "\"");
   }
 }
 
 void SilkRoadFleet::add_vip(const net::Endpoint& vip,
                             const std::vector<net::Endpoint>& dips) {
-  for (const auto& sw : switches_) sw->add_vip(vip, dips);
+  if (!membership_.contains(vip)) vip_order_.push_back(vip);
+  membership_[vip] = dips;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (!alive_[i]) continue;
+    switches_[i]->add_vip(vip, dips);
+    applied_[i][vip] = DipSet(dips.begin(), dips.end());
+  }
 }
 
 void SilkRoadFleet::request_update(const workload::DipUpdate& update) {
+  auto& members = membership_[update.vip];
+  if (update.action == workload::UpdateAction::kAddDip) {
+    if (std::find(members.begin(), members.end(), update.dip) ==
+        members.end()) {
+      members.push_back(update.dip);
+    }
+  } else {
+    members.erase(std::remove(members.begin(), members.end(), update.dip),
+                  members.end());
+  }
+  for (const auto& channel : channels_) channel->send(update);
+}
+
+void SilkRoadFleet::handle_dip_failure(const net::Endpoint& vip,
+                                       const net::Endpoint& dip,
+                                       bool resilient_in_place) {
+  if (!resilient_in_place) {
+    workload::DipUpdate update;
+    update.at = sim_.now();
+    update.vip = vip;
+    update.dip = dip;
+    update.action = workload::UpdateAction::kRemoveDip;
+    update.cause = workload::UpdateCause::kFailure;
+    request_update(update);
+    return;
+  }
+  // §7 in-place path: BFD state is switch-local, so the mark-down bypasses
+  // the control channels. Desired membership is untouched — a restored
+  // replica will see the DIP live until its own health checking catches up.
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    if (alive_[i]) switches_[i]->request_update(update);
+    if (alive_[i]) switches_[i]->handle_dip_failure(vip, dip, true);
+  }
+}
+
+void SilkRoadFleet::deliver_to(std::size_t index,
+                               const fault::ControlChannel::Payload& payload) {
+  auto& applied = applied_[index];
+  if (const auto* config = std::get_if<fault::VipConfig>(&payload)) {
+    if (switches_[index]->version_manager(config->vip) == nullptr) {
+      switches_[index]->add_vip(config->vip, config->dips);
+    }
+    applied[config->vip] = DipSet(config->dips.begin(), config->dips.end());
+    return;
+  }
+  const auto& update = std::get<workload::DipUpdate>(payload);
+  if (switches_[index]->version_manager(update.vip) == nullptr) {
+    // The replica is not provisioned with this VIP yet (its resync is still
+    // in flight); the resync diff will carry the membership over.
+    return;
+  }
+  auto& dips = applied[update.vip];
+  if (update.action == workload::UpdateAction::kAddDip) {
+    if (!dips.insert(update.dip).second) return;  // duplicate: already applied
+  } else {
+    if (dips.erase(update.dip) == 0) return;  // duplicate: already removed
+  }
+  switches_[index]->request_update(update);
+}
+
+void SilkRoadFleet::apply_resync(std::size_t index) {
+  auto& sw = *switches_[index];
+  auto& applied = applied_[index];
+  for (const auto& vip : vip_order_) {
+    const auto& desired = membership_.at(vip);
+    if (sw.version_manager(vip) == nullptr) {
+      sw.add_vip(vip, desired);
+      applied[vip] = DipSet(desired.begin(), desired.end());
+      continue;
+    }
+    // The switch already serves this VIP: diff its applied membership
+    // against the desired set and issue the delta as ordinary updates (each
+    // runs the 3-step protocol, keeping existing flows consistent).
+    auto& have = applied[vip];
+    const DipSet want(desired.begin(), desired.end());
+    for (const auto& dip : desired) {
+      if (have.contains(dip)) continue;
+      workload::DipUpdate update;
+      update.at = sim_.now();
+      update.vip = vip;
+      update.dip = dip;
+      update.action = workload::UpdateAction::kAddDip;
+      update.cause = workload::UpdateCause::kProvisioning;
+      sw.request_update(update);
+    }
+    for (const auto& dip : have) {
+      if (want.contains(dip)) continue;
+      workload::DipUpdate update;
+      update.at = sim_.now();
+      update.vip = vip;
+      update.dip = dip;
+      update.action = workload::UpdateAction::kRemoveDip;
+      update.cause = workload::UpdateCause::kRemoval;
+      sw.request_update(update);
+    }
+    have = want;
+  }
+  if (restoring_[index]) {
+    restoring_[index] = false;
+    alive_[index] = true;
+    if (membership_cb_) membership_cb_(index, true);
   }
 }
 
@@ -37,6 +161,12 @@ void SilkRoadFleet::set_mapping_risk_callback(MappingRiskCallback cb) {
         [this](const net::Endpoint& vip) {
           if (risk_cb_) risk_cb_(vip);
         });
+  }
+}
+
+void SilkRoadFleet::self_check() const {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (alive_[i]) switches_[i]->self_check();
   }
 }
 
@@ -66,21 +196,52 @@ lb::PacketResult SilkRoadFleet::process_packet(const net::Packet& packet) {
 }
 
 void SilkRoadFleet::fail_switch(std::size_t index) {
-  if (index >= alive_.size() || !alive_[index]) return;
+  if (index >= alive_.size() || (!alive_[index] && !restoring_[index])) return;
   alive_[index] = false;
+  restoring_[index] = false;
+  channels_[index]->set_offline(true);
+  applied_[index].clear();  // whatever it had applied died with it
+  if (membership_cb_) membership_cb_(index, false);
   // Flows the failed switch carried re-hash to survivors on their next
   // packet; callers audit the re-mapping with route_of() + probes (see the
   // fleet tests and examples).
 }
 
 void SilkRoadFleet::restore_switch(std::size_t index) {
-  if (index >= alive_.size() || alive_[index]) return;
-  // A restored switch comes back empty (fresh ConnTable) but with the same
-  // control-plane configuration; in a real deployment the controller replays
-  // VIP config before re-announcing routes. Our switches keep their VIP
-  // config (state loss is modeled by the conn tables having drained), so
-  // re-enabling is sufficient for the simulation's purposes.
-  alive_[index] = true;
+  if (index >= alive_.size() || alive_[index] || restoring_[index]) return;
+  // Crash model: the replacement comes up empty — no VIP config, no
+  // connection state. The controller replays config and newest membership
+  // through the channel's full-state resync; only once that lands does the
+  // switch re-enter ECMP (apply_resync flips alive_).
+  switches_[index]->reset();
+  restoring_[index] = true;
+  channels_[index]->set_offline(false);
+  channels_[index]->force_resync();
+}
+
+bool SilkRoadFleet::converged() const {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (channels_[i]->outstanding() != 0 || channels_[i]->needs_resync()) {
+      return false;
+    }
+    const auto& sw = *switches_[i];
+    if (sw.update_in_flight() || sw.queued_updates() != 0) return false;
+    for (const auto& vip : vip_order_) {
+      const auto* mgr = sw.version_manager(vip);
+      if (mgr == nullptr) return false;
+      const auto* pool = mgr->pool(mgr->current_version());
+      if (pool == nullptr) return false;
+      const auto live = pool->members();
+      const DipSet have(live.begin(), live.end());
+      const auto& desired = membership_.at(vip);
+      if (have.size() != desired.size()) return false;
+      for (const auto& dip : desired) {
+        if (!have.contains(dip)) return false;
+      }
+    }
+  }
+  return true;
 }
 
 std::size_t SilkRoadFleet::live_count() const {
@@ -89,12 +250,31 @@ std::size_t SilkRoadFleet::live_count() const {
   return count;
 }
 
+std::uint64_t SilkRoadFleet::ctrl_retries() const {
+  std::uint64_t total = 0;
+  for (const auto& channel : channels_) total += channel->retries();
+  return total;
+}
+
+std::uint64_t SilkRoadFleet::ctrl_resyncs() const {
+  std::uint64_t total = 0;
+  for (const auto& channel : channels_) total += channel->resyncs();
+  return total;
+}
+
+std::size_t SilkRoadFleet::ctrl_outstanding() const {
+  std::size_t total = 0;
+  for (const auto& channel : channels_) total += channel->outstanding();
+  return total;
+}
+
 obs::Snapshot SilkRoadFleet::metrics_snapshot() const {
   std::vector<obs::Snapshot> parts;
-  parts.reserve(switches_.size());
+  parts.reserve(switches_.size() + 1);
   for (const auto& sw : switches_) {
     parts.push_back(sw->metrics().snapshot());
   }
+  parts.push_back(fleet_metrics_.snapshot());
   obs::Snapshot merged = obs::MetricsRegistry::aggregate(parts);
   // Fleet-level gauges that no member registry can know about.
   obs::MetricSample switches;

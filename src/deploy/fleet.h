@@ -1,40 +1,62 @@
 // A fleet of SilkRoad switches behind ECMP (paper §5.3, §7).
 //
 // Every switch announces every VIP; the upstream fabric ECMP-sprays flows
-// across them by 5-tuple hash. All switches receive the same control-plane
-// update stream, so their VIPTables converge to the same newest version —
-// which is exactly why a switch failure is survivable: a failed switch's
-// flows re-hash onto peers, and any flow that was on the *latest* pool
-// version maps identically there. Only flows bound to older versions (or
-// pinned in software fallback) lose consistency, the same blast radius as
-// losing one SLB's ConnTable.
+// across them by 5-tuple hash. The controller holds the desired membership
+// (VIP -> live DIPs) and drives every switch over its own control channel
+// (src/fault/control_channel.h): updates are sequenced, delayed, possibly
+// dropped or reordered, retried with backoff, and escalated to a full-state
+// resync when a replica falls too far behind or returns from a crash. The
+// channels converge every live replica's DIPPoolTables to the same newest
+// content — which is exactly why a switch failure is survivable: a failed
+// switch's flows re-hash onto peers, and any flow that was on the *latest*
+// pool version maps identically there. Only flows bound to older versions
+// (or pinned in software fallback) lose consistency, the same blast radius
+// as losing one SLB's ConnTable.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/silkroad_switch.h"
+#include "fault/control_channel.h"
 #include "lb/load_balancer.h"
 
 namespace silkroad::deploy {
 
 class SilkRoadFleet : public lb::LoadBalancer {
  public:
-  /// `replicas` identical switches sharing one configuration.
+  /// `replicas` identical switches sharing one configuration. `channel`
+  /// shapes every controller->switch session; the default (zero delay, no
+  /// loss) behaves like the idealized synchronous fan-out apart from event
+  /// ordering — deliveries still need the simulator to run.
   SilkRoadFleet(sim::Simulator& simulator,
                 const core::SilkRoadSwitch::Config& config,
-                std::size_t replicas, std::uint64_t ecmp_seed = 0xFEE7ULL);
+                std::size_t replicas, std::uint64_t ecmp_seed = 0xFEE7ULL,
+                const fault::ControlChannel::Config& channel = {});
 
   std::string name() const override { return "silkroad-fleet"; }
 
+  /// Provisioning: recorded in the controller's desired state and applied
+  /// synchronously to every live switch (config precedes traffic). Dead
+  /// switches receive it from the restore-time resync.
   void add_vip(const net::Endpoint& vip,
                const std::vector<net::Endpoint>& dips) override;
 
-  /// Updates fan out to every live switch (they all run the 3-step protocol
-  /// independently; their DIPPoolTables stay content-identical).
+  /// Applies the update to the controller's desired membership and fans it
+  /// out to every switch over its control channel (each replica then runs
+  /// the 3-step protocol independently). Channels to dead switches mark
+  /// themselves for resync instead.
   void request_update(const workload::DipUpdate& update) override;
+
+  /// DIP failure fast path. `resilient_in_place` bypasses the channels (BFD
+  /// state is switch-local, §7) and leaves the desired membership intact;
+  /// otherwise this is a plain removal update through the channels.
+  void handle_dip_failure(const net::Endpoint& vip, const net::Endpoint& dip,
+                          bool resilient_in_place) override;
 
   /// Routes the packet to the ECMP-selected live switch.
   lb::PacketResult process_packet(const net::Packet& packet) override;
@@ -42,13 +64,25 @@ class SilkRoadFleet : public lb::LoadBalancer {
   void set_mapping_risk_callback(MappingRiskCallback cb) override;
   bool vip_at_slb(const net::Endpoint&) const override { return false; }
 
+  /// Audits every live switch's structural invariants.
+  void self_check() const override;
+
   // --- Fleet operations -------------------------------------------------------
 
-  /// Kills a switch: its connection state is gone; its flows re-hash onto
-  /// the survivors from the next packet on.
+  /// Kills a switch: its connection state is gone, its control channel goes
+  /// offline (in-flight messages are lost), and its flows re-hash onto the
+  /// survivors from the next packet on.
   void fail_switch(std::size_t index);
-  /// Brings a (fresh, empty) switch back.
+
+  /// Begins restoring a switch: its state is wiped (crash model), the
+  /// channel comes back online, and the controller schedules a full-state
+  /// resync that replays the VIP config and newest membership. The switch
+  /// rejoins ECMP only when the resync lands (run the simulator).
   void restore_switch(std::size_t index);
+
+  /// True when every live switch serves every VIP with exactly the
+  /// controller's desired live-member set and no channel work is pending.
+  bool converged() const;
 
   std::size_t size() const noexcept { return switches_.size(); }
   std::size_t live_count() const;
@@ -58,6 +92,27 @@ class SilkRoadFleet : public lb::LoadBalancer {
   core::SilkRoadSwitch& switch_at(std::size_t index) {
     return *switches_.at(index);
   }
+  const fault::ControlChannel& channel_at(std::size_t index) const {
+    return *channels_.at(index);
+  }
+
+  /// Notification on ECMP membership changes (fail/restore), invoked with
+  /// (switch index, now-alive). The chaos harness uses it to mark flows
+  /// whose route just moved.
+  using MembershipCallback = std::function<void(std::size_t index, bool alive)>;
+  void set_membership_callback(MembershipCallback cb) {
+    membership_cb_ = std::move(cb);
+  }
+
+  /// Fault-injection: forced-loss hook for switch `index`'s channel.
+  void set_channel_loss_hook(std::size_t index,
+                             fault::ControlChannel::LossHook hook) {
+    channels_.at(index)->set_loss_hook(std::move(hook));
+  }
+
+  std::uint64_t ctrl_retries() const;
+  std::uint64_t ctrl_resyncs() const;
+  std::size_t ctrl_outstanding() const;
 
   /// Index of the live switch the fabric currently hashes `flow` to, or
   /// nullopt when the whole fleet is down.
@@ -65,9 +120,10 @@ class SilkRoadFleet : public lb::LoadBalancer {
 
   /// Fleet-wide telemetry: merges every member switch's registry snapshot
   /// (counters/histograms sum; gauges sum — fleet totals, e.g. installed
-  /// connections across replicas), plus silkroad_fleet_switches /
-  /// silkroad_fleet_switches_live gauges. Dead switches still contribute
-  /// their final counter values until restore_switch() resets them.
+  /// connections across replicas), the per-channel silkroad_ctrl_* series,
+  /// plus silkroad_fleet_switches / silkroad_fleet_switches_live gauges.
+  /// Dead switches still contribute their final counter values until
+  /// restore_switch() resets them.
   obs::Snapshot metrics_snapshot() const;
 
   /// The fleet-wide snapshot as a callable — plugs directly into
@@ -75,11 +131,37 @@ class SilkRoadFleet : public lb::LoadBalancer {
   std::function<obs::Snapshot()> snapshot_source() const;
 
  private:
+  using DipSet = std::unordered_set<net::Endpoint, net::EndpointHash>;
+
+  /// In-order application of one channel message at switch `index`. Guarded
+  /// by the per-switch applied-state mirror so resync-vs-in-flight overlap
+  /// cannot double-apply an update.
+  void deliver_to(std::size_t index, const fault::ControlChannel::Payload& p);
+  /// Full-state resync of switch `index`: replays missing VIP configs and
+  /// diffs the switch's applied membership against the desired membership.
+  void apply_resync(std::size_t index);
+
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<core::SilkRoadSwitch>> switches_;
+  std::vector<std::unique_ptr<fault::ControlChannel>> channels_;
   std::vector<bool> alive_;
+  /// Mid-restore: channel online, resync in flight, not yet in ECMP.
+  std::vector<bool> restoring_;
   std::uint64_t ecmp_seed_;
+
+  /// Controller desired state: VIP -> live members, in provisioning order.
+  std::unordered_map<net::Endpoint, std::vector<net::Endpoint>,
+                     net::EndpointHash>
+      membership_;
+  std::vector<net::Endpoint> vip_order_;
+  /// Per-switch mirror of what this controller has asked it to apply.
+  std::vector<std::unordered_map<net::Endpoint, DipSet, net::EndpointHash>>
+      applied_;
+
+  /// Channel counters live here (the switches' registries are their own).
+  obs::MetricsRegistry fleet_metrics_;
   MappingRiskCallback risk_cb_;
+  MembershipCallback membership_cb_;
 };
 
 }  // namespace silkroad::deploy

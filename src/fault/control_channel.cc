@@ -1,0 +1,202 @@
+#include "fault/control_channel.h"
+
+#include <utility>
+
+#include "check/sr_check.h"
+
+namespace silkroad::fault {
+
+ControlChannel::ControlChannel(sim::Simulator& simulator, const Config& config,
+                               DeliverFn deliver, ResyncFn resync)
+    : sim_(simulator),
+      config_(config),
+      deliver_(std::move(deliver)),
+      resync_(std::move(resync)),
+      rng_(config.seed) {
+  SR_CHECK(deliver_ != nullptr);
+  SR_CHECK(resync_ != nullptr);
+  SR_CHECK(config_.retry_backoff >= 1.0);
+}
+
+void ControlChannel::send(Payload payload) {
+  ++sent_;
+  if (offline_) {
+    // The peer is dead: the message is gone, and only a full resync on
+    // restore can re-establish a consistent state.
+    ++dropped_;
+    needs_resync_ = true;
+    return;
+  }
+  const std::uint64_t seq = next_seq_++;
+  auto [it, inserted] = outstanding_.emplace(
+      seq, Outstanding{std::move(payload), 0, config_.retry_timeout, {}});
+  SR_CHECK(inserted);
+  (void)it;
+  transmit(seq);
+  arm_retry(seq);
+}
+
+void ControlChannel::transmit(std::uint64_t seq) {
+  const sim::Time now = sim_.now();
+  bool drop = offline_ || rng_.bernoulli(config_.drop_probability);
+  if (!drop && loss_hook_ && loss_hook_(now)) drop = true;
+  if (drop) {
+    ++dropped_;
+    return;  // The retry timer is still armed; the message will come back.
+  }
+  sim::Time delay = config_.base_delay;
+  if (config_.jitter > 0) {
+    delay += static_cast<sim::Time>(rng_.uniform() *
+                                    static_cast<double>(config_.jitter));
+  }
+  if (config_.reorder_probability > 0 &&
+      rng_.bernoulli(config_.reorder_probability)) {
+    delay += config_.reorder_extra;
+    ++reorders_;
+  }
+  sim_.schedule_after(delay, [this, seq, epoch = epoch_] {
+    on_message_arrival(seq, epoch);
+  });
+}
+
+void ControlChannel::arm_retry(std::uint64_t seq) {
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;
+  it->second.retry_event = sim_.schedule_after(
+      it->second.timeout, [this, seq] { on_retry_timeout(seq); });
+}
+
+void ControlChannel::on_retry_timeout(std::uint64_t seq) {
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;  // Acked in the meantime.
+  if (offline_) return;                  // Restore will resync instead.
+  ++it->second.retries;
+  if (it->second.retries > config_.resync_after_retries) {
+    // The window is not making progress message-by-message; escalate to a
+    // bulk resync, which supersedes everything outstanding.
+    force_resync();
+    return;
+  }
+  ++retries_;
+  it->second.timeout = static_cast<sim::Time>(
+      static_cast<double>(it->second.timeout) * config_.retry_backoff);
+  transmit(seq);
+  arm_retry(seq);
+}
+
+void ControlChannel::on_message_arrival(std::uint64_t seq,
+                                        std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // Sent to a peer state that no longer exists.
+  if (seq < next_expected_) {
+    // Already delivered once: the ack was lost and the sender retransmitted.
+    ++duplicates_;
+    ack(seq);
+    return;
+  }
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;  // Superseded by a resync.
+  if (!reorder_buffer_.emplace(seq, it->second.payload).second) {
+    ++duplicates_;  // Retransmit raced its own earlier copy.
+  }
+  ack(seq);
+  drain_in_order();
+}
+
+void ControlChannel::ack(std::uint64_t seq) {
+  // The ack crosses the same lossy channel; a lost ack leaves the message
+  // outstanding and produces a duplicate delivery on retransmit.
+  bool drop = rng_.bernoulli(config_.drop_probability);
+  if (!drop && loss_hook_ && loss_hook_(sim_.now())) drop = true;
+  if (drop) {
+    ++dropped_;
+    return;
+  }
+  sim::Time delay = config_.base_delay;
+  if (config_.jitter > 0) {
+    delay += static_cast<sim::Time>(rng_.uniform() *
+                                    static_cast<double>(config_.jitter));
+  }
+  sim_.schedule_after(delay, [this, seq, epoch = epoch_] {
+    if (epoch != epoch_) return;
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;
+    it->second.retry_event.cancel();
+    outstanding_.erase(it);
+  });
+}
+
+void ControlChannel::drain_in_order() {
+  while (true) {
+    auto it = reorder_buffer_.find(next_expected_);
+    if (it == reorder_buffer_.end()) break;
+    Payload payload = std::move(it->second);
+    reorder_buffer_.erase(it);
+    ++next_expected_;
+    ++delivered_;
+    deliver_(payload);
+  }
+}
+
+void ControlChannel::wipe_window() {
+  for (auto& [seq, msg] : outstanding_) msg.retry_event.cancel();
+  outstanding_.clear();
+  reorder_buffer_.clear();
+}
+
+void ControlChannel::set_offline(bool offline) {
+  if (offline == offline_) return;
+  offline_ = offline;
+  if (offline_) {
+    ++epoch_;  // In-flight deliveries and acks die with the peer.
+    wipe_window();
+    needs_resync_ = true;
+  }
+}
+
+void ControlChannel::force_resync() {
+  wipe_window();
+  if (offline_) {
+    needs_resync_ = true;  // Deferred until the peer is restored.
+    return;
+  }
+  needs_resync_ = false;
+  ++resyncs_;
+  const std::uint64_t syncpoint = next_seq_;
+  const std::uint64_t epoch = ++epoch_;
+  sim_.schedule_after(config_.base_delay, [this, syncpoint, epoch] {
+    if (epoch != epoch_) return;  // Went offline (or resynced again) since.
+    next_expected_ = syncpoint;
+    resync_();
+    drain_in_order();  // Messages sent during the resync flight, if any.
+  });
+}
+
+void ControlChannel::bind_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& labels) {
+  const auto bind = [&](const char* name, const char* help,
+                        const std::uint64_t* value) {
+    registry.register_callback(
+        name, obs::MetricKind::kCounter,
+        [value] { return static_cast<double>(*value); }, help, labels);
+  };
+  bind("silkroad_ctrl_sent_total", "Control messages submitted for delivery",
+       &sent_);
+  bind("silkroad_ctrl_delivered_total",
+       "Control messages delivered in order to the switch agent", &delivered_);
+  bind("silkroad_ctrl_dropped_total",
+       "Control-channel transmissions (messages and acks) lost", &dropped_);
+  bind("silkroad_ctrl_duplicates_total",
+       "Duplicate deliveries caused by lost acks", &duplicates_);
+  bind("silkroad_ctrl_reorders_total",
+       "Messages that arrived after a later-sequenced message", &reorders_);
+  bind("silkroad_ctrl_retries_total", "Retransmissions after ack timeout",
+       &retries_);
+  bind("silkroad_ctrl_resyncs_total",
+       "Full-state resyncs (retry exhaustion or crash restore)", &resyncs_);
+  registry.register_callback(
+      "silkroad_ctrl_outstanding", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(outstanding_.size()); },
+      "Unacknowledged control messages in flight", labels);
+}
+
+}  // namespace silkroad::fault

@@ -1,0 +1,154 @@
+// Modeled controller->switch control channel (lossy, delayed, resynced).
+//
+// The paper assumes every switch receives the controller's DIP-pool update
+// stream; production control channels are RPC sessions over a management
+// network that delays, drops, and reorders messages, and that must resync a
+// replica wholesale when it falls too far behind or returns from a crash
+// (§5.3, §7). This class models one such session: messages carry sequence
+// numbers, the receiver delivers strictly in order (buffering gaps), the
+// sender retries unacknowledged messages with exponential backoff, and after
+// too many retries it escalates to a full-state resync — the "replay the
+// config" path a real controller takes for a restored switch.
+//
+// Both endpoints live in this one object (the simulation owns both sides);
+// loss applies independently to the message and to its ack, so a lost ack
+// produces a genuine duplicate delivery at the receiver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <variant>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "workload/update_gen.h"
+
+namespace silkroad::fault {
+
+/// Full VIP (re)configuration carried over the channel: the controller's
+/// desired member set, replayed at provisioning time or during a resync.
+struct VipConfig {
+  net::Endpoint vip;
+  std::vector<net::Endpoint> dips;
+};
+
+class ControlChannel {
+ public:
+  struct Config {
+    /// One-way propagation + processing delay per message (and per ack).
+    sim::Time base_delay = 0;
+    /// Uniform extra delay in [0, jitter) added per transmission.
+    sim::Time jitter = 0;
+    /// Probability a transmission (message or ack) is lost.
+    double drop_probability = 0.0;
+    /// Probability a message is delayed by `reorder_extra` (arrives after
+    /// later messages — the receiver's in-order buffer repairs it).
+    double reorder_probability = 0.0;
+    sim::Time reorder_extra = 0;
+    /// First retransmit timeout; each retry multiplies it by retry_backoff.
+    sim::Time retry_timeout = 1 * sim::kMillisecond;
+    double retry_backoff = 2.0;
+    /// Retries per message before escalating to a full-state resync.
+    int resync_after_retries = 5;
+    std::uint64_t seed = 0xC0117301ULL;
+  };
+
+  using Payload = std::variant<workload::DipUpdate, VipConfig>;
+  /// Receiver-side application of one in-order message.
+  using DeliverFn = std::function<void(const Payload& payload)>;
+  /// Full-state resync: the callee reads the controller's *current* desired
+  /// state (resync is a bulk transfer, not a replay of individual messages).
+  using ResyncFn = std::function<void()>;
+  /// Fault-injection hook: returns true to force-drop this transmission.
+  using LossHook = std::function<bool(sim::Time now)>;
+
+  ControlChannel(sim::Simulator& simulator, const Config& config,
+                 DeliverFn deliver, ResyncFn resync);
+
+  ControlChannel(const ControlChannel&) = delete;
+  ControlChannel& operator=(const ControlChannel&) = delete;
+
+  /// Queues one message. While the channel is offline the message is dropped
+  /// and the channel is marked as needing a resync (the peer is dead; the
+  /// controller replays state wholesale on restore).
+  void send(Payload payload);
+
+  /// Peer liveness. Going offline wipes the in-flight window (messages to a
+  /// dead switch are gone) and marks the channel for resync; coming back
+  /// online does *not* resync by itself — call force_resync().
+  void set_offline(bool offline);
+
+  /// Escalates to a full-state resync: drops the in-flight window and, after
+  /// one channel delay, invokes the resync callback (reliable — modeled as a
+  /// bulk transfer over a retransmitting transport).
+  void force_resync();
+
+  void set_loss_hook(LossHook hook) { loss_hook_ = std::move(hook); }
+
+  /// Registers this channel's counters in `registry` under the
+  /// silkroad_ctrl_* names with `labels` (e.g. switch="2").
+  void bind_metrics(obs::MetricsRegistry& registry, const std::string& labels);
+
+  // --- Introspection ---------------------------------------------------------
+  bool offline() const noexcept { return offline_; }
+  bool needs_resync() const noexcept { return needs_resync_; }
+  std::size_t outstanding() const noexcept { return outstanding_.size(); }
+  std::uint64_t sent() const noexcept { return sent_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t duplicates() const noexcept { return duplicates_; }
+  std::uint64_t reorders() const noexcept { return reorders_; }
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t resyncs() const noexcept { return resyncs_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Outstanding {
+    Payload payload;
+    int retries = 0;
+    sim::Time timeout = 0;
+    sim::EventHandle retry_event;
+  };
+
+  void transmit(std::uint64_t seq);
+  void arm_retry(std::uint64_t seq);
+  void on_retry_timeout(std::uint64_t seq);
+  void on_message_arrival(std::uint64_t seq, std::uint64_t epoch);
+  void ack(std::uint64_t seq);
+  void drain_in_order();
+  void wipe_window();
+
+  sim::Simulator& sim_;
+  Config config_;
+  DeliverFn deliver_;
+  ResyncFn resync_;
+  LossHook loss_hook_;
+  sim::Rng rng_;
+
+  // Sender side.
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  // Receiver side.
+  std::uint64_t next_expected_ = 0;
+  std::map<std::uint64_t, Payload> reorder_buffer_;
+  /// Bumped on offline / resync; in-flight arrivals from an older epoch are
+  /// discarded (they were addressed to a state that no longer exists).
+  std::uint64_t epoch_ = 0;
+
+  bool offline_ = false;
+  bool needs_resync_ = false;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reorders_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t resyncs_ = 0;
+};
+
+}  // namespace silkroad::fault

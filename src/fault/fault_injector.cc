@@ -1,0 +1,267 @@
+#include "fault/fault_injector.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "check/sr_check.h"
+
+namespace silkroad::fault {
+namespace {
+
+constexpr FaultKind kAllKinds[kFaultKindCount] = {
+    FaultKind::kCpuStall,    FaultKind::kCpuSlowdown, FaultKind::kLearnDrop,
+    FaultKind::kInsertFail,  FaultKind::kChannelLoss, FaultKind::kDipFlap,
+    FaultKind::kSwitchCrash,
+};
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCpuStall: return "cpu-stall";
+    case FaultKind::kCpuSlowdown: return "cpu-slowdown";
+    case FaultKind::kLearnDrop: return "learn-drop";
+    case FaultKind::kInsertFail: return "insert-fail";
+    case FaultKind::kChannelLoss: return "channel-loss";
+    case FaultKind::kDipFlap: return "dip-flap";
+    case FaultKind::kSwitchCrash: return "switch-crash";
+  }
+  return "unknown";
+}
+
+std::string FaultWindow::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%-12s target=%zu [%.3fs, %.3fs) magnitude=%.2f period=%.3fs",
+                fault::to_string(kind), target, sim::to_seconds(start),
+                sim::to_seconds(end), magnitude, sim::to_seconds(period));
+  return buf;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const Options& options) {
+  sim::Rng rng(seed ^ 0xFA017BADULL);
+  FaultPlan plan;
+  const double horizon = static_cast<double>(options.horizon);
+  const auto pick_span = [&](double min_frac, double max_frac) {
+    const double start = rng.uniform(0.05, 0.55) * horizon;
+    const double len = rng.uniform(min_frac, max_frac) * horizon;
+    const double end = std::min(start + len, 0.85 * horizon);
+    return std::pair<sim::Time, sim::Time>{static_cast<sim::Time>(start),
+                                           static_cast<sim::Time>(end)};
+  };
+  const auto sw = [&] {
+    return static_cast<std::size_t>(rng.uniform_int(
+        options.switches == 0 ? 1 : options.switches));
+  };
+
+  for (const FaultKind kind : kAllKinds) {
+    if (kind == FaultKind::kSwitchCrash && !options.include_crash) continue;
+    FaultWindow w;
+    w.kind = kind;
+    switch (kind) {
+      case FaultKind::kCpuStall: {
+        const auto [start, end] = pick_span(0.01, 0.05);
+        w.start = start;
+        w.end = end;
+        w.target = sw();
+        break;
+      }
+      case FaultKind::kCpuSlowdown: {
+        const auto [start, end] = pick_span(0.05, 0.20);
+        w.start = start;
+        w.end = end;
+        w.target = sw();
+        w.magnitude = rng.uniform(2.0, 10.0);
+        break;
+      }
+      case FaultKind::kLearnDrop: {
+        const auto [start, end] = pick_span(0.05, 0.25);
+        w.start = start;
+        w.end = end;
+        w.target = sw();
+        w.magnitude = rng.uniform(0.2, 0.9);
+        break;
+      }
+      case FaultKind::kInsertFail: {
+        const auto [start, end] = pick_span(0.05, 0.25);
+        w.start = start;
+        w.end = end;
+        w.target = sw();
+        w.magnitude = rng.uniform(0.05, 0.30);
+        break;
+      }
+      case FaultKind::kChannelLoss: {
+        const auto [start, end] = pick_span(0.05, 0.25);
+        w.start = start;
+        w.end = end;
+        w.target = sw();
+        w.magnitude = rng.uniform(0.2, 0.8);
+        break;
+      }
+      case FaultKind::kDipFlap: {
+        const auto [start, end] = pick_span(0.20, 0.45);
+        w.start = start;
+        w.end = end;
+        w.target = static_cast<std::size_t>(
+            rng.uniform_int(options.dips == 0 ? 1 : options.dips));
+        w.period = static_cast<sim::Time>(rng.uniform(0.10, 0.30) * horizon);
+        break;
+      }
+      case FaultKind::kSwitchCrash: {
+        // Crash early enough that restore + resync fully settles before the
+        // harness audits convergence at quiesce.
+        w.start = static_cast<sim::Time>(rng.uniform(0.25, 0.45) * horizon);
+        w.end = w.start +
+                static_cast<sim::Time>(rng.uniform(0.10, 0.20) * horizon);
+        w.target = sw();
+        break;
+      }
+    }
+    plan.windows.push_back(w);
+  }
+  return plan;
+}
+
+bool FaultPlan::any(FaultKind kind) const {
+  for (const auto& w : windows) {
+    if (w.kind == kind) return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& w : windows) {
+    out += w.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
+                             std::uint64_t seed,
+                             obs::MetricsRegistry* registry)
+    : sim_(simulator), plan_(std::move(plan)), rng_(seed ^ 0x1A7EC7EDULL) {
+  if (registry != nullptr) {
+    for (const FaultKind kind : kAllKinds) {
+      counters_[static_cast<std::size_t>(kind)] = registry->counter(
+          "silkroad_faults_injected_total", "faults injected by kind",
+          std::string("kind=\"") + fault::to_string(kind) + "\"");
+    }
+  }
+}
+
+const FaultWindow* FaultInjector::active(FaultKind kind, std::size_t target,
+                                         sim::Time now) const {
+  for (const auto& w : plan_.windows) {
+    if (w.kind == kind && w.target == target && now >= w.start && now < w.end) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+void FaultInjector::count(FaultKind kind) {
+  ++injected_[static_cast<std::size_t>(kind)];
+  if (obs::Counter* counter = counters_[static_cast<std::size_t>(kind)]) {
+    counter->inc();
+  }
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : injected_) total += n;
+  return total;
+}
+
+asic::SwitchCpu::DelayHook FaultInjector::cpu_delay_hook(
+    std::size_t switch_index) {
+  return [this, switch_index](sim::Time base) -> sim::Time {
+    const sim::Time now = sim_.now();
+    if (const FaultWindow* w =
+            active(FaultKind::kCpuStall, switch_index, now)) {
+      // The CPU freezes: the in-flight task completes only once the stall
+      // lifts (one event at window end, no polling).
+      count(FaultKind::kCpuStall);
+      return (w->end - now) + base;
+    }
+    if (const FaultWindow* w =
+            active(FaultKind::kCpuSlowdown, switch_index, now)) {
+      count(FaultKind::kCpuSlowdown);
+      const double factor = w->magnitude < 1.0 ? 1.0 : w->magnitude;
+      return static_cast<sim::Time>(static_cast<double>(base) * factor);
+    }
+    return base;
+  };
+}
+
+asic::LearningFilter::DropHook FaultInjector::learn_drop_hook(
+    std::size_t switch_index) {
+  return [this, switch_index](const asic::LearnEvent&) {
+    const FaultWindow* w =
+        active(FaultKind::kLearnDrop, switch_index, sim_.now());
+    if (w != nullptr && rng_.bernoulli(w->magnitude)) {
+      count(FaultKind::kLearnDrop);
+      return true;
+    }
+    return false;
+  };
+}
+
+std::function<bool(const net::FiveTuple&)> FaultInjector::insert_fail_hook(
+    std::size_t switch_index) {
+  return [this, switch_index](const net::FiveTuple&) {
+    const FaultWindow* w =
+        active(FaultKind::kInsertFail, switch_index, sim_.now());
+    if (w != nullptr && rng_.bernoulli(w->magnitude)) {
+      count(FaultKind::kInsertFail);
+      return true;
+    }
+    return false;
+  };
+}
+
+std::function<bool(sim::Time)> FaultInjector::channel_loss_hook(
+    std::size_t switch_index) {
+  return [this, switch_index](sim::Time now) {
+    const FaultWindow* w = active(FaultKind::kChannelLoss, switch_index, now);
+    if (w != nullptr && rng_.bernoulli(w->magnitude)) {
+      count(FaultKind::kChannelLoss);
+      return true;
+    }
+    return false;
+  };
+}
+
+bool FaultInjector::dip_alive(std::size_t dip_index, sim::Time now) {
+  bool alive = true;
+  for (const auto& w : plan_.windows) {
+    if (w.kind != FaultKind::kDipFlap || w.target != dip_index) continue;
+    if (now < w.start || now >= w.end) continue;
+    const sim::Time period = w.period > 0 ? w.period : sim::Time{1};
+    if ((now - w.start) % period < period / 2) {
+      alive = false;
+      break;
+    }
+  }
+  auto [it, inserted] = dip_state_.emplace(dip_index, true);
+  if (it->second && !alive) count(FaultKind::kDipFlap);  // down edge
+  it->second = alive;
+  return alive;
+}
+
+void FaultInjector::schedule_crashes(std::function<void(std::size_t)> crash,
+                                     std::function<void(std::size_t)> restore) {
+  SR_CHECK(crash != nullptr);
+  SR_CHECK(restore != nullptr);
+  for (const auto& w : plan_.windows) {
+    if (w.kind != FaultKind::kSwitchCrash) continue;
+    sim_.schedule_at(w.start, [this, crash, target = w.target] {
+      count(FaultKind::kSwitchCrash);
+      crash(target);
+    });
+    sim_.schedule_at(w.end, [restore, target = w.target] { restore(target); });
+  }
+}
+
+}  // namespace silkroad::fault

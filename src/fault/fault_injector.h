@@ -1,0 +1,134 @@
+// Deterministic, seed-driven fault injection for the SilkRoad pipeline.
+//
+// A FaultPlan is a sim-time schedule of fault windows over the failure modes
+// the paper's control plane is exposed to: switch-CPU stalls and slowdowns
+// (§4.1's ~200K inserts/s is a best case), learning-filter notification loss,
+// cuckoo-insert failures, DIP flapping (§7), control-channel loss, and whole
+// switch crash/restore (§5.3). A FaultInjector turns the plan into the hooks
+// the production classes accept — SwitchCpu's delay hook, LearningFilter's
+// drop hook, SilkRoadSwitch's insert-failure hook, ControlChannel's loss
+// hook — plus a DIP liveness oracle for the health checker and crash/restore
+// callbacks for the fleet. Everything is driven by forked sim::Rng streams,
+// so a (plan seed, injector seed) pair replays the exact same fault history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asic/learning_filter.h"
+#include "asic/switch_cpu.h"
+#include "net/five_tuple.h"
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace silkroad::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCpuStall,     ///< switch CPU halts; queued tasks resume at window end
+  kCpuSlowdown,  ///< service time multiplied by `magnitude`
+  kLearnDrop,    ///< learning-filter notifications lost with p=`magnitude`
+  kInsertFail,   ///< cuckoo insertions forced to fail with p=`magnitude`
+  kChannelLoss,  ///< control-channel transmissions lost with p=`magnitude`
+  kDipFlap,      ///< DIP alternates dead/alive with period `period`
+  kSwitchCrash,  ///< switch dies at `start`, is restored at `end`
+};
+inline constexpr std::size_t kFaultKindCount = 7;
+
+const char* to_string(FaultKind kind) noexcept;
+
+struct FaultWindow {
+  FaultKind kind = FaultKind::kCpuStall;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  /// Switch index for switch-targeted kinds; DIP index for kDipFlap.
+  std::size_t target = 0;
+  /// Slowdown factor or drop/fail probability, per kind.
+  double magnitude = 0;
+  /// kDipFlap: full square-wave period (down the first half-period).
+  sim::Time period = 0;
+
+  std::string to_string() const;
+};
+
+struct FaultPlan {
+  struct Options {
+    sim::Time horizon = 30 * sim::kSecond;
+    std::size_t switches = 3;
+    std::size_t dips = 8;
+    bool include_crash = true;
+  };
+
+  std::vector<FaultWindow> windows;
+
+  /// Generates a randomized plan containing at least one window of every
+  /// fault kind (crash only when options.include_crash), with all windows
+  /// closing before 85% of the horizon so the system can quiesce.
+  static FaultPlan random(std::uint64_t seed, const Options& options);
+
+  bool any(FaultKind kind) const;
+  std::string to_string() const;
+};
+
+class FaultInjector {
+ public:
+  /// `registry` (optional) receives silkroad_faults_injected_total{kind=...}
+  /// counters, pre-created at zero for every kind so the exporters always
+  /// show the full taxonomy.
+  FaultInjector(sim::Simulator& simulator, FaultPlan plan, std::uint64_t seed,
+                obs::MetricsRegistry* registry = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- Hook factories (the injector must outlive the returned hooks) -------
+
+  /// SwitchCpu delay hook: a stall window stretches the in-flight task to
+  /// the window's end; a slowdown window multiplies the service time.
+  asic::SwitchCpu::DelayHook cpu_delay_hook(std::size_t switch_index);
+
+  /// LearningFilter drop hook: loses notifications with the window's
+  /// probability while a kLearnDrop window targets this switch.
+  asic::LearningFilter::DropHook learn_drop_hook(std::size_t switch_index);
+
+  /// SilkRoadSwitch insert-failure hook (forces the BFS-budget-exhausted
+  /// path with the window's probability).
+  std::function<bool(const net::FiveTuple&)> insert_fail_hook(
+      std::size_t switch_index);
+
+  /// ControlChannel loss hook.
+  std::function<bool(sim::Time)> channel_loss_hook(std::size_t switch_index);
+
+  /// DIP liveness oracle for the health checker: false while a kDipFlap
+  /// window holds the DIP in the down half of its square wave.
+  bool dip_alive(std::size_t dip_index, sim::Time now);
+
+  /// Schedules every kSwitchCrash window: `crash(target)` at start,
+  /// `restore(target)` at end.
+  void schedule_crashes(std::function<void(std::size_t)> crash,
+                        std::function<void(std::size_t)> restore);
+
+  std::uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t injected_total() const;
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  const FaultWindow* active(FaultKind kind, std::size_t target,
+                            sim::Time now) const;
+  void count(FaultKind kind);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::uint64_t injected_[kFaultKindCount] = {};
+  obs::Counter* counters_[kFaultKindCount] = {};
+  /// Last liveness reported per flapping DIP (transition edge counting).
+  std::unordered_map<std::size_t, bool> dip_state_;
+};
+
+}  // namespace silkroad::fault

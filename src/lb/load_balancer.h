@@ -54,6 +54,22 @@ class LoadBalancer {
   /// own consistency machinery (immediately, 3-step, via SLB redirection...).
   virtual void request_update(const workload::DipUpdate& update) = 0;
 
+  /// DIP failure fast path (SilkRoad §7). The default turns it into a plain
+  /// removal update; implementations with an in-place resilient path (mark
+  /// the slot dead in every pool version, no version churn) honor
+  /// `resilient_in_place`. Health checkers call this so they can drive any
+  /// balancer, not just the SilkRoad switch.
+  virtual void handle_dip_failure(const net::Endpoint& vip,
+                                  const net::Endpoint& dip,
+                                  bool /*resilient_in_place*/) {
+    workload::DipUpdate update;
+    update.vip = vip;
+    update.dip = dip;
+    update.action = workload::UpdateAction::kRemoveDip;
+    update.cause = workload::UpdateCause::kFailure;
+    request_update(update);
+  }
+
   // --- Data plane ------------------------------------------------------------
 
   /// Processes one packet (first packets carry syn=true, closing ones

@@ -118,6 +118,25 @@ ScenarioStats Scenario::run() {
   return stats;
 }
 
+std::vector<net::FiveTuple> Scenario::active_flows() const {
+  std::vector<net::FiveTuple> out;
+  for (const auto& [vip, reg] : registry_) {
+    for (const auto& [tuple, info] : reg.flows) out.push_back(tuple);
+  }
+  return out;
+}
+
+void Scenario::exempt_flows_on_dip(const net::Endpoint& dip) {
+  for (const auto& [vip, reg] : registry_) {
+    for (const auto& [tuple, info] : reg.flows) {
+      if (const auto assigned = tracker_.assigned_dip(tuple);
+          assigned && *assigned == dip) {
+        tracker_.exempt_flow(tuple);
+      }
+    }
+  }
+}
+
 void Scenario::on_flow_start(const workload::Flow& flow) {
   settle_volume();
   net::Packet syn;

@@ -67,6 +67,21 @@ class Scenario {
 
   const PccTracker& tracker() const noexcept { return tracker_; }
 
+  // --- Chaos-harness support -------------------------------------------------
+
+  /// Currently established flows across all VIPs.
+  std::vector<net::FiveTuple> active_flows() const;
+  /// Marks a DIP out of service for the audit's server-breakage exemption —
+  /// for liveness changes injected outside the scenario's update schedule
+  /// (health checkers, fault injectors).
+  void note_dip_down(const net::Endpoint& dip) { down_dips_.insert(dip); }
+  void note_dip_up(const net::Endpoint& dip) { down_dips_.erase(dip); }
+  /// Exempts every active flow currently assigned to `dip` (its server is
+  /// gone; the connections are dead regardless of the balancer).
+  void exempt_flows_on_dip(const net::Endpoint& dip);
+  /// Exempts one flow from the PCC audit (e.g. fleet failover blast radius).
+  void exempt_flow(const net::FiveTuple& flow) { tracker_.exempt_flow(flow); }
+
   /// Driver-side telemetry (silkroad_scenario_*): update/redirect counters
   /// plus pull gauges over the PCC tracker and traffic split. Snapshot it
   /// alongside the balancer's own registry for a complete picture.

@@ -25,6 +25,10 @@ const char* to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kLearn: return "learn";
     case TraceEventKind::kSoftwareFallback: return "software-fallback";
     case TraceEventKind::kAgedOut: return "aged-out";
+    case TraceEventKind::kDegradedEnter: return "degraded-enter";
+    case TraceEventKind::kDegradedExit: return "degraded-exit";
+    case TraceEventKind::kInsertShed: return "insert-shed";
+    case TraceEventKind::kRelearn: return "relearn";
   }
   return "unknown";
 }

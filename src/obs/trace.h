@@ -14,6 +14,7 @@
 //   kCuckooInsert / kCuckooEvict / kCuckooInsertFail
 //   kDigestCollision / kRelocationFail
 //   kTransitFalsePositive, kMeterColor, kLearn, kSoftwareFallback, kAgedOut
+//   kDegradedEnter / kDegradedExit / kInsertShed / kRelearn — degradation
 //
 // Exporters (exporters.h) render the ring as Chrome trace-event JSON for
 // chrome://tracing; format_event() gives the one-line human form used by the
@@ -49,6 +50,10 @@ enum class TraceEventKind : std::uint8_t {
   kLearn,                 ///< new flow entered the learning filter (arg0=flow)
   kSoftwareFallback,      ///< flow pinned to the slow-path table (arg0=flow)
   kAgedOut,               ///< idle entry aged out (arg0=flow)
+  kDegradedEnter,         ///< degraded mode entered (arg0=backlog, arg1=pending)
+  kDegradedExit,          ///< degraded mode left (arg0=backlog, arg1=pending)
+  kInsertShed,            ///< pending queue full: flow shed (arg0=flow)
+  kRelearn,               ///< dropped notification re-enqueued (arg0=flow)
 };
 // Flow-identified kinds carry the connection's 64-bit five-tuple hash in the
 // noted arg slot; journey.h reconstructs per-connection timelines from it.

@@ -170,7 +170,11 @@ TEST(SilkRoadFleet, RestoreRejoinsEcmp) {
     EXPECT_EQ(*fleet.route_of(packet_of(i).flow), 1u);
   }
   fleet.restore_switch(0);
+  // The replacement rejoins ECMP only after the controller's resync lands.
+  EXPECT_EQ(fleet.live_count(), 1u);
+  sim.run();
   EXPECT_EQ(fleet.live_count(), 2u);
+  EXPECT_TRUE(fleet.converged());
   bool any_on_zero = false;
   for (std::uint32_t i = 0; i < 100; ++i) {
     any_on_zero |= (*fleet.route_of(packet_of(i).flow) == 0u);

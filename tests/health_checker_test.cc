@@ -3,6 +3,7 @@
 #include <set>
 
 #include "core/health_checker.h"
+#include "core/silkroad_switch.h"
 
 namespace silkroad::core {
 namespace {
@@ -123,6 +124,92 @@ TEST(HealthChecker, WatchIsIdempotent) {
   Harness h({.probe_interval = sim::kSecond, .failure_threshold = 1});
   h.checker.watch(vip_ep(), make_dips(8)[0]);  // duplicate
   EXPECT_EQ(h.checker.watched(), 8u);
+}
+
+TEST(HealthChecker, RecoveryRequiresConsecutiveGoodProbes) {
+  // Square wave: down from t=0, up from t=4.5 s. With probes every second,
+  // a failure_threshold of 2 declares at t=2; recovery_threshold=3 needs the
+  // good probes at t=5,6,7 — so the re-add lands exactly at t=7.
+  Harness h({.probe_interval = sim::kSecond,
+             .failure_threshold = 2,
+             .recovery_threshold = 3});
+  const auto victim = make_dips(8)[3];
+  h.dead.insert(victim);
+  h.sim.schedule_at(4 * sim::kSecond + sim::kSecond / 2,
+                    [&] { h.dead.erase(victim); });
+  h.sim.run_until(2 * sim::kSecond + 1);
+  EXPECT_EQ(h.checker.failures_detected(), 1u);
+  h.sim.run_until(6 * sim::kSecond + sim::kSecond / 2);
+  // Two good probes (t=5, t=6): still held out.
+  EXPECT_EQ(h.checker.recoveries_detected(), 0u);
+  const auto* mgr = h.lb.version_manager(vip_ep());
+  EXPECT_FALSE(mgr->pool(mgr->current_version())->contains_live(victim));
+  h.sim.run_until(7 * sim::kSecond + sim::kSecond / 2);
+  EXPECT_EQ(h.checker.recoveries_detected(), 1u);
+  h.sim.run_until(10 * sim::kSecond);
+  EXPECT_TRUE(mgr->pool(mgr->current_version())->contains_live(victim));
+}
+
+TEST(HealthChecker, InterruptedRecoveryStreakResetsTheCounter) {
+  Harness h({.probe_interval = sim::kSecond,
+             .failure_threshold = 1,
+             .recovery_threshold = 3});
+  const auto victim = make_dips(8)[5];
+  h.dead.insert(victim);
+  // Up for two probes (t=2,3), down again for t=4, then up for good: the
+  // streak must restart, putting recovery at t=7 (goods at 5,6,7).
+  h.sim.schedule_at(sim::kSecond + sim::kSecond / 2,
+                    [&] { h.dead.erase(victim); });
+  h.sim.schedule_at(3 * sim::kSecond + sim::kSecond / 2,
+                    [&] { h.dead.insert(victim); });
+  h.sim.schedule_at(4 * sim::kSecond + sim::kSecond / 2,
+                    [&] { h.dead.erase(victim); });
+  h.sim.run_until(6 * sim::kSecond + sim::kSecond / 2);
+  EXPECT_EQ(h.checker.recoveries_detected(), 0u);
+  h.sim.run_until(7 * sim::kSecond + sim::kSecond / 2);
+  EXPECT_EQ(h.checker.recoveries_detected(), 1u);
+}
+
+TEST(HealthChecker, FlapDampingSuppressesUnstableDip) {
+  // A DIP that keeps dying accumulates flap score (2.0 per declaration,
+  // decaying 0.1 per probe); once the score crosses 3.0, recovery is
+  // withheld until sustained stability decays it back down.
+  Harness h({.probe_interval = sim::kSecond,
+             .failure_threshold = 1,
+             .recovery_threshold = 1,
+             .flap_penalty = 2.0,
+             .flap_suppress_threshold = 3.0,
+             .flap_decay = 0.1});
+  const auto victim = make_dips(8)[6];
+  h.dead.insert(victim);
+  h.sim.schedule_at(sim::kSecond + sim::kSecond / 2,
+                    [&] { h.dead.erase(victim); });
+  h.sim.schedule_at(2 * sim::kSecond + sim::kSecond / 2,
+                    [&] { h.dead.insert(victim); });
+  h.sim.schedule_at(3 * sim::kSecond + sim::kSecond / 2,
+                    [&] { h.dead.erase(victim); });
+  // First cycle recovers normally (score 2.0 < 3.0)...
+  h.sim.run_until(2 * sim::kSecond + 1);
+  EXPECT_EQ(h.checker.recoveries_detected(), 1u);
+  // ...second failure pushes the score to ~3.8: the good probes afterwards
+  // are suppressed even though the server answers.
+  h.sim.run_until(8 * sim::kSecond);
+  EXPECT_EQ(h.checker.failures_detected(), 2u);
+  EXPECT_EQ(h.checker.recoveries_detected(), 1u);
+  EXPECT_GT(h.checker.recoveries_suppressed(), 0u);
+  const auto* mgr = h.lb.version_manager(vip_ep());
+  EXPECT_FALSE(mgr->pool(mgr->current_version())->contains_live(victim));
+  // Sustained stability decays the score below the threshold: re-added.
+  h.sim.run_until(30 * sim::kSecond);
+  EXPECT_EQ(h.checker.recoveries_detected(), 2u);
+  EXPECT_TRUE(mgr->pool(mgr->current_version())->contains_live(victim));
+}
+
+TEST(HealthChecker, StopDrainsTheEventQueue) {
+  Harness h({.probe_interval = sim::kSecond, .failure_threshold = 1});
+  h.checker.stop();
+  h.sim.run();  // returns only if no probe is scheduled
+  EXPECT_EQ(h.checker.probes_sent(), 0u);
 }
 
 }  // namespace
