@@ -1,0 +1,188 @@
+// Span-tracing overhead gate (DESIGN.md §12): the chaos-style control-plane
+// scenario run as interleaved untraced/traced pairs — SpanCollector disabled
+// vs enabled — with the overhead taken as the median per-pair CPU-time
+// ratio. The tracing contract is that the causal span tree is cheap enough
+// to leave on everywhere: the headline span_overhead_pct must stay under 5%
+// of the untraced run, and the committed baseline pins that.
+// Sim-side numbers (flows, spans, audit problems) are identical across the
+// two runs by construction — tracing must never change behavior.
+#include <algorithm>
+#include <ctime>
+
+#include "bench_common.h"
+#include "deploy/fleet.h"
+#include "lb/scenario.h"
+
+using namespace silkroad;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0;
+constexpr std::size_t kSwitches = 3;
+constexpr std::size_t kVips = 2;
+constexpr std::size_t kDipsPerVip = 8;
+constexpr sim::Time kHorizon = 30 * sim::kSecond;
+constexpr int kReps = 9;
+
+net::Endpoint vip_of(std::size_t v) {
+  return {net::IpAddress::v4(0x14000001 + static_cast<std::uint32_t>(v)), 80};
+}
+
+std::vector<net::Endpoint> dips_of(std::size_t v) {
+  std::vector<net::Endpoint> dips;
+  for (std::size_t i = 0; i < kDipsPerVip; ++i) {
+    dips.push_back(
+        {net::IpAddress::v4(0x0A000000 +
+                            static_cast<std::uint32_t>(v * 256 + i)),
+         20});
+  }
+  return dips;
+}
+
+struct RunResult {
+  double cpu_ms = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t spans_started = 0;
+  std::uint64_t span_events = 0;
+  std::size_t audit_problems = 0;
+  bool converged = false;
+};
+
+/// Process CPU time: the sim is single-threaded and CPU-bound, so this is
+/// the throughput signal — and unlike wall clock it is immune to the
+/// scheduler and to noisy neighbors on shared CI machines.
+double cpu_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return 1e3 * static_cast<double>(ts.tv_sec) +
+         1e-6 * static_cast<double>(ts.tv_nsec);
+}
+
+RunResult run_once(bool spans_enabled) {
+  const double start = cpu_ms();
+
+  sim::Simulator sim;
+  core::SilkRoadSwitch::Config config;
+  config.conn_table = core::SilkRoadSwitch::conn_table_for(4096);
+  config.enable_version_reuse = false;
+
+  fault::ControlChannel::Config channel;
+  channel.base_delay = 200 * sim::kMicrosecond;
+  channel.jitter = 100 * sim::kMicrosecond;
+  channel.drop_probability = 0.05;
+  channel.reorder_probability = 0.05;
+  channel.reorder_extra = 300 * sim::kMicrosecond;
+  channel.retry_timeout = 1 * sim::kMillisecond;
+  channel.retry_backoff = 2.0;
+  channel.resync_after_retries = 5;
+  channel.seed = 0xC0117301ULL ^ kSeed;
+
+  deploy::SilkRoadFleet fleet(sim, config, kSwitches, 0xFEE7ULL + kSeed,
+                              channel);
+  fleet.spans().set_enabled(spans_enabled);
+
+  // A dense maintenance cycle: one membership update every 200 ms per VIP
+  // (alternating remove/re-add of the last DIP), so span minting, channel
+  // legs, retransmits, and 3-step executions all run continuously.
+  lb::ScenarioConfig scenario_config;
+  scenario_config.horizon = kHorizon;
+  scenario_config.seed = 0xC4405ULL ^ kSeed;
+  for (std::size_t v = 0; v < kVips; ++v) {
+    workload::FlowGenerator::VipLoad load;
+    load.vip = vip_of(v);
+    load.arrivals_per_min = 9600;
+    load.profile = {"span-overhead", 2.0, 10.0, 1e6, 5e6};
+    scenario_config.vip_loads.push_back(load);
+    scenario_config.dip_pools.push_back(dips_of(v));
+    const auto dip = dips_of(v)[kDipsPerVip - 1];
+    bool remove = true;
+    for (sim::Time at = sim::kSecond; at < kHorizon;
+         at += 400 * sim::kMillisecond) {
+      scenario_config.updates.push_back(
+          {at + static_cast<sim::Time>(v) * 200 * sim::kMillisecond, vip_of(v),
+           dip,
+           remove ? workload::UpdateAction::kRemoveDip
+                  : workload::UpdateAction::kAddDip,
+           workload::UpdateCause::kServiceUpgrade});
+      remove = !remove;
+    }
+  }
+  lb::Scenario scenario(sim, fleet, scenario_config);
+  const lb::ScenarioStats stats = scenario.run();
+
+  RunResult result;
+  result.cpu_ms = cpu_ms() - start;
+  result.flows = stats.flows;
+  result.violations = stats.violations;
+  result.spans_started = fleet.spans().total_started();
+  result.span_events = fleet.spans().events_recorded();
+  result.audit_problems = fleet.spans().audit_complete().size();
+  result.converged = fleet.converged();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "span tracing overhead — chaos-style control plane, traced vs untraced",
+      "tracing must be cheap enough to leave on: <5% of untraced wall clock");
+
+  // Interleaved pairs: each rep runs untraced then traced back to back, so
+  // both sides of a pair see the same machine conditions; the median of the
+  // per-pair ratios is robust to load drift across the whole measurement.
+  // (A warm-up pair is discarded — it carries cold caches and page faults.)
+  (void)run_once(false);
+  (void)run_once(true);
+  RunResult base;
+  RunResult traced;
+  std::vector<double> ratios;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const RunResult u = run_once(/*spans_enabled=*/false);
+    const RunResult t = run_once(/*spans_enabled=*/true);
+    if (rep == 0 || u.cpu_ms < base.cpu_ms) base = u;
+    if (rep == 0 || t.cpu_ms < traced.cpu_ms) traced = t;
+    if (u.cpu_ms > 0) ratios.push_back(t.cpu_ms / u.cpu_ms);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead_pct =
+      ratios.empty() ? 0.0 : 100.0 * (ratios[ratios.size() / 2] - 1.0);
+
+  std::printf("\n%-28s %12s %12s\n", "", "untraced", "traced");
+  std::printf("%-28s %12.1f %12.1f\n", "cpu_ms (min of 9)", base.cpu_ms,
+              traced.cpu_ms);
+  std::printf("%-28s %12llu %12llu\n", "flows",
+              static_cast<unsigned long long>(base.flows),
+              static_cast<unsigned long long>(traced.flows));
+  std::printf("%-28s %12llu %12llu\n", "spans_started",
+              static_cast<unsigned long long>(base.spans_started),
+              static_cast<unsigned long long>(traced.spans_started));
+  std::printf("%-28s %12llu %12llu\n", "span_events",
+              static_cast<unsigned long long>(base.span_events),
+              static_cast<unsigned long long>(traced.span_events));
+  std::printf("%-28s %12.2f%%  (median of %zu interleaved pairs)\n",
+              "span_overhead_pct", overhead_pct, ratios.size());
+
+  const bool behavior_identical = base.flows == traced.flows &&
+                                  base.violations == traced.violations &&
+                                  base.converged && traced.converged;
+  const bool complete = traced.audit_problems == 0 &&
+                        traced.spans_started > 0 && base.spans_started == 0;
+
+  // Absolute CPU ms is machine-dependent and deliberately NOT a headline; the
+  // committed baseline pins the relative overhead and the sim-side counts.
+  bench::headline("span_overhead_pct", overhead_pct,
+                  "traced CPU time over untraced, percent (budget: <5)");
+  bench::headline("spans_started", static_cast<double>(traced.spans_started),
+                  "update/resync spans minted in the traced run");
+  bench::headline("span_audit_problems",
+                  static_cast<double>(traced.audit_problems),
+                  "incomplete span legs at quiesce (must be 0)");
+  bench::headline("behavior_identical", behavior_identical ? 1.0 : 0.0,
+                  "tracing changed no sim-visible outcome (must be 1)");
+  bench::emit_headlines("span_overhead");
+
+  if (!behavior_identical || !complete) return 1;
+  return overhead_pct < 5.0 ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 //
 //   ./build/examples/fleet_failover
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <set>
@@ -83,6 +84,17 @@ int main() {
                    [&recorder] { return recorder.to_json(); });
     server->handle("/tables", "application/json",
                    [&fleet] { return fleet.switch_at(0).tables_json(); });
+    server->handle("/spans", "application/json",
+                   [&fleet] { return fleet.spans().to_json(); });
+    server->handle("/spans/trace.json", "application/json",
+                   [&fleet] { return fleet.spans().to_chrome_trace(); });
+    server->handle_prefix("/update", "application/json", [&fleet](
+                                         const std::string& suffix) {
+      char* end = nullptr;
+      const unsigned long long id = std::strtoull(suffix.c_str(), &end, 10);
+      if (end == suffix.c_str() || *end != '\0') return std::string();
+      return fleet.spans().span_json(id);
+    });
     if (server->start()) {
       std::printf("scrape server on http://127.0.0.1:%u\n", server->port());
     }

@@ -27,6 +27,14 @@ R6  no printf/fprintf in src/ outside src/obs/ and src/check/ — library code
                                     (DESIGN.md §10); only the observability
                                     and check layers own process output.
                                     snprintf into buffers is fine.
+R7  no raw update-lifecycle TraceEvents (TraceEventKind::kUpdate*) and no
+                                    direct TraceRing use in src/fault/ or
+                                    src/deploy/ — the update lifecycle is
+                                    observed through obs::SpanCollector
+                                    (DESIGN.md §12), which keeps one causal
+                                    record per intent instead of per-layer
+                                    fragments; the per-switch trace ring
+                                    belongs to the switch that owns it.
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
 STATS_STRUCT = re.compile(r"\bstruct\s+\w*Stats\b")
 # Lookbehind keeps snprintf/vsnprintf (buffer formatting) out of R6's reach.
 RAW_PRINTF = re.compile(r"(?<![\w.:])(?:std::)?f?printf\s*\(")
+UPDATE_TRACE = re.compile(r"TraceEventKind\s*::\s*kUpdate\w*|\bTraceRing\b")
 LINE_COMMENT = re.compile(r"//.*$")
 
 
@@ -134,6 +143,17 @@ def main() -> int:
                 problems.append(
                     f"{rel}:{lineno}: printf/fprintf in library code — report "
                     f"through metrics, traces, or returned strings (R6)"
+                )
+
+            if (
+                in_src
+                and rel.parts[1] in {"fault", "deploy"}
+                and UPDATE_TRACE.search(line)
+            ):
+                problems.append(
+                    f"{rel}:{lineno}: raw update-lifecycle TraceEvent/"
+                    f"TraceRing in {rel.parts[1]}/ — record the leg on the "
+                    f"obs::SpanCollector instead (R7)"
                 )
 
     if problems:

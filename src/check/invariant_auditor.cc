@@ -9,6 +9,7 @@
 
 #include "asic/sram.h"
 #include "check/sr_check.h"
+#include "obs/forensics.h"
 #include "obs/trace.h"
 
 namespace silkroad::check {
@@ -425,6 +426,26 @@ void SilkRoadSwitch::self_check() const {
       for (std::size_t i = start; i < all.size(); ++i) {
         std::fprintf(stderr, "  %s\n",
                      obs::format_event(trace_, all[i]).c_str());
+      }
+    }
+  }
+  if (!violations.empty()) {
+    // Durable incident record: the trace ring interleaved with every
+    // overlapping update/resync span, written to SILKROAD_TELEMETRY_DIR
+    // (no-op when the env var is unset or the switch is untraced).
+    const std::string dir = obs::telemetry_dir_from_env();
+    if (!dir.empty()) {
+      std::string reason = "invariant auditor: " + violations.front().invariant;
+      if (violations.size() > 1) {
+        reason += " (+" + std::to_string(violations.size() - 1) + " more)";
+      }
+      const auto report =
+          obs::assemble_forensics(trace_, spans_, 0, std::move(reason));
+      const std::string stem =
+          "forensics_invariant_sw" + std::to_string(span_switch_);
+      if (obs::write_forensics(report, dir, stem)) {
+        std::fprintf(stderr, "forensics report written to %s/%s.{txt,json}\n",
+                     dir.c_str(), stem.c_str());
       }
     }
   }

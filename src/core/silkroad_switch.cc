@@ -665,6 +665,7 @@ void SilkRoadSwitch::release_conn(const net::Endpoint& vip,
 
 void SilkRoadSwitch::request_update(const workload::DipUpdate& update) {
   c_.updates_requested->inc();
+  span_event(update.update_id, obs::SpanEventKind::kQueueStage);
   update_queue_.push_back(update);
   // Defer the start by one event: requests landing at the same instant
   // (rolling-reboot bursts) are then all queued before the control plane
@@ -677,7 +678,10 @@ void SilkRoadSwitch::try_start_next_update() {
     const workload::DipUpdate update = update_queue_.front();
     update_queue_.pop_front();
     VipState* state = find_vip(update.vip);
-    if (state == nullptr) continue;
+    if (state == nullptr) {
+      span_event(update.update_id, obs::SpanEventKind::kAbandon, 0, 0);
+      continue;
+    }
 
     // Coalesce a same-instant burst for the same VIP (e.g., a rolling-reboot
     // batch) into one atomic staged version — one flip, one version number.
@@ -688,6 +692,10 @@ void SilkRoadSwitch::try_start_next_update() {
       batch.push_back(update_queue_.front());
       update_queue_.pop_front();
     }
+    span_batch_.clear();
+    for (const auto& queued : batch) {
+      if (queued.update_id != 0) span_batch_.push_back(queued.update_id);
+    }
 
     auto staged = state->versions->stage_update_batch(batch);
     if (!staged) {
@@ -696,7 +704,12 @@ void SilkRoadSwitch::try_start_next_update() {
       if (evict_version_for(update.vip, *state)) {
         staged = state->versions->stage_update_batch(batch);
       }
-      if (!staged) continue;  // cannot stage (degenerate config); drop
+      if (!staged) {
+        // cannot stage (degenerate config); drop
+        span_batch_event(obs::SpanEventKind::kAbandon, 0, 1);
+        span_batch_.clear();
+        continue;
+      }
     }
 
     update_vip_ = update.vip;
@@ -706,12 +719,22 @@ void SilkRoadSwitch::try_start_next_update() {
 
     if (update_new_version_ == update_old_version_) {
       // Dead-slot substitution landed in the current version: the pool
-      // mutation is already in place and no VIPTable flip is needed.
+      // mutation is already in place and no VIPTable flip is needed. The
+      // span still records the full quadruple (at one instant) so the
+      // completeness audit is uniform across completion paths.
       c_.updates_completed->inc();
       c_.update_duration_ns->record(0);
       trace_.record(obs::TraceEventKind::kUpdateFinish, state->trace_scope,
                     update_new_version_, update_old_version_,
                     update_new_version_);
+      span_batch_event(obs::SpanEventKind::kStep1Open, update_old_version_,
+                       update_new_version_);
+      span_batch_event(obs::SpanEventKind::kFlip, update_old_version_,
+                       update_new_version_);
+      span_batch_event(obs::SpanEventKind::kCommit, update_old_version_,
+                       update_new_version_);
+      span_batch_event(obs::SpanEventKind::kFinish);
+      span_batch_.clear();
       if (risk_cb_) risk_cb_(update.vip);
       continue;
     }
@@ -728,6 +751,14 @@ void SilkRoadSwitch::try_start_next_update() {
       trace_.record(obs::TraceEventKind::kUpdateFinish, state->trace_scope,
                     update_new_version_, update_old_version_,
                     update_new_version_);
+      span_batch_event(obs::SpanEventKind::kStep1Open, update_old_version_,
+                       update_new_version_);
+      span_batch_event(obs::SpanEventKind::kFlip, update_old_version_,
+                       update_new_version_);
+      span_batch_event(obs::SpanEventKind::kCommit, update_old_version_,
+                       update_new_version_);
+      span_batch_event(obs::SpanEventKind::kFinish);
+      span_batch_.clear();
       if (risk_cb_) risk_cb_(update.vip);
       continue;
     }
@@ -738,6 +769,8 @@ void SilkRoadSwitch::try_start_next_update() {
     trace_.record(obs::TraceEventKind::kUpdateStep1Open, state->trace_scope,
                   update_new_version_, update_old_version_,
                   update_new_version_);
+    span_batch_event(obs::SpanEventKind::kStep1Open, update_old_version_,
+                     update_new_version_);
     awaiting_pre_.clear();
     transit_members_.clear();
     for (const auto& [flow, info] : pending_) {
@@ -759,6 +792,10 @@ void SilkRoadSwitch::execute_flip() {
   phase_ = Phase::kStep2;
   trace_.record(obs::TraceEventKind::kUpdateFlip, state->trace_scope,
                 update_new_version_, update_old_version_, update_new_version_);
+  span_batch_event(obs::SpanEventKind::kFlip, update_old_version_,
+                   update_new_version_);
+  span_batch_event(obs::SpanEventKind::kCommit, update_old_version_,
+                   update_new_version_);
   if (risk_cb_) risk_cb_(update_vip_);
   if (transit_members_.empty()) finish_update();
 }
@@ -775,7 +812,26 @@ void SilkRoadSwitch::finish_update() {
                   update_new_version_, update_old_version_,
                   update_new_version_);
   }
+  span_batch_event(obs::SpanEventKind::kFinish);
+  span_batch_.clear();
   try_start_next_update();
+}
+
+void SilkRoadSwitch::bind_spans(obs::SpanCollector* spans,
+                                std::uint32_t switch_index) {
+  spans_ = spans;
+  span_switch_ = switch_index;
+}
+
+void SilkRoadSwitch::span_event(std::uint64_t id, obs::SpanEventKind kind,
+                                std::uint64_t arg0, std::uint64_t arg1) {
+  if (spans_ == nullptr || id == 0) return;
+  spans_->record(id, kind, span_switch_, sim_.now(), arg0, arg1);
+}
+
+void SilkRoadSwitch::span_batch_event(obs::SpanEventKind kind,
+                                      std::uint64_t arg0, std::uint64_t arg1) {
+  for (const std::uint64_t id : span_batch_) span_event(id, kind, arg0, arg1);
 }
 
 void SilkRoadSwitch::note_pending_resolved(const net::Endpoint& vip,
@@ -987,6 +1043,14 @@ void SilkRoadSwitch::relearn_sweep() {
 }
 
 void SilkRoadSwitch::reset() {
+  // Updates dying with the crash are abandoned on this switch's span leg —
+  // both the queued ones and the coalesced batch mid-protocol. The
+  // controller's restore-time resync subsumes them.
+  for (const auto& queued : update_queue_) {
+    span_event(queued.update_id, obs::SpanEventKind::kAbandon, 0, 2);
+  }
+  span_batch_event(obs::SpanEventKind::kAbandon, 0, 2);
+  span_batch_.clear();
   conn_table_.clear();
   learning_filter_.reset();
   transit_.clear();

@@ -34,6 +34,7 @@
 #include "core/version_manager.h"
 #include "lb/load_balancer.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
@@ -201,6 +202,12 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   obs::TraceRing& trace() noexcept { return trace_; }
   const obs::TraceRing& trace() const noexcept { return trace_; }
 
+  /// Attaches the fleet's causal-trace collector: traced DipUpdates record
+  /// their CPU-queue wait and 3-step protocol execution (step1 open, flip,
+  /// commit, finish — or abandonment) on their span under this switch's leg.
+  /// Pass nullptr to detach.
+  void bind_spans(obs::SpanCollector* spans, std::uint32_t switch_index);
+
   /// On-chip memory in use: ConnTable geometry + DIPPoolTable contents +
   /// TransitTable.
   struct MemoryUsage {
@@ -333,6 +340,12 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   void try_start_next_update();
   void execute_flip();
   void finish_update();
+  /// Records `kind` on one traced update's span (no-op when unbound / id 0).
+  void span_event(std::uint64_t id, obs::SpanEventKind kind,
+                  std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+  /// Records `kind` on every span of the in-flight coalesced batch.
+  void span_batch_event(obs::SpanEventKind kind, std::uint64_t arg0 = 0,
+                        std::uint64_t arg1 = 0);
   void note_pending_resolved(const net::Endpoint& vip,
                              const net::FiveTuple& flow);
   /// Frees a version number by migrating a victim version's flows to exact
@@ -399,6 +412,12 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   /// Flows with an aging-erase already queued at the CPU (prevents duplicate
   /// work when sweeps outpace the CPU).
   std::unordered_set<net::FiveTuple, net::FiveTupleHash> aging_queue_;
+
+  /// Fleet-level span collector (optional) and this switch's leg index.
+  obs::SpanCollector* spans_ = nullptr;
+  std::uint32_t span_switch_ = 0;
+  /// Span ids of the in-flight coalesced batch (one flip covers them all).
+  std::vector<std::uint64_t> span_batch_;
 
   // In-flight update state.
   Phase phase_ = Phase::kIdle;

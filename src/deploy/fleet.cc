@@ -33,7 +33,11 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
         [this, i] { apply_resync(i); }));
     channels_.back()->bind_metrics(fleet_metrics_,
                                    "switch=\"" + std::to_string(i) + "\"");
+    const auto leg = static_cast<std::uint32_t>(i);
+    channels_.back()->bind_spans(&spans_, leg);
+    switches_.back()->bind_spans(&spans_, leg);
   }
+  spans_.bind_metrics(fleet_metrics_);
 }
 
 void SilkRoadFleet::add_vip(const net::Endpoint& vip,
@@ -58,7 +62,11 @@ void SilkRoadFleet::request_update(const workload::DipUpdate& update) {
     members.erase(std::remove(members.begin(), members.end(), update.dip),
                   members.end());
   }
-  for (const auto& channel : channels_) channel->send(update);
+  // Mint the intent span; the stamped id rides in every channel copy and
+  // survives retransmits, duplicates, and resync escalation.
+  workload::DipUpdate traced = update;
+  spans_.begin_update(traced, sim_.now());
+  for (const auto& channel : channels_) channel->send(traced);
 }
 
 void SilkRoadFleet::handle_dip_failure(const net::Endpoint& vip,
@@ -93,16 +101,28 @@ void SilkRoadFleet::deliver_to(std::size_t index,
     return;
   }
   const auto& update = std::get<workload::DipUpdate>(payload);
+  const auto leg = static_cast<std::uint32_t>(index);
   if (switches_[index]->version_manager(update.vip) == nullptr) {
     // The replica is not provisioned with this VIP yet (its resync is still
     // in flight); the resync diff will carry the membership over.
+    spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
+                  sim_.now(), 0, 0);
     return;
   }
   auto& dips = applied[update.vip];
   if (update.action == workload::UpdateAction::kAddDip) {
-    if (!dips.insert(update.dip).second) return;  // duplicate: already applied
+    if (!dips.insert(update.dip).second) {
+      // Duplicate delivery (lost ack / retransmit race): already applied.
+      spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
+                    sim_.now(), 0, 1);
+      return;
+    }
   } else {
-    if (dips.erase(update.dip) == 0) return;  // duplicate: already removed
+    if (dips.erase(update.dip) == 0) {
+      spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
+                    sim_.now(), 0, 1);
+      return;
+    }
   }
   switches_[index]->request_update(update);
 }
@@ -122,6 +142,10 @@ void SilkRoadFleet::apply_resync(std::size_t index) {
     // runs the 3-step protocol, keeping existing flows consistent).
     auto& have = applied[vip];
     const DipSet want(desired.begin(), desired.end());
+    // Diff updates are children of the channel's resync span: the spans of
+    // the wiped in-flight updates point at the same resync, closing the
+    // causal chain intent -> abandoned leg -> resync -> re-issued delta.
+    const std::uint64_t resync_id = channels_[index]->active_resync_id();
     for (const auto& dip : desired) {
       if (have.contains(dip)) continue;
       workload::DipUpdate update;
@@ -130,6 +154,7 @@ void SilkRoadFleet::apply_resync(std::size_t index) {
       update.dip = dip;
       update.action = workload::UpdateAction::kAddDip;
       update.cause = workload::UpdateCause::kProvisioning;
+      spans_.begin_update(update, sim_.now(), resync_id);
       sw.request_update(update);
     }
     for (const auto& dip : have) {
@@ -140,6 +165,7 @@ void SilkRoadFleet::apply_resync(std::size_t index) {
       update.dip = dip;
       update.action = workload::UpdateAction::kRemoveDip;
       update.cause = workload::UpdateCause::kRemoval;
+      spans_.begin_update(update, sim_.now(), resync_id);
       sw.request_update(update);
     }
     have = want;

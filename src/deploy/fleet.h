@@ -114,6 +114,13 @@ class SilkRoadFleet : public lb::LoadBalancer {
   std::uint64_t ctrl_resyncs() const;
   std::size_t ctrl_outstanding() const;
 
+  /// The fleet's causal-trace collector: every request_update intent mints a
+  /// span here, and the channels/switches record their legs on it. The span
+  /// tree is exported over /spans + /update/<id> and consumed by
+  /// obs::assemble_forensics.
+  obs::SpanCollector& spans() noexcept { return spans_; }
+  const obs::SpanCollector& spans() const noexcept { return spans_; }
+
   /// Index of the live switch the fabric currently hashes `flow` to, or
   /// nullopt when the whole fleet is down.
   std::optional<std::size_t> route_of(const net::FiveTuple& flow) const;
@@ -142,6 +149,9 @@ class SilkRoadFleet : public lb::LoadBalancer {
   void apply_resync(std::size_t index);
 
   sim::Simulator& sim_;
+  /// Declared before the switches/channels that hold raw pointers into it,
+  /// so it outlives them during destruction.
+  obs::SpanCollector spans_;
   std::vector<std::unique_ptr<core::SilkRoadSwitch>> switches_;
   std::vector<std::unique_ptr<fault::ControlChannel>> channels_;
   std::vector<bool> alive_;

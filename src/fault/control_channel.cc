@@ -20,11 +20,17 @@ ControlChannel::ControlChannel(sim::Simulator& simulator, const Config& config,
 
 void ControlChannel::send(Payload payload) {
   ++sent_;
+  const std::uint64_t id = payload_update_id(payload);
+  span_event(id, obs::SpanEventKind::kChannelSend);
   if (offline_) {
     // The peer is dead: the message is gone, and only a full resync on
     // restore can re-establish a consistent state.
     ++dropped_;
     needs_resync_ = true;
+    // The span leg terminates here; the restore-time resync subsumes it.
+    span_event(id, obs::SpanEventKind::kChannelDrop, 0, 2);
+    span_event(id, obs::SpanEventKind::kAbandon, 0, 3);
+    if (spans_ != nullptr && id != 0) pending_subsume_.push_back(id);
     return;
   }
   const std::uint64_t seq = next_seq_++;
@@ -38,12 +44,22 @@ void ControlChannel::send(Payload payload) {
 
 void ControlChannel::transmit(std::uint64_t seq) {
   const sim::Time now = sim_.now();
+  const auto out_it = outstanding_.find(seq);
+  const std::uint64_t id = out_it == outstanding_.end()
+                               ? 0
+                               : payload_update_id(out_it->second.payload);
+  const std::uint64_t attempt =
+      out_it == outstanding_.end()
+          ? 0
+          : static_cast<std::uint64_t>(out_it->second.retries);
   bool drop = offline_ || rng_.bernoulli(config_.drop_probability);
   if (!drop && loss_hook_ && loss_hook_(now)) drop = true;
   if (drop) {
     ++dropped_;
+    span_event(id, obs::SpanEventKind::kChannelDrop, attempt, 0);
     return;  // The retry timer is still armed; the message will come back.
   }
+  span_event(id, obs::SpanEventKind::kChannelXmit, attempt);
   sim::Time delay = config_.base_delay;
   if (config_.jitter > 0) {
     delay += static_cast<sim::Time>(rng_.uniform() *
@@ -54,7 +70,9 @@ void ControlChannel::transmit(std::uint64_t seq) {
     delay += config_.reorder_extra;
     ++reorders_;
   }
+  ++inflight_;
   sim_.schedule_after(delay, [this, seq, epoch = epoch_] {
+    --inflight_;
     on_message_arrival(seq, epoch);
   });
 }
@@ -78,6 +96,9 @@ void ControlChannel::on_retry_timeout(std::uint64_t seq) {
     return;
   }
   ++retries_;
+  span_event(payload_update_id(it->second.payload),
+             obs::SpanEventKind::kChannelRetry,
+             static_cast<std::uint64_t>(it->second.retries));
   it->second.timeout = static_cast<sim::Time>(
       static_cast<double>(it->second.timeout) * config_.retry_backoff);
   transmit(seq);
@@ -89,7 +110,13 @@ void ControlChannel::on_message_arrival(std::uint64_t seq,
   if (epoch != epoch_) return;  // Sent to a peer state that no longer exists.
   if (seq < next_expected_) {
     // Already delivered once: the ack was lost and the sender retransmitted.
+    // The sender-side copy is still outstanding (that is why it
+    // retransmitted), so the payload's span id is recoverable here.
     ++duplicates_;
+    if (const auto it = outstanding_.find(seq); it != outstanding_.end()) {
+      span_event(payload_update_id(it->second.payload),
+                 obs::SpanEventKind::kChannelDup);
+    }
     ack(seq);
     return;
   }
@@ -97,6 +124,8 @@ void ControlChannel::on_message_arrival(std::uint64_t seq,
   if (it == outstanding_.end()) return;  // Superseded by a resync.
   if (!reorder_buffer_.emplace(seq, it->second.payload).second) {
     ++duplicates_;  // Retransmit raced its own earlier copy.
+    span_event(payload_update_id(it->second.payload),
+               obs::SpanEventKind::kChannelDup);
   }
   ack(seq);
   drain_in_order();
@@ -109,6 +138,10 @@ void ControlChannel::ack(std::uint64_t seq) {
   if (!drop && loss_hook_ && loss_hook_(sim_.now())) drop = true;
   if (drop) {
     ++dropped_;
+    if (const auto it = outstanding_.find(seq); it != outstanding_.end()) {
+      span_event(payload_update_id(it->second.payload),
+                 obs::SpanEventKind::kChannelDrop, 0, 1);
+    }
     return;
   }
   sim::Time delay = config_.base_delay;
@@ -133,11 +166,26 @@ void ControlChannel::drain_in_order() {
     reorder_buffer_.erase(it);
     ++next_expected_;
     ++delivered_;
+    span_event(payload_update_id(payload), obs::SpanEventKind::kChannelDeliver);
     deliver_(payload);
   }
 }
 
 void ControlChannel::wipe_window() {
+  // Traced messages dying with the window are abandoned on this leg and
+  // queued for subsumption by the next resync escalation. A message can sit
+  // in both maps at once (received, ack in flight) — the duplicate record
+  // and subsume entry are harmless.
+  if (spans_ != nullptr) {
+    const auto abandon = [this](const Payload& payload) {
+      const std::uint64_t id = payload_update_id(payload);
+      if (id == 0) return;
+      span_event(id, obs::SpanEventKind::kAbandon, 0, 3);
+      pending_subsume_.push_back(id);
+    };
+    for (const auto& [seq, msg] : outstanding_) abandon(msg.payload);
+    for (const auto& [seq, payload] : reorder_buffer_) abandon(payload);
+  }
   for (auto& [seq, msg] : outstanding_) msg.retry_event.cancel();
   outstanding_.clear();
   reorder_buffer_.clear();
@@ -161,11 +209,18 @@ void ControlChannel::force_resync() {
   }
   needs_resync_ = false;
   ++resyncs_;
+  std::uint64_t rid = 0;
+  if (spans_ != nullptr) {
+    rid = spans_->begin_resync(span_switch_, sim_.now(), pending_subsume_);
+    active_resync_id_ = rid;
+    pending_subsume_.clear();
+  }
   const std::uint64_t syncpoint = next_seq_;
   const std::uint64_t epoch = ++epoch_;
-  sim_.schedule_after(config_.base_delay, [this, syncpoint, epoch] {
+  sim_.schedule_after(config_.base_delay, [this, syncpoint, epoch, rid] {
     if (epoch != epoch_) return;  // Went offline (or resynced again) since.
     next_expected_ = syncpoint;
+    span_event(rid, obs::SpanEventKind::kResyncApply);
     resync_();
     drain_in_order();  // Messages sent during the resync flight, if any.
   });
@@ -197,6 +252,32 @@ void ControlChannel::bind_metrics(obs::MetricsRegistry& registry,
       "silkroad_ctrl_outstanding", obs::MetricKind::kGauge,
       [this] { return static_cast<double>(outstanding_.size()); },
       "Unacknowledged control messages in flight", labels);
+  registry.register_callback(
+      "silkroad_ctrl_inflight", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(inflight_); },
+      "Message transmissions currently in the air (not yet landed)", labels);
+  registry.register_callback(
+      "silkroad_ctrl_reorder_buffer_depth", obs::MetricKind::kGauge,
+      [this] { return static_cast<double>(reorder_buffer_.size()); },
+      "Received messages buffered behind an in-order sequence gap", labels);
+}
+
+void ControlChannel::bind_spans(obs::SpanCollector* spans,
+                                std::uint32_t switch_index) {
+  spans_ = spans;
+  span_switch_ = switch_index;
+}
+
+std::uint64_t ControlChannel::payload_update_id(
+    const Payload& payload) noexcept {
+  const auto* update = std::get_if<workload::DipUpdate>(&payload);
+  return update == nullptr ? 0 : update->update_id;
+}
+
+void ControlChannel::span_event(std::uint64_t id, obs::SpanEventKind kind,
+                                std::uint64_t arg0, std::uint64_t arg1) {
+  if (spans_ == nullptr || id == 0) return;
+  spans_->record(id, kind, span_switch_, sim_.now(), arg0, arg1);
 }
 
 }  // namespace silkroad::fault

@@ -23,6 +23,7 @@
 
 #include "net/endpoint.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "workload/update_gen.h"
@@ -93,10 +94,26 @@ class ControlChannel {
   /// silkroad_ctrl_* names with `labels` (e.g. switch="2").
   void bind_metrics(obs::MetricsRegistry& registry, const std::string& labels);
 
+  /// Attaches the causal-trace collector: every channel-leg event of a
+  /// traced DipUpdate (send, transmission attempts, drops, retries,
+  /// deliveries, duplicates) is recorded on its span under this switch's
+  /// leg, and resync escalations mint resync spans subsuming whatever the
+  /// window wipe abandoned. Pass nullptr to detach.
+  void bind_spans(obs::SpanCollector* spans, std::uint32_t switch_index);
+
   // --- Introspection ---------------------------------------------------------
   bool offline() const noexcept { return offline_; }
   bool needs_resync() const noexcept { return needs_resync_; }
   std::size_t outstanding() const noexcept { return outstanding_.size(); }
+  /// Message transmissions currently in the air (scheduled, not yet landed).
+  std::size_t inflight() const noexcept { return inflight_; }
+  /// Received-but-undeliverable messages buffered behind a sequence gap.
+  std::size_t reorder_buffer_depth() const noexcept {
+    return reorder_buffer_.size();
+  }
+  /// Span id of the most recent resync escalation (0 before the first); the
+  /// fleet parents resync-synthesized diff updates under it.
+  std::uint64_t active_resync_id() const noexcept { return active_resync_id_; }
   std::uint64_t sent() const noexcept { return sent_; }
   std::uint64_t delivered() const noexcept { return delivered_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
@@ -122,12 +139,25 @@ class ControlChannel {
   void drain_in_order();
   void wipe_window();
 
+  /// The causal-trace id riding in `payload` (0 for VipConfig / untraced).
+  static std::uint64_t payload_update_id(const Payload& payload) noexcept;
+  void span_event(std::uint64_t id, obs::SpanEventKind kind,
+                  std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
   sim::Simulator& sim_;
   Config config_;
   DeliverFn deliver_;
   ResyncFn resync_;
   LossHook loss_hook_;
   sim::Rng rng_;
+
+  obs::SpanCollector* spans_ = nullptr;
+  std::uint32_t span_switch_ = 0;
+  /// Traced updates the window wipes abandoned; the next resync escalation
+  /// subsumes them (only populated while spans_ is bound).
+  std::vector<std::uint64_t> pending_subsume_;
+  std::uint64_t active_resync_id_ = 0;
+  std::size_t inflight_ = 0;
 
   // Sender side.
   std::uint64_t next_seq_ = 0;

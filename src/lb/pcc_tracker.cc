@@ -18,6 +18,7 @@ void PccTracker::observe(const net::FiveTuple& flow, const net::Endpoint& dip,
     state.violated = true;
     ++violations_;
     violation_times_.push_back(now);
+    violation_records_.push_back({flow, now});
   }
 }
 
@@ -30,6 +31,7 @@ void PccTracker::observe_unmapped(const net::FiveTuple& flow, sim::Time now) {
     state.violated = true;
     ++violations_;
     violation_times_.push_back(now);
+    violation_records_.push_back({flow, now});
   }
 }
 

@@ -59,6 +59,16 @@ class PccTracker {
     return violation_times_;
   }
 
+  /// Which flow broke, and when — the forensics pipeline resolves the flow
+  /// to its trace-ring journey and the update spans overlapping it.
+  struct ViolationRecord {
+    net::FiveTuple flow;
+    sim::Time at = 0;
+  };
+  const std::vector<ViolationRecord>& violation_records() const noexcept {
+    return violation_records_;
+  }
+
   /// First-assigned DIP of an active flow, if tracked.
   std::optional<net::Endpoint> assigned_dip(const net::FiveTuple& flow) const;
 
@@ -73,6 +83,7 @@ class PccTracker {
   std::uint64_t flows_seen_ = 0;
   std::uint64_t violations_ = 0;
   std::vector<sim::Time> violation_times_;
+  std::vector<ViolationRecord> violation_records_;
 };
 
 }  // namespace silkroad::lb

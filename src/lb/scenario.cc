@@ -194,10 +194,14 @@ void Scenario::audit(const net::FiveTuple& flow,
     tracker_.exempt_flow(flow);
     return;
   }
+  const std::uint64_t before = tracker_.violations();
   if (dip) {
     tracker_.observe(flow, *dip, sim_.now());
   } else {
     tracker_.observe_unmapped(flow, sim_.now());
+  }
+  if (violation_cb_ && tracker_.violations() != before) {
+    violation_cb_(flow, sim_.now());
   }
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -82,6 +83,15 @@ class Scenario {
   /// Exempts one flow from the PCC audit (e.g. fleet failover blast radius).
   void exempt_flow(const net::FiveTuple& flow) { tracker_.exempt_flow(flow); }
 
+  /// Invoked the instant the audit charges a flow with a PCC violation —
+  /// the harness's chance to capture forensics (obs::assemble_forensics)
+  /// while the trace ring still holds the flow's journey.
+  using ViolationCallback =
+      std::function<void(const net::FiveTuple& flow, sim::Time at)>;
+  void set_violation_callback(ViolationCallback cb) {
+    violation_cb_ = std::move(cb);
+  }
+
   /// Driver-side telemetry (silkroad_scenario_*): update/redirect counters
   /// plus pull gauges over the PCC tracker and traffic split. Snapshot it
   /// alongside the balancer's own registry for a complete picture.
@@ -123,6 +133,7 @@ class Scenario {
   double total_bytes_ = 0;
   sim::Time last_settle_ = 0;
   obs::MetricsRegistry metrics_;
+  ViolationCallback violation_cb_;
   obs::Counter* updates_applied_ = nullptr;
   obs::Counter* cpu_redirects_ = nullptr;
   obs::Counter* unmapped_starts_ = nullptr;

@@ -1,0 +1,64 @@
+// PCC incident forensics (DESIGN.md §12).
+//
+// When the invariant auditor trips or a chaos run fails its PCC audit, the
+// question is always causal: which update window was in flight while this
+// flow's packets were being mapped, and what did the lossy control channel
+// do to it? A ForensicsReport answers that offline: it interleaves the
+// offending flow's journey (journey.h) with every update/resync span
+// (span.h) that overlapped it — including dropped and retransmitted channel
+// legs — into one timeline ordered by sim time, rendered as text and JSON
+// and written to SILKROAD_TELEMETRY_DIR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/journey.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace silkroad::obs {
+
+struct ForensicsReport {
+  std::string reason;
+  std::uint64_t flow_id = 0;  ///< five-tuple hash; 0 = no specific flow
+  /// The report window: the flow journey's [first, last] when a journey was
+  /// found, otherwise the whole trace-ring range.
+  sim::Time window_first = 0;
+  sim::Time window_last = 0;
+  std::optional<FlowJourney> journey;
+  /// Copies of every span overlapping the window, ascending id.
+  std::vector<UpdateSpan> spans;
+
+  struct Entry {
+    sim::Time at = 0;
+    std::string source;  ///< "flow", "ctx", "update#<id>", "resync#<id>"
+    std::string line;
+  };
+  /// The merged story, ordered by sim time (stable: flow events before span
+  /// events at equal timestamps).
+  std::vector<Entry> timeline;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Builds the report from one switch's trace ring and the fleet's span
+/// collector. `flow_id` of 0 (no specific flow — e.g. an invariant-audit
+/// failure) widens the window to the whole ring and omits the journey.
+/// `spans` may be null (report then carries trace events only).
+ForensicsReport assemble_forensics(const TraceRing& ring,
+                                   const SpanCollector* spans,
+                                   std::uint64_t flow_id, std::string reason);
+
+/// $SILKROAD_TELEMETRY_DIR, or "" when unset/empty.
+std::string telemetry_dir_from_env();
+
+/// Writes <dir>/<stem>.txt and <dir>/<stem>.json. Returns false if either
+/// write failed (missing directory, permissions).
+bool write_forensics(const ForensicsReport& report, const std::string& dir,
+                     const std::string& stem);
+
+}  // namespace silkroad::obs

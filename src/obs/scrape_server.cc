@@ -60,6 +60,13 @@ void ScrapeServer::handle(const std::string& path,
   routes_[path] = {content_type, std::move(handler)};
 }
 
+void ScrapeServer::handle_prefix(const std::string& prefix,
+                                 const std::string& content_type,
+                                 PrefixHandler handler) {
+  if (running_.load()) return;
+  prefix_routes_[prefix] = {content_type, std::move(handler)};
+}
+
 bool ScrapeServer::start() {
   if (running_.load()) return true;
   if (routes_.find("/healthz") == routes_.end()) {
@@ -133,13 +140,32 @@ void ScrapeServer::serve_one(int fd) {
     return;
   }
   const auto it = routes_.find(path);
-  if (it == routes_.end()) {
-    send_all(fd,
-             http_response(404, "Not Found", "text/plain", "not found\n"));
+  if (it != routes_.end()) {
+    send_all(fd, http_response(200, "OK", it->second.content_type,
+                               it->second.handler()));
     return;
   }
-  send_all(fd, http_response(200, "OK", it->second.content_type,
-                             it->second.handler()));
+  // Longest prefix route whose "<prefix>/" starts the path; the handler
+  // receives the remainder and decides whether that suffix exists.
+  const PrefixRoute* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, route] : prefix_routes_) {
+    if (prefix.size() + 1 >= path.size()) continue;
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
+    if (path[prefix.size()] != '/') continue;
+    if (prefix.size() >= best_len) {
+      best = &route;
+      best_len = prefix.size();
+    }
+  }
+  if (best != nullptr) {
+    const std::string body = best->handler(path.substr(best_len + 1));
+    if (!body.empty()) {
+      send_all(fd, http_response(200, "OK", best->content_type, body));
+      return;
+    }
+  }
+  send_all(fd, http_response(404, "Not Found", "text/plain", "not found\n"));
 }
 
 bool scrape_port_from_env(std::uint16_t& port) {

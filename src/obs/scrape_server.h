@@ -48,6 +48,17 @@ class ScrapeServer {
   void handle(const std::string& path, const std::string& content_type,
               Handler handler);
 
+  /// Body producer for a path family; receives the part of the request path
+  /// after the registered prefix (no leading '/'). An empty return serves a
+  /// 404 — the handler decides what suffixes exist.
+  using PrefixHandler = std::function<std::string(const std::string& suffix)>;
+
+  /// Registers `handler` for every path starting with `prefix` + "/" (e.g.
+  /// prefix "/update" serves "/update/17"). Exact routes win over prefixes;
+  /// among prefixes the longest match wins. Must be called before start().
+  void handle_prefix(const std::string& prefix, const std::string& content_type,
+                     PrefixHandler handler);
+
   /// Binds 127.0.0.1:<port>, spawns the server thread. Registers a default
   /// "/healthz" ("ok\n") if none was added. Returns false if the socket
   /// could not be bound (port taken, sandbox).
@@ -66,12 +77,17 @@ class ScrapeServer {
     std::string content_type;
     Handler handler;
   };
+  struct PrefixRoute {
+    std::string content_type;
+    PrefixHandler handler;
+  };
 
   void serve_loop();
   void serve_one(int fd);
 
   Options options_;
   std::map<std::string, Route> routes_;
+  std::map<std::string, PrefixRoute> prefix_routes_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};

@@ -1,0 +1,168 @@
+// Causal update-span tracing across the fleet (DESIGN.md §12).
+//
+// Every controller DIP-update intent is assigned a fleet-unique update_id
+// that rides inside the ControlChannel payload — surviving retransmits,
+// duplicate deliveries, and resync escalation — and is stamped onto the
+// switch-side 3-step protocol execution it causes. The SpanCollector gathers
+// these observations into one UpdateSpan per intent, forming a tree:
+//
+//   intent (controller)
+//     ├─ per-switch channel leg: send → transmit/drop/retry* → deliver|dup
+//     ├─ per-switch CPU queue wait: queue-stage → step1-open
+//     └─ per-switch protocol execution: step1 → flip → commit → finish
+//
+// Resync escalations mint their own spans that link (subsume) every update
+// the bulk transfer supersedes; the diff updates a resync synthesizes are
+// child spans (parent_id = the resync span's id). Per-hop durations feed the
+// silkroad_update_propagation_ns{hop=...} histograms (the issue's
+// update_propagation_seconds family, in this repo's integer-nanosecond
+// histogram convention) through the existing metrics registry.
+//
+// The collector is deliberately not a ring: spans are evicted oldest-first
+// past `capacity`, and audit_complete() can prove that every observed leg
+// ran to a terminal state (finish / skip / abandon / subsumed-by-resync) —
+// the chaos suite asserts that over every seed it runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/time.h"
+#include "workload/update_gen.h"
+
+namespace silkroad::obs {
+
+/// switch_index value for events that happen at the controller, not on any
+/// particular switch leg (intent minting, resync synthesis).
+inline constexpr std::uint32_t kControllerLeg = ~std::uint32_t{0};
+
+enum class SpanEventKind : std::uint8_t {
+  kIntent,         ///< controller minted the update (root of the tree)
+  kResyncBegin,    ///< retry exhaustion / restore escalated to a bulk resync
+  kSubsume,        ///< resync span absorbed an in-flight update (arg0 = id)
+  kChannelSend,    ///< sender queued the message on this switch's channel
+  kChannelXmit,    ///< one transmission attempt left the sender (arg0 = retry#)
+  kChannelDrop,    ///< a transmission was lost (arg1: 0=msg, 1=ack, 2=offline)
+  kChannelRetry,   ///< ack timeout fired; retransmission follows (arg0 = retry#)
+  kChannelDeliver, ///< receiver delivered the message in order
+  kChannelDup,     ///< duplicate delivery suppressed (the ack was lost)
+  kSkipped,        ///< receiver agent dropped it (arg1: 0=unprovisioned,
+                   ///< 1=already applied — duplicate content after a resync)
+  kQueueStage,     ///< switch queued the update behind the one in flight
+  kStep1Open,      ///< t_req: TransitTable opened (arg0=old, arg1=new version)
+  kFlip,           ///< t_exec: VIPTable flipped (arg0=old, arg1=new version)
+  kCommit,         ///< version transition durable (arg0=old, arg1=new version)
+  kFinish,         ///< TransitTable cleared; the 3-step window closed
+  kAbandon,        ///< leg terminated without effect (arg1: 0=unknown VIP,
+                   ///< 1=stage failure, 2=crash wipe, 3=channel window wipe)
+  kResyncApply,    ///< the bulk resync transfer landed at the switch agent
+};
+
+const char* to_string(SpanEventKind kind) noexcept;
+
+struct SpanEvent {
+  sim::Time at = 0;
+  SpanEventKind kind = SpanEventKind::kIntent;
+  std::uint32_t switch_index = kControllerLeg;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// One update intent's (or resync escalation's) full causal record.
+struct UpdateSpan {
+  std::uint64_t id = 0;
+  /// For resync-synthesized diff updates: the resync span that caused them.
+  std::uint64_t parent_id = 0;
+  bool resync = false;  ///< true for resync-escalation spans
+  /// For resync spans: the switch whose channel escalated.
+  std::uint32_t resync_switch = kControllerLeg;
+  /// The intent as minted (resync spans leave this zeroed).
+  workload::DipUpdate intent;
+  sim::Time intent_at = 0;
+  std::vector<SpanEvent> events;  ///< record order == causal order per leg
+  /// Resync spans: ids of the updates the bulk transfer superseded.
+  std::vector<std::uint64_t> subsumed;
+
+  /// This span's events on one switch leg, in record order.
+  std::vector<SpanEvent> leg(std::uint32_t switch_index) const;
+  bool has(SpanEventKind kind, std::uint32_t switch_index) const;
+  sim::Time first() const;
+  sim::Time last() const;
+};
+
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t capacity = 8192);
+
+  /// Tracing master switch (bench/span_overhead.cc measures the delta).
+  /// While disabled, begin_update() returns 0 (payloads stay untraced) and
+  /// record() is a cheap early-out.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Mints a fleet-unique id, stamps it into `update`, and opens the span
+  /// with a kIntent event. `parent_id` links resync-synthesized children.
+  std::uint64_t begin_update(workload::DipUpdate& update, sim::Time now,
+                             std::uint64_t parent_id = 0);
+
+  /// Opens a resync span for `switch_index`, recording one kSubsume event
+  /// per superseded update id.
+  std::uint64_t begin_resync(std::uint32_t switch_index, sim::Time now,
+                             const std::vector<std::uint64_t>& subsumed);
+
+  /// Appends one event to span `id`; no-op when id is 0, tracing is
+  /// disabled, or the span was evicted. kFinish feeds the per-hop histograms.
+  void record(std::uint64_t id, SpanEventKind kind, std::uint32_t switch_index,
+              sim::Time at, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+
+  /// Registers silkroad_update_propagation_ns{hop=...} histograms plus the
+  /// silkroad_spans_active gauge in `registry`.
+  void bind_metrics(MetricsRegistry& registry);
+
+  const UpdateSpan* find(std::uint64_t id) const;
+  /// All retained spans, ascending id (== creation order).
+  std::vector<const UpdateSpan*> all() const;
+  /// Spans whose [first(), last()] interval intersects [lo, hi].
+  std::vector<const UpdateSpan*> overlapping(sim::Time lo, sim::Time hi) const;
+
+  std::size_t size() const noexcept { return spans_.size(); }
+  std::uint64_t total_started() const noexcept { return next_id_ - 1; }
+  std::uint64_t evicted() const noexcept { return evicted_; }
+  std::uint64_t events_recorded() const noexcept { return events_recorded_; }
+
+  /// Structural audit over every retained span: each observed channel leg
+  /// must reach a terminal state (delivered→staged→finished, skipped,
+  /// abandoned, or subsumed by a resync of the same switch), and every
+  /// finished leg must carry the full step1/flip/commit chain. Returns one
+  /// human-readable problem per violation; empty == complete. Call only at
+  /// quiesce (an in-flight update is legitimately incomplete).
+  std::vector<std::string> audit_complete() const;
+
+  /// {"spans": [...]} — every retained span with its event list.
+  std::string to_json() const;
+  /// One span as a JSON object, or "null" for an unknown id.
+  std::string span_json(std::uint64_t id) const;
+  /// Chrome trace-event JSON: one track per span, a duration event from
+  /// intent to the last leg event, instants for every span event.
+  std::string to_chrome_trace() const;
+
+ private:
+  void finish_histograms(const UpdateSpan& span, std::uint32_t switch_index,
+                         sim::Time finish_at);
+
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t events_recorded_ = 0;
+  std::map<std::uint64_t, UpdateSpan> spans_;
+  Histogram* h_channel_ = nullptr;
+  Histogram* h_queue_ = nullptr;
+  Histogram* h_execute_ = nullptr;
+  Histogram* h_total_ = nullptr;
+};
+
+}  // namespace silkroad::obs

@@ -56,6 +56,10 @@ struct DipUpdate {
   net::Endpoint dip;
   UpdateAction action = UpdateAction::kRemoveDip;
   UpdateCause cause = UpdateCause::kServiceUpgrade;
+  /// Fleet-unique causal-trace id stamped by obs::SpanCollector when the
+  /// controller mints the update intent; 0 = untraced. Survives retransmits
+  /// and duplicate deliveries because it rides inside the payload.
+  std::uint64_t update_id = 0;
 };
 
 struct UpdateGenConfig {

@@ -27,6 +27,8 @@
 #include "deploy/fleet.h"
 #include "fault/fault_injector.h"
 #include "lb/scenario.h"
+#include "obs/exporters.h"
+#include "obs/forensics.h"
 
 namespace silkroad {
 namespace {
@@ -303,6 +305,51 @@ bool run_seed(std::uint64_t seed) {
                  static_cast<unsigned long long>(seed));
     ok = false;
   }
+  // Span-tree completeness: every update intent the controller minted must
+  // have run each observed channel/switch leg to a terminal state — finish,
+  // skip, abandon, or subsumption by that switch's resync escalation. An
+  // orphan step event here means an update_id was lost somewhere in the
+  // channel/CPU/protocol machinery.
+  const auto span_problems = fleet.spans().audit_complete();
+  if (!span_problems.empty()) {
+    for (const auto& problem : span_problems) {
+      std::fprintf(stderr, "seed %llu: span audit: %s\n",
+                   static_cast<unsigned long long>(seed), problem.c_str());
+    }
+    ok = false;
+  }
+  if (fleet.spans().total_started() == 0) {
+    std::fprintf(stderr, "seed %llu: no update spans were minted\n",
+                 static_cast<unsigned long long>(seed));
+    ok = false;
+  }
+
+  // On failure, leave a durable incident record for the CI artifact upload:
+  // the full span set, plus (when a flow actually broke) a forensics report
+  // interleaving its journey with the overlapping update spans.
+  if (!ok) {
+    const std::string dir = obs::telemetry_dir_from_env();
+    if (!dir.empty()) {
+      char stem[64];
+      std::snprintf(stem, sizeof stem, "chaos_seed%llu",
+                    static_cast<unsigned long long>(seed));
+      obs::write_file(dir + "/" + std::string(stem) + "_spans.json",
+                      fleet.spans().to_json());
+      const auto& records = scenario.tracker().violation_records();
+      if (!records.empty()) {
+        const auto& record = records.front();
+        const auto route = fleet.route_of(record.flow);
+        const auto& sw = fleet.switch_at(route.value_or(0));
+        const auto report = obs::assemble_forensics(
+            sw.trace(), &fleet.spans(), net::FiveTupleHash{}(record.flow),
+            "chaos PCC violation");
+        obs::write_forensics(report, dir, std::string(stem) + "_forensics");
+      }
+      std::fprintf(stderr, "seed %llu: telemetry written under %s\n",
+                   static_cast<unsigned long long>(seed), dir.c_str());
+    }
+  }
+
   // Final structural audit of every live switch (aborts on a finding).
   fleet.self_check();
   return ok;

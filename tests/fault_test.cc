@@ -370,5 +370,68 @@ TEST(SilkRoadFleet, LossyReorderingChannelsConvergeAcrossUpdateBoundaries) {
   EXPECT_NE(snap.find("silkroad_ctrl_resyncs_total", "switch=\"2\""), nullptr);
 }
 
+// Regression: a lost ack retransmits an already-delivered DipUpdate. The
+// receiver must apply it exactly once, and the suppressed duplicate must be
+// visible on the update's span record (kChannelDup on that switch's leg).
+TEST(ControlChannelSpans, LostAckDuplicateIsIdempotentAndVisibleInSpan) {
+  sim::Simulator sim;
+  fault::ControlChannel::Config channel;
+  channel.base_delay = 100 * sim::kMicrosecond;
+  channel.retry_timeout = 1 * sim::kMillisecond;
+  channel.resync_after_retries = 10;
+  deploy::SilkRoadFleet fleet(sim, small_config(), 1, 0xFEE7ULL, channel);
+  const auto dips = make_dips(4);
+  fleet.add_vip(vip_ep(), dips);
+  sim.run();
+
+  // Drop exactly the second transmission through the channel: message (1,
+  // passes) -> its ack (2, DROPPED) -> retransmit (3, passes) -> duplicate's
+  // ack (4, passes).
+  int call = 0;
+  fleet.set_channel_loss_hook(0, [&call](sim::Time) { return ++call == 2; });
+  net::Endpoint extra{net::IpAddress::v4(0x0A0000FF), 20};
+  fleet.request_update(update_of(0, workload::UpdateAction::kAddDip, extra));
+  sim.run();
+
+  const auto& ch = fleet.channel_at(0);
+  EXPECT_EQ(ch.delivered(), 1u);
+  EXPECT_EQ(ch.duplicates(), 1u);
+  EXPECT_EQ(ch.dropped(), 1u);
+  EXPECT_GE(ch.retries(), 1u);
+  EXPECT_EQ(fleet.switch_at(0).stats().updates_requested, 1u)
+      << "duplicate delivery must not re-run the 3-step protocol";
+
+  const obs::UpdateSpan* span = fleet.spans().find(1);
+  ASSERT_NE(span, nullptr);
+  EXPECT_TRUE(span->has(obs::SpanEventKind::kChannelDeliver, 0));
+  EXPECT_TRUE(span->has(obs::SpanEventKind::kChannelDrop, 0));  // the lost ack
+  EXPECT_TRUE(span->has(obs::SpanEventKind::kChannelRetry, 0));
+  EXPECT_TRUE(span->has(obs::SpanEventKind::kChannelDup, 0));
+  EXPECT_TRUE(span->has(obs::SpanEventKind::kFinish, 0));
+  EXPECT_TRUE(fleet.spans().audit_complete().empty());
+
+  // Duplicate *content* (same add re-issued) is a distinct span that the
+  // fleet's applied-state mirror skips idempotently.
+  fleet.request_update(update_of(1, workload::UpdateAction::kAddDip, extra));
+  sim.run();
+  const obs::UpdateSpan* dup = fleet.spans().find(2);
+  ASSERT_NE(dup, nullptr);
+  EXPECT_TRUE(dup->has(obs::SpanEventKind::kSkipped, 0));
+  EXPECT_EQ(fleet.switch_at(0).stats().updates_requested, 1u);
+
+  // Satellite gauges: in-flight transmissions and reorder-buffer depth are
+  // exported per switch and are zero at quiesce.
+  const auto snap = fleet.metrics_snapshot();
+  const auto* inflight = snap.find("silkroad_ctrl_inflight", "switch=\"0\"");
+  ASSERT_NE(inflight, nullptr);
+  EXPECT_EQ(inflight->value, 0.0);
+  const auto* depth =
+      snap.find("silkroad_ctrl_reorder_buffer_depth", "switch=\"0\"");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->value, 0.0);
+  EXPECT_EQ(ch.inflight(), 0u);
+  EXPECT_EQ(ch.reorder_buffer_depth(), 0u);
+}
+
 }  // namespace
 }  // namespace silkroad::fault
