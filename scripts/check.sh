@@ -5,7 +5,14 @@
 #   2. asan+ubsan   — Debug (so SR_DCHECKs are live) + ASan + UBSan, ctest
 #   3. clang-tidy   — static analysis over src/ (skipped when clang-tidy is
 #                     not installed; CI always has it)
-#   4. lint         — scripts/lint.py repo rules
+#   4. lint         — tools/srlint repo rules (via the scripts/lint.py shim)
+#
+# Extra stages, not in the default list (DESIGN.md §13):
+#   static          — the full analyzer matrix: srlint + its engine test,
+#                     clang thread-safety build + negative self-test,
+#                     cppcheck, and clang scan-build. Tool-gated: anything
+#                     not installed is skipped with a notice; CI runs all.
+#   tsan            — ThreadSanitizer build + ctest
 #
 # Usage: scripts/check.sh [stage ...]   (default: all stages)
 # Build trees land in build-check-<stage>/ so the developer's own build/ is
@@ -70,8 +77,28 @@ for stage in "${STAGES[@]}"; do
       run_stage "custom lint"
       python3 scripts/lint.py
       ;;
+    static)
+      run_stage "static analysis matrix (srlint, thread-safety, cppcheck, scan-build)"
+      python3 scripts/lint.py
+      python3 tests/srlint_test.py
+      scripts/thread_safety_selftest.sh
+      if command -v cppcheck > /dev/null; then
+        cppcheck --enable=warning,portability --std=c++20 --inline-suppr \
+          --suppressions-list=.cppcheck-suppressions \
+          --error-exitcode=1 -I src src
+      else
+        echo "cppcheck not installed — skipping (CI runs it)"
+      fi
+      if command -v scan-build > /dev/null; then
+        scan-build cmake -B build-check-scan -S . -DCMAKE_BUILD_TYPE=Debug \
+          > build-check-scan.configure.log 2>&1
+        scan-build --status-bugs cmake --build build-check-scan -j "$JOBS"
+      else
+        echo "scan-build not installed — skipping (CI runs it)"
+      fi
+      ;;
     *)
-      echo "unknown stage: $stage (known: plain asan-ubsan tsan clang-tidy lint)" >&2
+      echo "unknown stage: $stage (known: plain asan-ubsan tsan clang-tidy lint static)" >&2
       exit 2
       ;;
   esac

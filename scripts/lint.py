@@ -1,169 +1,19 @@
 #!/usr/bin/env python3
-"""Repo-specific lint rules for the SilkRoad reproduction.
+"""Thin shim: the repo linter is the token-aware srlint engine in
+tools/srlint/ (DESIGN.md §13). This file keeps the historical entry point —
+the `lint` ctest and scripts/check.sh invoke it — and forwards everything.
 
-Run from anywhere: paths are resolved relative to the repository root.
-Registered as the `lint` ctest, so tier-1 enforces it.
-
-Rules
------
-R1  no raw assert( in src/        — library code must use SR_CHECK/SR_DCHECK
-                                    (check/sr_check.h); assert() vanishes in
-                                    the default RelWithDebInfo build.
-                                    static_assert is always fine.
-R2  no rand()/std::rand anywhere  — simulations must draw from sim::Rng so
-                                    every run is seed-reproducible.
-R3  no <iostream> in src/         — library code reports through return
-                                    values, strings, or stderr (cstdio);
-                                    iostreams drag in static initializers.
-R4  #pragma once in every header  — all .h files, repo-wide.
-R5  no ad-hoc `struct ...Stats` in src/ outside src/obs/ — counters belong in
-                                    the obs::MetricsRegistry (DESIGN.md §9);
-                                    the three legacy snapshot-view structs
-                                    (assembled FROM the registry) are
-                                    grandfathered explicitly.
-R6  no printf/fprintf in src/ outside src/obs/ and src/check/ — library code
-                                    reports through the metrics registry,
-                                    trace ring, or returned strings
-                                    (DESIGN.md §10); only the observability
-                                    and check layers own process output.
-                                    snprintf into buffers is fine.
-R7  no raw update-lifecycle TraceEvents (TraceEventKind::kUpdate*) and no
-                                    direct TraceRing use in src/fault/ or
-                                    src/deploy/ — the update lifecycle is
-                                    observed through obs::SpanCollector
-                                    (DESIGN.md §12), which keeps one causal
-                                    record per intent instead of per-layer
-                                    fragments; the per-switch trace ring
-                                    belongs to the switch that owns it.
+Run `python3 tools/srlint --list-rules` for the rule catalog R1–R10.
 """
 
-from __future__ import annotations
-
-import re
+import os
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SOURCE_DIRS = ["src", "tests", "bench", "examples"]
-CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
-
-# sr_check.h implements the macros assert() users migrate to, and mentions
-# assert( in its documentation; it is the single allowed exception to R1.
-R1_EXEMPT = {Path("src/check/sr_check.h")}
-
-# Legacy Stats structs kept as snapshot views over the metrics registry —
-# they hold no state of their own and are allowed to stay for API stability.
-# Do NOT add to this list: new counters go through obs::MetricsRegistry.
-R5_EXEMPT = {
-    Path("src/core/silkroad_switch.h"),
-    Path("src/lb/scenario.h"),
-    Path("src/lb/packet_level.h"),
-}
-
-RAW_ASSERT = re.compile(r"(?<![_\w])assert\s*\(")
-STATIC_ASSERT = re.compile(r"static_assert\s*\(")
-RAW_RAND = re.compile(r"(?<![_\w])(?:std::)?rand\s*\(\s*\)")
-IOSTREAM = re.compile(r"^\s*#\s*include\s*<iostream>")
-PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
-STATS_STRUCT = re.compile(r"\bstruct\s+\w*Stats\b")
-# Lookbehind keeps snprintf/vsnprintf (buffer formatting) out of R6's reach.
-RAW_PRINTF = re.compile(r"(?<![\w.:])(?:std::)?f?printf\s*\(")
-UPDATE_TRACE = re.compile(r"TraceEventKind\s*::\s*kUpdate\w*|\bTraceRing\b")
-LINE_COMMENT = re.compile(r"//.*$")
-
-
-def strip_comment(line: str) -> str:
-    """Removes // comments (string literals with // are not used for code
-    the rules below target, so this cheap strip is sufficient)."""
-    return LINE_COMMENT.sub("", line)
-
-
-def iter_files():
-    for dirname in SOURCE_DIRS:
-        root = REPO_ROOT / dirname
-        if not root.is_dir():
-            continue
-        for path in sorted(root.rglob("*")):
-            if path.suffix in CXX_SUFFIXES and path.is_file():
-                yield path
-
-
-def main() -> int:
-    problems: list[str] = []
-
-    for path in iter_files():
-        rel = path.relative_to(REPO_ROOT)
-        text = path.read_text(encoding="utf-8")
-        lines = text.splitlines()
-        in_src = rel.parts[0] == "src"
-
-        if path.suffix in {".h", ".hpp"} and not any(
-            PRAGMA_ONCE.match(line) for line in lines
-        ):
-            problems.append(f"{rel}: header lacks '#pragma once' (R4)")
-
-        for lineno, raw_line in enumerate(lines, start=1):
-            line = strip_comment(raw_line)
-
-            if in_src and rel not in R1_EXEMPT:
-                no_static = STATIC_ASSERT.sub("", line)
-                if RAW_ASSERT.search(no_static):
-                    problems.append(
-                        f"{rel}:{lineno}: raw assert() in library code — use "
-                        f"SR_CHECK/SR_DCHECK from check/sr_check.h (R1)"
-                    )
-
-            if RAW_RAND.search(line):
-                problems.append(
-                    f"{rel}:{lineno}: rand()/std::rand() — use sim::Rng for "
-                    f"seed-reproducible randomness (R2)"
-                )
-
-            if in_src and IOSTREAM.match(line):
-                problems.append(
-                    f"{rel}:{lineno}: <iostream> in library code (R3)"
-                )
-
-            if (
-                in_src
-                and rel.parts[1] != "obs"
-                and rel not in R5_EXEMPT
-                and STATS_STRUCT.search(line)
-            ):
-                problems.append(
-                    f"{rel}:{lineno}: ad-hoc Stats struct — register the "
-                    f"counters in obs::MetricsRegistry instead (R5)"
-                )
-
-            if (
-                in_src
-                and rel.parts[1] not in {"obs", "check"}
-                and RAW_PRINTF.search(line)
-            ):
-                problems.append(
-                    f"{rel}:{lineno}: printf/fprintf in library code — report "
-                    f"through metrics, traces, or returned strings (R6)"
-                )
-
-            if (
-                in_src
-                and rel.parts[1] in {"fault", "deploy"}
-                and UPDATE_TRACE.search(line)
-            ):
-                problems.append(
-                    f"{rel}:{lineno}: raw update-lifecycle TraceEvent/"
-                    f"TraceRing in {rel.parts[1]}/ — record the leg on the "
-                    f"obs::SpanCollector instead (R7)"
-                )
-
-    if problems:
-        print(f"lint: {len(problems)} problem(s)")
-        for problem in problems:
-            print(f"  {problem}")
-        return 1
-    print("lint: clean")
-    return 0
-
 
 if __name__ == "__main__":
-    sys.exit(main())
+    os.execv(
+        sys.executable,
+        [sys.executable, str(REPO_ROOT / "tools" / "srlint"), *sys.argv[1:]],
+    )

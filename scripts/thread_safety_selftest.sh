@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Thread-safety analysis gate + self-test (DESIGN.md §13).
+#
+# Two halves, both required:
+#
+#   1. The library must build CLEAN with clang -Wthread-safety promoted to an
+#      error (SILKROAD_THREAD_SAFETY=ON) — every sr::Mutex acquisition matches
+#      its SR_GUARDED_BY/SR_REQUIRES annotations.
+#   2. The committed negative fixture (tests/thread_safety_negative.cc, a
+#      guarded field written without the lock) must FAIL to compile under the
+#      same flags. If it ever compiles, the annotation shim has silently
+#      no-op'd (wrong compiler, missing attribute) and half 1 proves nothing.
+#
+# Skips with a notice when clang++ is not installed (CI always has it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang++ > /dev/null; then
+  echo "thread_safety_selftest: clang++ not installed — skipping (CI runs it)"
+  exit 0
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+BUILD_DIR=build-check-tsa
+LAUNCHER_ARGS=()
+if command -v ccache > /dev/null; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+echo "=== thread-safety: library must build clean ==="
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_CXX_COMPILER=clang++ \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSILKROAD_THREAD_SAFETY=ON \
+  "${LAUNCHER_ARGS[@]}" \
+  > "$BUILD_DIR.configure.log" 2>&1 || {
+  tail -40 "$BUILD_DIR.configure.log"
+  exit 1
+}
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "=== thread-safety: negative fixture must FAIL to build ==="
+NEGATIVE_LOG="$BUILD_DIR.negative.log"
+if cmake --build "$BUILD_DIR" --target thread_safety_negative -j "$JOBS" \
+    > "$NEGATIVE_LOG" 2>&1; then
+  echo "FAIL: tests/thread_safety_negative.cc compiled — the" \
+       "-Werror=thread-safety-analysis gate is not biting" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$NEGATIVE_LOG"; then
+  echo "FAIL: negative fixture failed for a reason other than" \
+       "thread-safety analysis:" >&2
+  tail -40 "$NEGATIVE_LOG" >&2
+  exit 1
+fi
+echo "negative fixture rejected with a thread-safety diagnostic, as required"
+
+echo "thread_safety_selftest: PASS"

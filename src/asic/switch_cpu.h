@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 
+#include "check/thread_annotations.h"
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
 
@@ -51,6 +52,7 @@ class SwitchCpu {
   /// shard execute in FIFO order, each consuming one service time. The task
   /// body runs at completion time.
   void enqueue(Task task, std::uint64_t shard = 0) {
+    const sr::MutexLock lock(mu_);
     Pipe& pipe = pipes_[shard % pipes_.size()];
     pipe.queue.push_back(std::move(task));
     if (!pipe.busy) {
@@ -74,20 +76,29 @@ class SwitchCpu {
         "control-plane tasks executed");
   }
 
-  std::size_t queue_depth() const noexcept {
+  std::size_t queue_depth() const {
+    const sr::MutexLock lock(mu_);
     std::size_t total = 0;
     for (const auto& pipe : pipes_) total += pipe.queue.size();
     return total;
   }
-  bool idle() const noexcept {
+  bool idle() const {
+    const sr::MutexLock lock(mu_);
     for (const auto& pipe : pipes_) {
       if (pipe.busy) return false;
     }
     return true;
   }
-  std::uint64_t completed_tasks() const noexcept { return completed_; }
+  std::uint64_t completed_tasks() const {
+    const sr::MutexLock lock(mu_);
+    return completed_;
+  }
   sim::Time service_time() const noexcept { return service_time_; }
-  std::size_t pipe_count() const noexcept { return pipes_.size(); }
+  std::size_t pipe_count() const noexcept {
+    // pipes_ never resizes after construction; only element state is guarded.
+    const sr::MutexLock lock(mu_);
+    return pipes_.size();
+  }
 
   void set_delay_hook(DelayHook hook) { delay_hook_ = std::move(hook); }
 
@@ -97,14 +108,22 @@ class SwitchCpu {
     bool busy = false;
   };
 
-  void schedule_next(Pipe& pipe) {
+  void schedule_next(Pipe& pipe) SR_REQUIRES(mu_) {
     const sim::Time delay =
         delay_hook_ ? delay_hook_(service_time_) : service_time_;
+    // `pipe` outlives the lambda: pipes_ is sized in the constructor and
+    // never reallocates. The task body runs UNLOCKED — it may re-enter
+    // enqueue() (relearn re-queues, protocol continuations).
     sim_.schedule_after(delay, [this, &pipe] {
-      Task task = std::move(pipe.queue.front());
-      pipe.queue.pop_front();
-      ++completed_;
+      Task task;
+      {
+        const sr::MutexLock lock(mu_);
+        task = std::move(pipe.queue.front());
+        pipe.queue.pop_front();
+        ++completed_;
+      }
       task();
+      const sr::MutexLock lock(mu_);
       if (pipe.queue.empty()) {
         pipe.busy = false;
       } else {
@@ -115,8 +134,9 @@ class SwitchCpu {
 
   sim::Simulator& sim_;
   sim::Time service_time_;
-  std::vector<Pipe> pipes_;
-  std::uint64_t completed_ = 0;
+  mutable sr::Mutex mu_;
+  std::vector<Pipe> pipes_ SR_GUARDED_BY(mu_);
+  std::uint64_t completed_ SR_GUARDED_BY(mu_) = 0;
   DelayHook delay_hook_;
 };
 

@@ -37,8 +37,8 @@ SilkRoadSwitch::SilkRoadSwitch(sim::Simulator& simulator, const Config& config)
                      config.conn_table.stages),
       conn_table_(config.conn_table),
       learning_filter_(simulator, config.learning,
-                       [this](std::vector<asic::LearnEvent> batch) {
-                         on_learning_flush(std::move(batch));
+                       [this](const std::vector<asic::LearnEvent>& batch) {
+                         on_learning_flush(batch);
                        }),
       cpu_(simulator, config.cpu),
       transit_(config.transit_table_bytes, config.transit_hashes) {
@@ -578,9 +578,10 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
 // Control plane: learning + insertion
 // ---------------------------------------------------------------------------
 
-void SilkRoadSwitch::on_learning_flush(std::vector<asic::LearnEvent> batch) {
+void SilkRoadSwitch::on_learning_flush(
+    const std::vector<asic::LearnEvent>& batch) {
   c_.learn_batch_size->record(batch.size());
-  for (auto& event : batch) {
+  for (const auto& event : batch) {
     if (const auto p = pending_.find(event.flow); p != pending_.end()) {
       p->second.enqueued = true;  // notification survived the channel
     }

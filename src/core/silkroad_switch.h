@@ -316,7 +316,7 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   /// Re-enqueues pending flows whose learning notification never arrived.
   void arm_relearn_sweep();
   void relearn_sweep();
-  void on_learning_flush(std::vector<asic::LearnEvent> batch);
+  void on_learning_flush(const std::vector<asic::LearnEvent>& batch);
   void complete_insertion(const asic::LearnEvent& event);
   /// Control-plane digest-collision repair at insertion time: the switch
   /// software knows every pending/installed flow's 5-tuple, so after placing

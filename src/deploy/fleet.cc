@@ -42,28 +42,37 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
 
 void SilkRoadFleet::add_vip(const net::Endpoint& vip,
                             const std::vector<net::Endpoint>& dips) {
-  if (!membership_.contains(vip)) vip_order_.push_back(vip);
-  membership_[vip] = dips;
+  {
+    const sr::MutexLock lock(mu_);
+    if (!membership_.contains(vip)) vip_order_.push_back(vip);
+    membership_[vip] = dips;
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      if (alive_[i]) applied_[i][vip] = DipSet(dips.begin(), dips.end());
+    }
+  }
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    if (!alive_[i]) continue;
-    switches_[i]->add_vip(vip, dips);
-    applied_[i][vip] = DipSet(dips.begin(), dips.end());
+    if (alive_[i]) switches_[i]->add_vip(vip, dips);
   }
 }
 
 void SilkRoadFleet::request_update(const workload::DipUpdate& update) {
-  auto& members = membership_[update.vip];
-  if (update.action == workload::UpdateAction::kAddDip) {
-    if (std::find(members.begin(), members.end(), update.dip) ==
-        members.end()) {
-      members.push_back(update.dip);
+  {
+    const sr::MutexLock lock(mu_);
+    auto& members = membership_[update.vip];
+    if (update.action == workload::UpdateAction::kAddDip) {
+      if (std::find(members.begin(), members.end(), update.dip) ==
+          members.end()) {
+        members.push_back(update.dip);
+      }
+    } else {
+      members.erase(std::remove(members.begin(), members.end(), update.dip),
+                    members.end());
     }
-  } else {
-    members.erase(std::remove(members.begin(), members.end(), update.dip),
-                  members.end());
   }
   // Mint the intent span; the stamped id rides in every channel copy and
-  // survives retransmits, duplicates, and resync escalation.
+  // survives retransmits, duplicates, and resync escalation. Sends happen
+  // outside mu_ — a zero-delay channel can deliver synchronously, and
+  // deliver_to() takes the lock again.
   workload::DipUpdate traced = update;
   spans_.begin_update(traced, sim_.now());
   for (const auto& channel : channels_) channel->send(traced);
@@ -92,12 +101,13 @@ void SilkRoadFleet::handle_dip_failure(const net::Endpoint& vip,
 
 void SilkRoadFleet::deliver_to(std::size_t index,
                                const fault::ControlChannel::Payload& payload) {
-  auto& applied = applied_[index];
   if (const auto* config = std::get_if<fault::VipConfig>(&payload)) {
     if (switches_[index]->version_manager(config->vip) == nullptr) {
       switches_[index]->add_vip(config->vip, config->dips);
     }
-    applied[config->vip] = DipSet(config->dips.begin(), config->dips.end());
+    const sr::MutexLock lock(mu_);
+    applied_[index][config->vip] =
+        DipSet(config->dips.begin(), config->dips.end());
     return;
   }
   const auto& update = std::get<workload::DipUpdate>(payload);
@@ -109,66 +119,98 @@ void SilkRoadFleet::deliver_to(std::size_t index,
                   sim_.now(), 0, 0);
     return;
   }
-  auto& dips = applied[update.vip];
-  if (update.action == workload::UpdateAction::kAddDip) {
-    if (!dips.insert(update.dip).second) {
+  bool duplicate = false;
+  {
+    const sr::MutexLock lock(mu_);
+    auto& dips = applied_[index][update.vip];
+    if (update.action == workload::UpdateAction::kAddDip) {
       // Duplicate delivery (lost ack / retransmit race): already applied.
-      spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
-                    sim_.now(), 0, 1);
-      return;
+      duplicate = !dips.insert(update.dip).second;
+    } else {
+      duplicate = dips.erase(update.dip) == 0;
     }
-  } else {
-    if (dips.erase(update.dip) == 0) {
-      spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
-                    sim_.now(), 0, 1);
-      return;
-    }
+  }
+  if (duplicate) {
+    spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
+                  sim_.now(), 0, 1);
+    return;
   }
   switches_[index]->request_update(update);
 }
 
 void SilkRoadFleet::apply_resync(std::size_t index) {
   auto& sw = *switches_[index];
-  auto& applied = applied_[index];
-  for (const auto& vip : vip_order_) {
-    const auto& desired = membership_.at(vip);
-    if (sw.version_manager(vip) == nullptr) {
-      sw.add_vip(vip, desired);
-      applied[vip] = DipSet(desired.begin(), desired.end());
+  // Provisions and delta updates are collected under mu_ and issued after it
+  // is released: sw.add_vip/request_update fire span and mapping-risk
+  // callbacks whose probe sweeps re-enter the fleet.
+  struct Action {
+    bool provision = false;
+    net::Endpoint vip;
+    std::vector<net::Endpoint> dips;  ///< provision payload
+    workload::DipUpdate update;       ///< delta payload
+  };
+  std::vector<Action> actions;
+  {
+    const sr::MutexLock lock(mu_);
+    for (const auto& vip : vip_order_) {
+      const auto& desired = membership_.at(vip);
+      if (sw.version_manager(vip) == nullptr) {
+        applied_[index][vip] = DipSet(desired.begin(), desired.end());
+        Action action;
+        action.provision = true;
+        action.vip = vip;
+        action.dips = desired;
+        actions.push_back(std::move(action));
+        continue;
+      }
+      // The switch already serves this VIP: diff its applied membership
+      // against the desired set and issue the delta as ordinary updates
+      // (each runs the 3-step protocol, keeping existing flows consistent).
+      auto& have = applied_[index][vip];
+      const DipSet want(desired.begin(), desired.end());
+      for (const auto& dip : desired) {
+        if (have.contains(dip)) continue;
+        Action action;
+        action.vip = vip;
+        action.update.at = sim_.now();
+        action.update.vip = vip;
+        action.update.dip = dip;
+        action.update.action = workload::UpdateAction::kAddDip;
+        action.update.cause = workload::UpdateCause::kProvisioning;
+        actions.push_back(std::move(action));
+      }
+      // `have` is an unordered set (R10): snapshot and sort the stale DIPs
+      // so the re-issued removals — and therefore their span ids and 3-step
+      // executions — happen in the same order on every platform and run.
+      std::vector<net::Endpoint> stale;
+      for (const auto& dip : have) {
+        if (!want.contains(dip)) stale.push_back(dip);
+      }
+      std::sort(stale.begin(), stale.end());
+      for (const auto& dip : stale) {
+        Action action;
+        action.vip = vip;
+        action.update.at = sim_.now();
+        action.update.vip = vip;
+        action.update.dip = dip;
+        action.update.action = workload::UpdateAction::kRemoveDip;
+        action.update.cause = workload::UpdateCause::kRemoval;
+        actions.push_back(std::move(action));
+      }
+      have = want;
+    }
+  }
+  // Diff updates are children of the channel's resync span: the spans of
+  // the wiped in-flight updates point at the same resync, closing the
+  // causal chain intent -> abandoned leg -> resync -> re-issued delta.
+  const std::uint64_t resync_id = channels_[index]->active_resync_id();
+  for (auto& action : actions) {
+    if (action.provision) {
+      sw.add_vip(action.vip, action.dips);
       continue;
     }
-    // The switch already serves this VIP: diff its applied membership
-    // against the desired set and issue the delta as ordinary updates (each
-    // runs the 3-step protocol, keeping existing flows consistent).
-    auto& have = applied[vip];
-    const DipSet want(desired.begin(), desired.end());
-    // Diff updates are children of the channel's resync span: the spans of
-    // the wiped in-flight updates point at the same resync, closing the
-    // causal chain intent -> abandoned leg -> resync -> re-issued delta.
-    const std::uint64_t resync_id = channels_[index]->active_resync_id();
-    for (const auto& dip : desired) {
-      if (have.contains(dip)) continue;
-      workload::DipUpdate update;
-      update.at = sim_.now();
-      update.vip = vip;
-      update.dip = dip;
-      update.action = workload::UpdateAction::kAddDip;
-      update.cause = workload::UpdateCause::kProvisioning;
-      spans_.begin_update(update, sim_.now(), resync_id);
-      sw.request_update(update);
-    }
-    for (const auto& dip : have) {
-      if (want.contains(dip)) continue;
-      workload::DipUpdate update;
-      update.at = sim_.now();
-      update.vip = vip;
-      update.dip = dip;
-      update.action = workload::UpdateAction::kRemoveDip;
-      update.cause = workload::UpdateCause::kRemoval;
-      spans_.begin_update(update, sim_.now(), resync_id);
-      sw.request_update(update);
-    }
-    have = want;
+    spans_.begin_update(action.update, sim_.now(), resync_id);
+    sw.request_update(action.update);
   }
   if (restoring_[index]) {
     restoring_[index] = false;
@@ -226,7 +268,10 @@ void SilkRoadFleet::fail_switch(std::size_t index) {
   alive_[index] = false;
   restoring_[index] = false;
   channels_[index]->set_offline(true);
-  applied_[index].clear();  // whatever it had applied died with it
+  {
+    const sr::MutexLock lock(mu_);
+    applied_[index].clear();  // whatever it had applied died with it
+  }
   if (membership_cb_) membership_cb_(index, false);
   // Flows the failed switch carried re-hash to survivors on their next
   // packet; callers audit the re-mapping with route_of() + probes (see the
@@ -246,6 +291,9 @@ void SilkRoadFleet::restore_switch(std::size_t index) {
 }
 
 bool SilkRoadFleet::converged() const {
+  // Read-only audit: holding mu_ across the switch/channel getters is safe
+  // (none of them call back into the fleet).
+  const sr::MutexLock lock(mu_);
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     if (!alive_[i]) continue;
     if (channels_[i]->outstanding() != 0 || channels_[i]->needs_resync()) {

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/thread_annotations.h"
 #include "core/silkroad_switch.h"
 #include "fault/control_channel.h"
 #include "lb/load_balancer.h"
@@ -159,14 +160,22 @@ class SilkRoadFleet : public lb::LoadBalancer {
   std::vector<bool> restoring_;
   std::uint64_t ecmp_seed_;
 
+  /// Guards the controller's desired-state bookkeeping below — the maps a
+  /// multi-threaded control plane shares between the operator-facing API
+  /// (add_vip/request_update) and the channel delivery/resync callbacks.
+  /// Locking discipline: mutate under mu_, release, THEN call out (channel
+  /// sends, switch updates, span records) — those paths re-enter the fleet.
+  /// alive_/restoring_ and the switch/channel vectors stay simulation-thread
+  /// -only (packet path) and are deliberately not guarded here.
+  mutable sr::Mutex mu_;
   /// Controller desired state: VIP -> live members, in provisioning order.
   std::unordered_map<net::Endpoint, std::vector<net::Endpoint>,
                      net::EndpointHash>
-      membership_;
-  std::vector<net::Endpoint> vip_order_;
+      membership_ SR_GUARDED_BY(mu_);
+  std::vector<net::Endpoint> vip_order_ SR_GUARDED_BY(mu_);
   /// Per-switch mirror of what this controller has asked it to apply.
   std::vector<std::unordered_map<net::Endpoint, DipSet, net::EndpointHash>>
-      applied_;
+      applied_ SR_GUARDED_BY(mu_);
 
   /// Channel counters live here (the switches' registries are their own).
   obs::MetricsRegistry fleet_metrics_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "check/thread_annotations.h"
 #include "lb/load_balancer.h"
 #include "lb/maglev.h"
 #include "sim/distributions.h"
@@ -50,7 +51,10 @@ class SoftwareLoadBalancer : public LoadBalancer {
   }
   bool vip_at_slb(const net::Endpoint&) const override { return true; }
 
-  std::size_t conn_table_size() const noexcept { return conn_table_.size(); }
+  std::size_t conn_table_size() const {
+    const sr::MutexLock lock(mu_);
+    return conn_table_.size();
+  }
   const Config& config() const noexcept { return config_; }
 
  private:
@@ -63,10 +67,15 @@ class SoftwareLoadBalancer : public LoadBalancer {
   /// Per-packet software latency (batching + queueing): log-normal with the
   /// paper's 50 µs - 1 ms envelope (§2.2).
   sim::LogNormalByQuantiles latency_dist_;
-  sim::Rng latency_rng_;
-  std::unordered_map<net::Endpoint, VipState, net::EndpointHash> vips_;
+  /// The "VIPTable is locked and new connections buffered" atomic-update
+  /// contract of §2.1, made literal: one mutex over the whole per-packet /
+  /// per-update state so worker threads can share an SLB instance.
+  mutable sr::Mutex mu_;
+  sim::Rng latency_rng_ SR_GUARDED_BY(mu_);
+  std::unordered_map<net::Endpoint, VipState, net::EndpointHash> vips_
+      SR_GUARDED_BY(mu_);
   std::unordered_map<net::FiveTuple, net::Endpoint, net::FiveTupleHash>
-      conn_table_;
+      conn_table_ SR_GUARDED_BY(mu_);
   MappingRiskCallback risk_cb_;
 };
 

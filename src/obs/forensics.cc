@@ -213,6 +213,8 @@ std::string ForensicsReport::to_json() const {
 }
 
 std::string telemetry_dir_from_env() {
+  // srlint: allow(R8) output-directory config for failure artifacts; never
+  // branches protocol behavior, so seed reproducibility is unaffected.
   const char* dir = std::getenv("SILKROAD_TELEMETRY_DIR");
   return dir == nullptr ? std::string() : std::string(dir);
 }

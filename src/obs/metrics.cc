@@ -146,13 +146,13 @@ MetricsRegistry::Series* MetricsRegistry::find_or_create(
 Counter* MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   const std::string& labels) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   return &find_or_create(name, labels, help, MetricKind::kCounter)->counter;
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
                               const std::string& labels) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   return &find_or_create(name, labels, help, MetricKind::kGauge)->gauge;
 }
 
@@ -160,7 +160,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
                                       const std::string& labels,
                                       const Histogram::Options& options) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   Series* series = find_or_create(name, labels, help, MetricKind::kHistogram);
   if (!series->histogram) {
     series->histogram = std::make_unique<Histogram>(options);
@@ -174,20 +174,20 @@ void MetricsRegistry::register_callback(const std::string& name,
                                         const std::string& help,
                                         const std::string& labels) {
   SR_CHECK(kind != MetricKind::kHistogram);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   Series* series = find_or_create(name, labels, help, kind);
   series->callback = std::move(fn);
 }
 
 std::size_t MetricsRegistry::series_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   return series_.size();
 }
 
 Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sr::MutexLock lock(mu_);
     snap.samples.reserve(series_.size());
     for (const auto& series : series_) {
       MetricSample sample;

@@ -26,9 +26,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "check/thread_annotations.h"
 
 namespace silkroad::obs {
 
@@ -204,10 +205,13 @@ class MetricsRegistry {
   };
 
   Series* find_or_create(const std::string& name, const std::string& labels,
-                         const std::string& help, MetricKind kind);
+                         const std::string& help, MetricKind kind)
+      SR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<Series> series_;
+  mutable sr::Mutex mu_;
+  /// Registration and snapshot walk take mu_; the handles the deque stores
+  /// are lock-free (atomics), so increments never touch the mutex.
+  std::deque<Series> series_ SR_GUARDED_BY(mu_);
 };
 
 }  // namespace silkroad::obs

@@ -57,6 +57,7 @@ ScrapeServer::ScrapeServer(const Options& options) : options_(options) {}
 void ScrapeServer::handle(const std::string& path,
                           const std::string& content_type, Handler handler) {
   if (running_.load()) return;
+  const sr::MutexLock lock(mu_);
   routes_[path] = {content_type, std::move(handler)};
 }
 
@@ -64,13 +65,17 @@ void ScrapeServer::handle_prefix(const std::string& prefix,
                                  const std::string& content_type,
                                  PrefixHandler handler) {
   if (running_.load()) return;
+  const sr::MutexLock lock(mu_);
   prefix_routes_[prefix] = {content_type, std::move(handler)};
 }
 
 bool ScrapeServer::start() {
   if (running_.load()) return true;
-  if (routes_.find("/healthz") == routes_.end()) {
-    routes_["/healthz"] = {"text/plain", [] { return std::string("ok\n"); }};
+  {
+    const sr::MutexLock lock(mu_);
+    if (routes_.find("/healthz") == routes_.end()) {
+      routes_["/healthz"] = {"text/plain", [] { return std::string("ok\n"); }};
+    }
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -139,6 +144,10 @@ void ScrapeServer::serve_one(int fd) {
                                "GET only\n"));
     return;
   }
+  // Held across the handler call: handlers only touch thread-safe snapshot
+  // state (header contract), and route registration after start() is already
+  // a documented no-op, so there is nothing to contend with.
+  const sr::MutexLock lock(mu_);
   const auto it = routes_.find(path);
   if (it != routes_.end()) {
     send_all(fd, http_response(200, "OK", it->second.content_type,
@@ -169,6 +178,8 @@ void ScrapeServer::serve_one(int fd) {
 }
 
 bool scrape_port_from_env(std::uint16_t& port) {
+  // srlint: allow(R8) telemetry endpoint config, read once at startup;
+  // never feeds protocol decisions or the seeded simulation.
   const char* raw = std::getenv("SILKROAD_SCRAPE_PORT");
   if (raw == nullptr || *raw == '\0') return false;
   char* end = nullptr;

@@ -24,6 +24,8 @@
 #include <string>
 #include <thread>
 
+#include "check/thread_annotations.h"
+
 namespace silkroad::obs {
 
 class ScrapeServer {
@@ -86,8 +88,12 @@ class ScrapeServer {
   void serve_one(int fd);
 
   Options options_;
-  std::map<std::string, Route> routes_;
-  std::map<std::string, PrefixRoute> prefix_routes_;
+  /// Written by handle()/handle_prefix()/start() on the owning thread, read
+  /// per request on the server thread; mu_ makes late registration a benign
+  /// no-op instead of a race once multi-threaded drivers appear.
+  mutable sr::Mutex mu_;
+  std::map<std::string, Route> routes_ SR_GUARDED_BY(mu_);
+  std::map<std::string, PrefixRoute> prefix_routes_ SR_GUARDED_BY(mu_);
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};

@@ -50,7 +50,7 @@ void TimeSeriesRecorder::push(const SeriesKey& key, sim::Time at,
 
 void TimeSeriesRecorder::sample(sim::Time at) {
   Snapshot snap = source_();  // outside the lock: sources take their own
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   const bool derive = have_prev_ && at > prev_at_;
   const double dt = derive ? sim::to_seconds(at - prev_at_) : 0.0;
   for (const auto& sample : snap.samples) {
@@ -135,7 +135,7 @@ void TimeSeriesRecorder::detach() { pending_.cancel(); }
 
 std::vector<TimeSeriesRecorder::Point> TimeSeriesRecorder::find(
     const std::string& name, const std::string& labels) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   const auto it = series_.find({name, labels});
   if (it == series_.end()) return {};
   return {it->second.begin(), it->second.end()};
@@ -144,7 +144,7 @@ std::vector<TimeSeriesRecorder::Point> TimeSeriesRecorder::find(
 TimeSeriesRecorder::WindowStats TimeSeriesRecorder::window(
     const std::string& name, const std::string& labels,
     std::size_t last_n) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   WindowStats stats;
   const auto it = series_.find({name, labels});
   if (it == series_.end() || it->second.empty()) return stats;
@@ -164,17 +164,17 @@ TimeSeriesRecorder::WindowStats TimeSeriesRecorder::window(
 }
 
 std::size_t TimeSeriesRecorder::sample_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   return samples_;
 }
 
 std::size_t TimeSeriesRecorder::series_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   return series_.size();
 }
 
 std::string TimeSeriesRecorder::to_csv() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   std::string out = "t_seconds,name,labels,value\n";
   for (const auto& [key, points] : series_) {
     std::string labels = "\"";
@@ -198,7 +198,7 @@ std::string TimeSeriesRecorder::to_csv() const {
 }
 
 std::string TimeSeriesRecorder::to_json() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sr::MutexLock lock(mu_);
   std::string out = "{\"interval_ns\":";
   out += std::to_string(options_.interval);
   out += ",\"samples\":";

@@ -27,11 +27,11 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "check/thread_annotations.h"
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -117,19 +117,22 @@ class TimeSeriesRecorder {
  private:
   using SeriesKey = std::pair<std::string, std::string>;  // (name, labels)
 
-  void push(const SeriesKey& key, sim::Time at, double value);
+  void push(const SeriesKey& key, sim::Time at, double value)
+      SR_REQUIRES(mu_);
   void schedule_next();
 
   Source source_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::map<SeriesKey, std::deque<Point>> series_;
-  Snapshot prev_;
-  sim::Time prev_at_ = 0;
-  bool have_prev_ = false;
-  std::size_t samples_ = 0;
+  mutable sr::Mutex mu_;
+  std::map<SeriesKey, std::deque<Point>> series_ SR_GUARDED_BY(mu_);
+  Snapshot prev_ SR_GUARDED_BY(mu_);
+  sim::Time prev_at_ SR_GUARDED_BY(mu_) = 0;
+  bool have_prev_ SR_GUARDED_BY(mu_) = false;
+  std::size_t samples_ SR_GUARDED_BY(mu_) = 0;
 
+  // Attach/detach state is touched only from the simulation thread (the
+  // event loop that fires the self-scheduled sample), never from scrapers.
   sim::Simulator* sim_ = nullptr;
   sim::Time until_ = sim::kTimeInfinity;
   sim::EventHandle pending_;

@@ -1,0 +1,3 @@
+// srlint-expect: R4
+/* #pragma once — hidden inside a comment, does not count */
+int bench_helper();

@@ -1,0 +1,5 @@
+// A header with the guard in place — clean, even with leading comments and
+// unusual spacing on the directive.
+#  pragma   once
+
+int bench_helper_ok();

@@ -1,0 +1,7 @@
+// R3 patrols only src/ — examples may use iostream freely.
+#include <iostream>
+
+int main() {
+  std::cout << "fixtures are never compiled, but stay plausible\n";
+  return 0;
+}

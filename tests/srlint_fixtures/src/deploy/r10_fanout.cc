@@ -1,0 +1,36 @@
+// R10: unordered iteration feeding channel/protocol calls. Iteration order
+// of unordered containers is implementation-defined, so letting it decide
+// the order of send()/request_update() calls makes runs irreproducible.
+#include "deploy/r10_fanout.h"
+
+#include <algorithm>
+
+void Fanout::fan_out() {
+  for (const auto& [vip, dip] : members_) {  // srlint-expect: R10
+    send(dip);
+  }
+  // Single-statement body (no braces) must be caught too; flows_ is
+  // unordered via the FlowSet alias in the companion header.
+  for (int f : flows_) send(f);  // srlint-expect: R10
+}
+
+void Fanout::drain() {
+  // The disciplined version: snapshot, sort, then issue — clean.
+  std::vector<int> snapshot;
+  for (const auto& [vip, dip] : members_) {
+    snapshot.push_back(dip);
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  for (int dip : snapshot) {
+    request_update(dip);
+  }
+  // A vector member is ordered — clean even with a sink in the body.
+  for (int dip : order_) {
+    send(dip);
+  }
+  // Method-call results are NOT the container: members_.at(0) hands back a
+  // value, so this must not be mistaken for map iteration.
+  for (int x : members_.at(0)) {
+    send(x);
+  }
+}

@@ -1,0 +1,23 @@
+// R10 companion header: the unordered members are declared HERE and iterated
+// in r10_fanout.cc — the engine must merge this header's symbol table into
+// the .cc's model to see them.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using FlowSet = std::unordered_set<int>;
+
+class Fanout {
+ public:
+  void fan_out();
+  void drain();
+
+ private:
+  void send(int dip);
+  void request_update(int dip);
+  std::unordered_map<int, int> members_;
+  FlowSet flows_;
+  std::vector<int> order_;
+};

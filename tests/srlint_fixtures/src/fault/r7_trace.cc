@@ -1,0 +1,17 @@
+// R7: raw update-lifecycle trace use inside src/fault/. Fixtures are never
+// compiled, so the trace types are referenced without declarations here —
+// declaring them locally would itself mention TraceRing and trip the rule.
+
+void positive(TraceRing* ring) {  // srlint-expect: R7
+  auto begin = TraceEventKind::kUpdateBegin;  // srlint-expect: R7
+  (void)begin;
+  (void)ring;
+}
+
+void negative() {
+  auto drop = TraceEventKind::kPacketDrop;  // not kUpdate* — clean
+  (void)drop;
+  // TraceRing mentioned in a comment only — clean
+  const char* s = "TraceRing in a string is clean too";
+  (void)s;
+}

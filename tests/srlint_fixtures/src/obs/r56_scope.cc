@@ -1,0 +1,9 @@
+// R5 and R6 both carve out src/obs/ — the observability layer owns process
+// output and the snapshot-view structs assembled from the registry.
+#include <cstdio>
+
+struct WindowStats {
+  double p99 = 0.0;
+};
+
+void dump(const WindowStats& w) { printf("p99=%f\n", w.p99); }

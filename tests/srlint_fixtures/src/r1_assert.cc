@@ -1,0 +1,14 @@
+// R1: raw assert() in src/ — positive and negative cases.
+#include <cassert>
+
+void positive(int* p) {
+  assert(p != nullptr);  // srlint-expect: R1
+}
+
+void negatives(int* p) {
+  static_assert(sizeof(int) == 4, "distinct token, never matches");
+  // assert(p) — inside a comment, invisible to the lexer's code view
+  const char* doc = "call assert(p) here";  // inside a string literal
+  (void)doc;
+  (void)p;
+}

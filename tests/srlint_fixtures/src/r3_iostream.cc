@@ -1,0 +1,7 @@
+// R3: <iostream> in src/ — the directive below is a real include; the
+// commented-out one and the string mention are not.
+#include <iostream>  // srlint-expect: R3
+// #include <iostream>
+#include <string>
+
+std::string banner() { return "#include <iostream>"; }

@@ -1,0 +1,12 @@
+// R5: ad-hoc Stats structs in src/ outside src/obs/.
+
+struct ConnStats {  // srlint-expect: R5
+  int hits = 0;
+};
+
+struct StatsHelper {  // name does not END with Stats — clean
+  int x = 0;
+};
+
+// struct CommentStats — in a comment, clean
+const char* kDoc = "struct StringStats";  // in a string, clean

@@ -1,0 +1,22 @@
+// R6: printf/fprintf in src/ outside src/obs/ and src/check/.
+#include <cstdio>
+
+struct Logger {
+  void printf(const char* fmt) { (void)fmt; }
+};
+
+void positive() {
+  printf("direct call\n");        // srlint-expect: R6
+  std::printf("qualified\n");     // srlint-expect: R6
+  fprintf(stderr, "to stderr\n");  // srlint-expect: R6
+}
+
+void negatives(Logger& log, Logger* plog) {
+  char buf[32];
+  snprintf(buf, sizeof buf, "buffer formatting is fine");
+  log.printf("member call");
+  plog->printf("member call through pointer");
+  // printf("commented out")
+  const char* s = "printf(\"in a string\")";
+  (void)s;
+}

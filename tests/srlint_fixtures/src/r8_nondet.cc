@@ -1,0 +1,39 @@
+// R8: wall-clock / environment nondeterminism in src/ outside src/sim/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+struct Meter {
+  double time(int samples) { return samples * 0.5; }
+};
+
+void positive() {
+  const char* home = std::getenv("HOME");             // srlint-expect: R8
+  auto now = std::chrono::system_clock::now();        // srlint-expect: R8
+  auto tick = std::chrono::steady_clock::now();       // srlint-expect: R8
+  long stamp = time(nullptr);                         // srlint-expect: R8
+  (void)home;
+  (void)now;
+  (void)tick;
+  (void)stamp;
+}
+
+// Raw strings span lines — the violation AFTER one must still carry the
+// right line number.
+const char* kQuery = R"sql(
+  SELECT time(now) FROM clocks;
+  -- getenv("PATH") inside the raw string is not code
+)sql";
+
+void after_raw_string() {
+  const char* shell = getenv("SHELL");  // srlint-expect: R8
+  (void)shell;
+}
+
+void negatives(Meter& m) {
+  double d = m.time(3);  // member call — a different symbol
+  (void)d;
+  // std::chrono::system_clock in a comment is clean
+  auto dur = std::chrono::milliseconds(5);  // durations are deterministic
+  (void)dur;
+}

@@ -1,0 +1,5 @@
+// R8 exempts src/sim/ — the simulator layer is where wall-clock access is
+// allowed to live (seed derivation, host-time bridging).
+#include <cstdlib>
+
+const char* sim_override() { return std::getenv("SILKROAD_SIM_SEED"); }

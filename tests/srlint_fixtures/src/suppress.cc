@@ -1,0 +1,21 @@
+// Suppression mechanics: allow() with a reason silences a rule on its
+// target line; S1/S2 police the suppressions themselves.
+#include <cstdlib>
+
+// srlint: allow(R8) standalone form: the justification block above the
+// statement covers the next code line, comment continuations included.
+const char* kHome = std::getenv("HOME");
+
+const char* kShell = std::getenv("SHELL");  // srlint: allow(R8) same-line form
+
+/* srlint-expect: S1 */ // srlint: allow(R8)
+const char* kNoReason = std::getenv("TERM");  // srlint-expect: R8
+
+/* srlint-expect: S1 */ // srlint: allow(R99) no such rule exists
+int unknown_rule_target = 0;
+
+/* srlint-expect: S2 */ // srlint: allow(R2) precautionary allow with nothing to suppress
+int nothing_here = 0;
+
+/* srlint-expect: S1 */ // srlint: allowing things casually
+int malformed_marker_target = 0;

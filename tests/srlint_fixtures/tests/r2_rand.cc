@@ -1,0 +1,21 @@
+// R2 patrols the whole tree, tests/ included; R1 patrols only src/, so the
+// assert() below is clean HERE (and only here).
+#include <cassert>
+#include <cstdlib>
+
+struct Dice {
+  int rand() { return 4; }
+};
+
+int positive() {
+  int a = rand();       // srlint-expect: R2
+  int b = std::rand();  // srlint-expect: R2
+  return a + b;
+}
+
+int negatives(Dice& dice, int* p) {
+  assert(p != nullptr);  // R1 is src/-only — clean in tests/
+  int strand_id = 7;     // `strand` / `rand_max` are different identifiers
+  int rand_max = 9;
+  return dice.rand() + strand_id + rand_max;  // member .rand() — clean
+}

@@ -1,0 +1,37 @@
+// Negative fixture for the clang thread-safety gate (DESIGN.md §13).
+//
+// This translation unit touches an SR_GUARDED_BY field without holding its
+// mutex. It is registered EXCLUDE_FROM_ALL: a normal build never compiles it,
+// and scripts/thread_safety_selftest.sh builds this target expecting the
+// compiler to REJECT it under -Werror=thread-safety-analysis. If this file
+// ever compiles with SILKROAD_THREAD_SAFETY=ON, the annotation shim has
+// silently stopped expanding and the whole gate is vacuous.
+#include <cstdint>
+
+#include "check/thread_annotations.h"
+
+namespace silkroad {
+
+class Counter {
+ public:
+  // BUG (deliberate): writes value_ without acquiring mu_. Clang must report
+  // "writing variable 'value_' requires holding mutex 'mu_' exclusively".
+  void increment() { ++value_; }
+
+  std::uint64_t value() const {
+    const sr::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable sr::Mutex mu_;
+  std::uint64_t value_ SR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace silkroad
+
+int main() {
+  silkroad::Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+"""srlint — the repo's token-aware C++ linter (DESIGN.md §13).
+
+Usage:
+    python3 tools/srlint [--root DIR] [--format text|json] [--list-rules]
+
+Lints src/, tests/, bench/, and examples/ under --root (default: the repo
+root containing this tool). Exit codes: 0 clean, 1 violations found, 2 bad
+invocation or broken exemption manifest.
+
+scripts/lint.py (the `lint` ctest) is a thin shim onto this entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from engine import load_exemptions, run
+from rules import RULES
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="srlint", add_help=True)
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="tree to lint (default: the repository root)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id:>4}  {rule.summary}")
+        return 0
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"srlint: --root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    try:
+        load_exemptions(root)  # fail fast with a readable message
+        violations, checked = run(root)
+    except (ValueError, json.JSONDecodeError) as err:
+        print(f"srlint: {err}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "checked_files": checked,
+                    "violations": [
+                        {
+                            "file": v.rel,
+                            "line": v.line,
+                            "rule": v.rule,
+                            "message": v.message,
+                        }
+                        for v in violations
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 1 if violations else 0
+
+    if violations:
+        print(f"srlint: {len(violations)} problem(s)")
+        for v in violations:
+            print(f"  {v.rel}:{v.line}: {v.message} ({v.rule})")
+        return 1
+    print(f"srlint: clean ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,246 @@
+"""Token-aware C++ lexer for srlint (DESIGN.md §13).
+
+Not a full C++ front end — a deliberately small lexer that is *exact* about
+the three things regex linting gets wrong:
+
+  * comments (line, block, and backslash-continued line comments),
+  * string/char literals, including raw strings ``R"delim(...)delim"`` and
+    encoding prefixes (``u8"..."``, ``L'x'``),
+  * preprocessor logical lines (backslash continuations folded, trailing
+    comments stripped).
+
+The output is a flat token stream (identifiers, numbers, literals,
+punctuators — with ``::`` and ``->`` as single tokens), the comment list
+(for suppression parsing), and the normalized preprocessor directives.
+Rules never see comment or literal *content* as code, which is what makes
+``// assert(x)`` and ``"rand()"`` non-findings by construction.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str  # "ident" | "number" | "string" | "char" | "punct"
+    value: str
+    line: int
+
+
+class Comment(NamedTuple):
+    line: int  # line the comment starts on
+    text: str  # raw comment text including the // or /* */ markers
+    standalone: bool  # True when no code precedes it on its start line
+
+
+class PpDirective(NamedTuple):
+    line: int  # line the '#' appears on
+    text: str  # whitespace-normalized logical line, e.g. "# include <x>"
+
+
+class LexResult(NamedTuple):
+    tokens: list[Token]
+    comments: list[Comment]
+    directives: list[PpDirective]
+    code_lines: set[int]  # lines holding at least one token or directive
+
+
+_STRING_PREFIXES = {"u8", "u", "U", "L"}
+_RAW_PREFIXES = {"R", "u8R", "uR", "UR", "LR"}
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+def lex(text: str) -> LexResult:
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    directives: list[PpDirective] = []
+
+    i, n = 0, len(text)
+    line = 1
+    # True until the first token on the current physical line (comments and
+    # whitespace do not clear it) — gates preprocessor-directive detection.
+    at_line_start = True
+
+    def line_has_code(lineno: int) -> bool:
+        return bool(tokens) and tokens[-1].line == lineno
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+
+        # --- comments ------------------------------------------------------
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start, start_line = i, line
+            standalone = not line_has_code(line)
+            i += 2
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            comments.append(Comment(start_line, text[start:i], standalone))
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            start, start_line = i, line
+            standalone = not line_has_code(line)
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i = min(i + 2, n)
+            comments.append(Comment(start_line, text[start:i], standalone))
+            continue
+
+        # --- preprocessor logical line ------------------------------------
+        if c == "#" and at_line_start:
+            start_line = line
+            parts: list[str] = []
+            while i < n:
+                ch = text[i]
+                if ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    parts.append(" ")
+                    continue
+                if ch == "\n":
+                    break
+                if ch == "/" and i + 1 < n and text[i + 1] == "/":
+                    while i < n and text[i] != "\n":
+                        i += 1
+                    break
+                if ch == "/" and i + 1 < n and text[i + 1] == "*":
+                    i += 2
+                    while i + 1 < n and not (
+                        text[i] == "*" and text[i + 1] == "/"
+                    ):
+                        if text[i] == "\n":
+                            line += 1
+                        i += 1
+                    i = min(i + 2, n)
+                    parts.append(" ")
+                    continue
+                parts.append(ch)
+                i += 1
+            normalized = " ".join("".join(parts).split())
+            directives.append(PpDirective(start_line, normalized))
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        # --- identifiers (and string-prefix folding) -----------------------
+        if c in _IDENT_START:
+            start = i
+            while i < n and text[i] in _IDENT_CONT:
+                i += 1
+            word = text[start:i]
+            start_line = line
+            if i < n and text[i] == '"' and word in _RAW_PREFIXES:
+                i, line = _lex_raw_string(text, i, line)
+                tokens.append(Token("string", word, start_line))
+                continue
+            if i < n and text[i] == '"' and word in _STRING_PREFIXES:
+                i, line = _lex_quoted(text, i, line, '"')
+                tokens.append(Token("string", word, start_line))
+                continue
+            if i < n and text[i] == "'" and word in _STRING_PREFIXES:
+                i, line = _lex_quoted(text, i, line, "'")
+                tokens.append(Token("char", word, start_line))
+                continue
+            tokens.append(Token("ident", word, line))
+            continue
+
+        # --- numbers (pp-number: digit separators, exponents, suffixes) ---
+        if c.isdigit() or (
+            c == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            while i < n:
+                ch = text[i]
+                if ch in "eEpP" and i + 1 < n and text[i + 1] in "+-":
+                    i += 2
+                    continue
+                if ch.isalnum() or ch in "._'":
+                    i += 1
+                    continue
+                break
+            tokens.append(Token("number", text[start:i], line))
+            continue
+
+        # --- literals ------------------------------------------------------
+        if c == '"':
+            start_line = line
+            i, line = _lex_quoted(text, i, line, '"')
+            tokens.append(Token("string", "", start_line))
+            continue
+        if c == "'":
+            start_line = line
+            i, line = _lex_quoted(text, i, line, "'")
+            tokens.append(Token("char", "", start_line))
+            continue
+
+        # --- punctuators ---------------------------------------------------
+        two = text[i : i + 2]
+        if two in ("::", "->"):
+            tokens.append(Token("punct", two, line))
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+
+    code_lines = {t.line for t in tokens} | {d.line for d in directives}
+    return LexResult(tokens, comments, directives, code_lines)
+
+
+def _lex_quoted(text: str, i: int, line: int, quote: str) -> tuple[int, int]:
+    """Consumes a quoted literal starting at text[i] == quote. Unterminated
+    literals stop at the newline (keeps the lexer robust on broken input)."""
+    n = len(text)
+    i += 1
+    while i < n:
+        c = text[i]
+        if c == "\\" and i + 1 < n:
+            if text[i + 1] == "\n":
+                line += 1
+            i += 2
+            continue
+        if c == quote:
+            return i + 1, line
+        if c == "\n":
+            return i, line
+        i += 1
+    return i, line
+
+
+def _lex_raw_string(text: str, i: int, line: int) -> tuple[int, int]:
+    """Consumes R"delim( ... )delim" starting at text[i] == '"'."""
+    n = len(text)
+    i += 1  # past the opening quote
+    delim_start = i
+    while i < n and text[i] not in "(\n":
+        i += 1
+    if i >= n or text[i] != "(":
+        return i, line  # malformed; give up at this point
+    delim = text[delim_start:i]
+    closer = ")" + delim + '"'
+    i += 1
+    end = text.find(closer, i)
+    if end == -1:
+        line += text.count("\n", i)
+        return n, line
+    line += text.count("\n", i, end)
+    return end + len(closer), line

@@ -1,0 +1,502 @@
+"""srlint rule catalog (DESIGN.md §13).
+
+Every rule is a function FileModel -> list[Violation]. Scoping (which
+directories a rule patrols) lives inside the rule so the catalog below is
+the single source of truth; the engine applies suppressions and the
+exemption manifest afterwards.
+
+R1  no raw assert( in src/          — use SR_CHECK/SR_DCHECK (check/sr_check.h);
+                                      assert() vanishes in RelWithDebInfo.
+                                      static_assert is a distinct token and
+                                      never matches.
+R2  no rand()/std::rand() anywhere  — draw from sim::Rng so every run is
+                                      seed-reproducible. Member `.rand()` is
+                                      not flagged.
+R3  no <iostream> in src/           — iostreams drag in static initializers;
+                                      report through strings or cstdio.
+R4  #pragma once in every header    — all .h/.hpp files, repo-wide.
+R5  no ad-hoc `struct ...Stats` in src/ outside src/obs/ — counters belong in
+                                      obs::MetricsRegistry (DESIGN.md §9);
+                                      grandfathered snapshot views live in
+                                      tools/srlint/exemptions.json.
+R6  no printf/fprintf in src/ outside src/obs/ and src/check/ — report
+                                      through metrics, traces, or returned
+                                      strings; snprintf into buffers is fine.
+R7  no raw update-lifecycle TraceEvents (TraceEventKind::kUpdate*) and no
+                                      TraceRing use in src/fault/ or
+                                      src/deploy/ — the update lifecycle is
+                                      observed through obs::SpanCollector
+                                      (DESIGN.md §12).
+R8  no wall-clock / environment nondeterminism in src/ outside src/sim/ —
+                                      getenv, time(), system_clock and
+                                      friends make runs irreproducible; sim
+                                      time comes from sim::Simulator.
+R9  no bare std::mutex/std::lock_guard (and friends) in src/ — use the
+                                      annotated sr::Mutex/sr::MutexLock from
+                                      check/thread_annotations.h so clang
+                                      -Wthread-safety sees every lock site.
+R10 no iteration over an unordered container that feeds control-channel
+                                      sends or update-protocol calls in src/
+                                      — unordered iteration order is
+                                      implementation-defined; snapshot and
+                                      sort first (see fleet.cc apply_resync).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from model import FileModel
+
+
+class Violation(NamedTuple):
+    rel: str
+    line: int
+    rule: str
+    message: str
+
+
+class Rule(NamedTuple):
+    rule_id: str
+    summary: str
+    check: Callable[[FileModel], list["Violation"]]
+
+
+# Tokens that put a following identifier in *expression* position. An
+# identifier right before the name (e.g. `int rand()`, `double time(int)`)
+# means a declaration of an unrelated symbol, not a call of the libc one.
+_EXPR_CONTEXT = {"=", "(", ")", ",", ";", "{", "}", "return", "?", ":", "<",
+                 ">", "+", "-", "*", "/", "%", "!", "&", "|", "["}
+
+
+def _is_call(toks: list, i: int, std_qualified_ok: bool = True) -> bool:
+    """True when the identifier at toks[i] is called as a free function:
+    `name(` in expression position, or `std::name(`. Member access
+    (`.name(`, `->name(`) and foreign scopes (`ns::name(`) never match."""
+    if i + 1 >= len(toks) or toks[i + 1].value != "(":
+        return False
+    if i == 0:
+        return True
+    prev = toks[i - 1].value
+    if prev == "::":
+        return std_qualified_ok and i > 1 and toks[i - 2].value == "std"
+    return prev in _EXPR_CONTEXT
+
+
+def _in_src(model: FileModel) -> bool:
+    return model.top == "src"
+
+
+def _src_sub(model: FileModel) -> str:
+    return model.parts[1] if _in_src(model) and len(model.parts) > 1 else ""
+
+
+# --- R1 ---------------------------------------------------------------------
+
+
+def check_r1(model: FileModel) -> list[Violation]:
+    if not _in_src(model):
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.value != "assert":
+            continue
+        if not _is_call(toks, i, std_qualified_ok=False):
+            continue
+        out.append(
+            Violation(
+                model.rel,
+                t.line,
+                "R1",
+                "raw assert() in library code — use SR_CHECK/SR_DCHECK "
+                "from check/sr_check.h",
+            )
+        )
+    return out
+
+
+# --- R2 ---------------------------------------------------------------------
+
+
+def check_r2(model: FileModel) -> list[Violation]:
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.value != "rand":
+            continue
+        if not _is_call(toks, i):
+            continue  # member .rand(), ns::rand, or a declaration
+        out.append(
+            Violation(
+                model.rel,
+                t.line,
+                "R2",
+                "rand()/std::rand() — use sim::Rng for seed-reproducible "
+                "randomness",
+            )
+        )
+    return out
+
+
+# --- R3 ---------------------------------------------------------------------
+
+
+def check_r3(model: FileModel) -> list[Violation]:
+    if not _in_src(model):
+        return []
+    out = []
+    for d in model.directives:
+        if d.text.replace(" ", "").startswith("#include<iostream>"):
+            out.append(
+                Violation(
+                    model.rel, d.line, "R3", "<iostream> in library code"
+                )
+            )
+    return out
+
+
+# --- R4 ---------------------------------------------------------------------
+
+
+def check_r4(model: FileModel) -> list[Violation]:
+    if not model.is_header:
+        return []
+    for d in model.directives:
+        if d.text.replace(" ", "") == "#pragmaonce":
+            return []
+    return [
+        Violation(model.rel, 1, "R4", "header lacks '#pragma once'")
+    ]
+
+
+# --- R5 ---------------------------------------------------------------------
+
+
+def check_r5(model: FileModel) -> list[Violation]:
+    if not _in_src(model) or _src_sub(model) == "obs":
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if (
+            t.kind == "ident"
+            and t.value == "struct"
+            and i + 1 < len(toks)
+            and toks[i + 1].kind == "ident"
+            and toks[i + 1].value.endswith("Stats")
+        ):
+            out.append(
+                Violation(
+                    model.rel,
+                    toks[i + 1].line,
+                    "R5",
+                    "ad-hoc Stats struct — register the counters in "
+                    "obs::MetricsRegistry instead",
+                )
+            )
+    return out
+
+
+# --- R6 ---------------------------------------------------------------------
+
+
+def check_r6(model: FileModel) -> list[Violation]:
+    if not _in_src(model) or _src_sub(model) in ("obs", "check"):
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.value not in ("printf", "fprintf"):
+            continue
+        if not _is_call(toks, i):
+            continue  # member call, foreign scope, or a declaration
+        out.append(
+            Violation(
+                model.rel,
+                t.line,
+                "R6",
+                "printf/fprintf in library code — report through metrics, "
+                "traces, or returned strings",
+            )
+        )
+    return out
+
+
+# --- R7 ---------------------------------------------------------------------
+
+
+def check_r7(model: FileModel) -> list[Violation]:
+    if _src_sub(model) not in ("fault", "deploy"):
+        return []
+    out = []
+    toks = model.tokens
+    sub = _src_sub(model)
+    for i, t in enumerate(toks):
+        if t.kind != "ident":
+            continue
+        hit = t.value == "TraceRing" or (
+            t.value == "TraceEventKind"
+            and i + 2 < len(toks)
+            and toks[i + 1].value == "::"
+            and toks[i + 2].value.startswith("kUpdate")
+        )
+        if hit:
+            out.append(
+                Violation(
+                    model.rel,
+                    t.line,
+                    "R7",
+                    f"raw update-lifecycle TraceEvent/TraceRing in {sub}/ — "
+                    "record the leg on the obs::SpanCollector instead",
+                )
+            )
+    return out
+
+
+# --- R8 ---------------------------------------------------------------------
+
+# Identifiers that are nondeterministic by *name* (clock types, env access).
+_R8_NAMES = {
+    "getenv",
+    "gettimeofday",
+    "clock_gettime",
+    "localtime",
+    "gmtime",
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "random_device",
+}
+# Nondeterministic only when called (too common as plain names otherwise).
+_R8_CALLS = {"time", "clock"}
+
+
+def check_r8(model: FileModel) -> list[Violation]:
+    if not _in_src(model) or _src_sub(model) == "sim":
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident":
+            continue
+        flagged = False
+        if t.value in _R8_NAMES:
+            if i > 0 and toks[i - 1].value in (".", "->"):
+                pass  # member access — a different symbol
+            elif (
+                i > 1
+                and toks[i - 1].value == "::"
+                and toks[i - 2].value not in ("std", "chrono")
+            ):
+                pass  # scoped in some other namespace
+            else:
+                flagged = True
+        elif t.value in _R8_CALLS:
+            flagged = _is_call(toks, i)
+        if flagged:
+            out.append(
+                Violation(
+                    model.rel,
+                    t.line,
+                    "R8",
+                    f"'{t.value}' is wall-clock/environment nondeterminism — "
+                    "simulation inputs come from sim::Simulator and seeds",
+                )
+            )
+    return out
+
+
+# --- R9 ---------------------------------------------------------------------
+
+_R9_NAMES = {
+    "mutex",
+    "recursive_mutex",
+    "timed_mutex",
+    "recursive_timed_mutex",
+    "shared_mutex",
+    "shared_timed_mutex",
+    "lock_guard",
+    "unique_lock",
+    "scoped_lock",
+    "shared_lock",
+    "condition_variable",
+    "condition_variable_any",
+}
+
+
+def check_r9(model: FileModel) -> list[Violation]:
+    if not _in_src(model):
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if (
+            t.kind == "ident"
+            and t.value in _R9_NAMES
+            and i > 1
+            and toks[i - 1].value == "::"
+            and toks[i - 2].value == "std"
+        ):
+            out.append(
+                Violation(
+                    model.rel,
+                    t.line,
+                    "R9",
+                    f"bare std::{t.value} — use the annotated sr::Mutex/"
+                    "sr::MutexLock from check/thread_annotations.h so clang "
+                    "-Wthread-safety sees the lock site",
+                )
+            )
+    return out
+
+
+# --- R10 --------------------------------------------------------------------
+
+# Calls that feed the control channels or the 3-step update protocol; their
+# argument/issue order must not depend on unordered iteration order.
+_R10_SINKS = {
+    "send",
+    "request_update",
+    "add_vip",
+    "handle_dip_failure",
+    "finish_update",
+}
+
+
+def check_r10(model: FileModel) -> list[Violation]:
+    if not _in_src(model):
+        return []
+    out = []
+    toks = model.tokens
+    decls = model.unordered_decls
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if (
+            t.kind == "ident"
+            and t.value == "for"
+            and i + 1 < len(toks)
+            and toks[i + 1].value == "("
+        ):
+            colon, close = _range_for_parts(toks, i + 1)
+            if colon is not None and close is not None:
+                target = _range_container(toks[colon + 1 : close])
+                if target is not None and target in decls:
+                    body_end = _body_end(toks, close + 1)
+                    sink = _first_sink(toks, close + 1, body_end)
+                    if sink is not None:
+                        out.append(
+                            Violation(
+                                model.rel,
+                                t.line,
+                                "R10",
+                                f"iterating unordered container '{target}' "
+                                f"feeds '{sink}' — iteration order is "
+                                "implementation-defined; snapshot into a "
+                                "sorted vector first",
+                            )
+                        )
+                    i = body_end
+                    continue
+        i += 1
+    return out
+
+
+def _range_for_parts(
+    toks: list, open_idx: int
+) -> tuple[int | None, int | None]:
+    """For tokens starting at `(`: (index of the range-for ':' at depth 1,
+    index of the matching ')'). The ':' of a ternary inside nested parens
+    sits at depth > 1 and is ignored; `::` is a single distinct token."""
+    depth = 0
+    colon = None
+    i = open_idx
+    while i < len(toks):
+        v = toks[i].value
+        if v == "(":
+            depth += 1
+        elif v == ")":
+            depth -= 1
+            if depth == 0:
+                return colon, i
+        elif v == ":" and depth == 1 and colon is None:
+            colon = i
+        i += 1
+    return None, None
+
+
+def _range_container(expr: list) -> str | None:
+    """The container identifier when the range expression IS a container
+    (`m`, `*m`, `this->m`) — method-call results (`m.at(k)`) return None so
+    a vector pulled out of a map is never mistaken for the map."""
+    vals = [e.value for e in expr]
+    if len(expr) == 1 and expr[0].kind == "ident":
+        return vals[0]
+    if len(expr) == 2 and vals[0] == "*" and expr[1].kind == "ident":
+        return vals[1]
+    if (
+        len(expr) == 3
+        and vals[0] == "this"
+        and vals[1] == "->"
+        and expr[2].kind == "ident"
+    ):
+        return vals[2]
+    return None
+
+
+def _body_end(toks: list, i: int) -> int:
+    """Index one past the loop body starting at toks[i] (a `{` block or a
+    single statement up to `;`)."""
+    if i < len(toks) and toks[i].value == "{":
+        depth = 0
+        while i < len(toks):
+            v = toks[i].value
+            if v == "{":
+                depth += 1
+            elif v == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return i
+    depth = 0
+    while i < len(toks):
+        v = toks[i].value
+        if v in "([{":
+            depth += 1
+        elif v in ")]}":
+            depth -= 1
+        elif v == ";" and depth == 0:
+            return i + 1
+        i += 1
+    return i
+
+
+def _first_sink(toks: list, start: int, end: int) -> str | None:
+    for i in range(start, min(end, len(toks))):
+        t = toks[i]
+        if (
+            t.kind == "ident"
+            and t.value in _R10_SINKS
+            and i + 1 < len(toks)
+            and toks[i + 1].value == "("
+        ):
+            return t.value
+    return None
+
+
+RULES: list[Rule] = [
+    Rule("R1", "no raw assert() in src/ (use SR_CHECK/SR_DCHECK)", check_r1),
+    Rule("R2", "no rand()/std::rand() anywhere (use sim::Rng)", check_r2),
+    Rule("R3", "no <iostream> in src/", check_r3),
+    Rule("R4", "#pragma once in every header", check_r4),
+    Rule("R5", "no ad-hoc `struct ...Stats` in src/ outside src/obs/", check_r5),
+    Rule("R6", "no printf/fprintf in src/ outside src/obs/, src/check/", check_r6),
+    Rule("R7", "no TraceRing/kUpdate* trace events in src/fault|deploy", check_r7),
+    Rule("R8", "no wall-clock/getenv nondeterminism in src/ outside src/sim/", check_r8),
+    Rule("R9", "no bare std::mutex family in src/ (use sr:: wrappers)", check_r9),
+    Rule("R10", "no unordered iteration feeding channel/protocol calls", check_r10),
+]
+
+RULE_IDS = {r.rule_id for r in RULES}
