@@ -176,10 +176,12 @@ int main() {
         obs::write_file(base + "journeys.json",
                         obs::FlowJourneyTracer::to_chrome_trace(lb.trace(),
                                                                 journeys)) &&
-        obs::write_file(base + "tables.json", lb.tables_json());
+        obs::write_file(base + "tables.json", lb.tables_json()) &&
+        obs::write_file(base + "profile.json", obs::to_profile_json(snapshot)) &&
+        obs::write_file(base + "imbalance.json", recorder.imbalance_json());
     std::printf("telemetry written to %s{metrics.prom,metrics.json,"
                 "trace.json,timeseries.json,timeseries.csv,journeys.json,"
-                "tables.json}%s\n",
+                "tables.json,profile.json,imbalance.json}%s\n",
                 base.c_str(), ok ? "" : " (write failed)");
     if (!ok) return 1;
   }
@@ -200,6 +202,11 @@ int main() {
                   [&recorder] { return recorder.to_json(); });
     server.handle("/tables", "application/json",
                   [&lb] { return lb.tables_json(); });
+    server.handle("/profile", "application/json", [&lb] {
+      return obs::to_profile_json(lb.metrics().snapshot());
+    });
+    server.handle("/imbalance.json", "application/json",
+                  [&recorder] { return recorder.imbalance_json(); });
     if (!server.start()) {
       std::printf("scrape server: could not bind 127.0.0.1:%u\n", scrape_port);
       return 1;
@@ -209,8 +216,8 @@ int main() {
       linger = std::strtol(s, nullptr, 10);
     }
     std::printf("scrape server on http://127.0.0.1:%u "
-                "(/metrics /healthz /timeseries.json /tables), "
-                "lingering %lds\n",
+                "(/metrics /healthz /timeseries.json /tables /profile "
+                "/imbalance.json), lingering %lds\n",
                 server.port(), linger);
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(linger));

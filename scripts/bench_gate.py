@@ -25,6 +25,11 @@ stem and <metric> the sample name (labels are appended as {labels} when
 present). Missing benches or metrics on either side fail the gate: a deleted
 headline is a regression until the baseline is re-recorded.
 
+Coverage: every bench target declared in bench/CMakeLists.txt must either
+have a committed baseline or an EXEMPT_BENCHES entry (with a reason) below —
+an unbaselined, unexempted bench fails the gate, as does a candidate
+BENCH_*.json with no baseline. A bench can never land ungated by omission.
+
 To refresh baselines intentionally (tolerated drift or a model change), run
 the benches with SILKROAD_BENCH_JSON_DIR=bench/baselines and commit the
 diff; in CI, apply the `perf-baseline-override` PR label to skip the gate.
@@ -37,10 +42,65 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import re
 import sys
 from pathlib import Path
 
 DEFAULT_BASELINE_DIR = Path(__file__).resolve().parent.parent / "bench" / "baselines"
+
+# Benches that intentionally have no committed baseline. Every bench target in
+# bench/CMakeLists.txt must either have a BENCH_<name>.json baseline or an
+# entry here with the reason — anything else fails the gate, so a new bench
+# cannot land ungated by omission.
+EXEMPT_BENCHES = {
+    "micro_asic": "google-benchmark harness: raw ns/op timings with no "
+                  "BENCH_*.json headlines; machine-dependent, nothing stable "
+                  "to pin",
+}
+
+
+def known_benches(bench_dir: Path) -> set[str]:
+    """Bench target names declared in bench/CMakeLists.txt: the members of
+    set(SILKROAD_BENCHES ...) plus any standalone add_executable(name ...)."""
+    cmake = bench_dir / "CMakeLists.txt"
+    if not cmake.is_file():
+        return set()
+    text = cmake.read_text()
+    names: set[str] = set()
+    m = re.search(r"set\(SILKROAD_BENCHES\s+([^)]*)\)", text)
+    if m:
+        names.update(m.group(1).split())
+    for m in re.finditer(r"add_executable\((\w+)", text):
+        if m.group(1) != "${bench_name}":
+            names.add(m.group(1))
+    return names
+
+
+def check_coverage(baseline_dir: Path) -> int:
+    """Returns the number of benches neither baselined nor exempted (and
+    flags stale exemptions/baselines for benches that no longer exist)."""
+    benches = known_benches(baseline_dir.parent)
+    if not benches:
+        print(f"bench_gate: no bench/CMakeLists.txt next to {baseline_dir} — "
+              f"skipping coverage check")
+        return 0
+    baselined = {p.stem.removeprefix("BENCH_")
+                 for p in baseline_dir.glob("BENCH_*.json")}
+    failures = 0
+    for bench in sorted(benches - baselined - set(EXEMPT_BENCHES)):
+        print(f"FAIL coverage: bench '{bench}' has neither a baseline "
+              f"(bench/baselines/BENCH_{bench}.json) nor an EXEMPT_BENCHES "
+              f"entry in scripts/bench_gate.py")
+        failures += 1
+    for bench in sorted((baselined | set(EXEMPT_BENCHES)) - benches):
+        print(f"FAIL coverage: '{bench}' is baselined or exempted but is not "
+              f"a bench target in bench/CMakeLists.txt (renamed? clean up)")
+        failures += 1
+    for bench in sorted(baselined & set(EXEMPT_BENCHES)):
+        print(f"FAIL coverage: '{bench}' is both baselined and exempted — "
+              f"drop one")
+        failures += 1
+    return failures
 
 
 def load_bench_json(path: Path) -> dict[str, float]:
@@ -80,8 +140,16 @@ def compare(baseline_dir: Path, candidate_dir: Path) -> int:
               file=sys.stderr)
         return 1
 
-    failures = 0
+    failures = check_coverage(baseline_dir)
     checked = 0
+    for cand_path in sorted(candidate_dir.glob("BENCH_*.json")):
+        bench = cand_path.stem.removeprefix("BENCH_")
+        if not (baseline_dir / cand_path.name).is_file() \
+                and bench not in EXEMPT_BENCHES:
+            print(f"FAIL {bench}: candidate output has no baseline — record "
+                  f"one (SILKROAD_BENCH_JSON_DIR=bench/baselines) or add an "
+                  f"EXEMPT_BENCHES entry")
+            failures += 1
     for base_path in baseline_files:
         bench = base_path.stem.removeprefix("BENCH_")
         cand_path = candidate_dir / base_path.name

@@ -83,7 +83,7 @@ void DigestCuckooTable::move_entry(const SlotRef& from, const SlotRef& to) {
   shadow_keys_[dst] = shadow_keys_[src];
   slots_[src].used = false;
   index_[shadow_keys_[dst]] = to;
-  ++total_moves_;
+  total_moves_.inc();
 }
 
 std::optional<SlotRef> DigestCuckooTable::find_free_slot(
@@ -178,7 +178,7 @@ DigestCuckooTable::InsertResult DigestCuckooTable::insert(
       }
     }
   }
-  ++failed_inserts_;
+  failed_inserts_.inc();
   if (trace_ != nullptr) {
     trace_->record(obs::TraceEventKind::kCuckooInsertFail, obs::kNoScope,
                    value, 0, net::FiveTupleHash{}(key));

@@ -25,6 +25,7 @@
 #include "asic/sram.h"
 #include "net/hash.h"
 #include "net/five_tuple.h"
+#include "obs/sharded.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace.h"
 
@@ -149,8 +150,10 @@ class DigestCuckooTable {
                          kSramWordBits);
   }
   const CuckooConfig& config() const noexcept { return config_; }
-  std::uint64_t total_moves() const noexcept { return total_moves_; }
-  std::uint64_t failed_inserts() const noexcept { return failed_inserts_; }
+  std::uint64_t total_moves() const noexcept { return total_moves_.value(); }
+  std::uint64_t failed_inserts() const noexcept {
+    return failed_inserts_.value();
+  }
 
   /// One installed connection as the control plane sees it (shadow 5-tuple +
   /// the entry's action data).
@@ -239,8 +242,9 @@ class DigestCuckooTable {
   std::vector<net::FiveTuple> shadow_keys_;
   /// CPU shadow index: key -> current slot.
   std::unordered_map<net::FiveTuple, SlotRef, net::FiveTupleHash> index_;
-  std::uint64_t total_moves_ = 0;
-  std::uint64_t failed_inserts_ = 0;
+  /// Sharded (DESIGN.md §14): bumped on the per-lookup/insert hot path.
+  obs::ShardedCounter total_moves_;
+  obs::ShardedCounter failed_inserts_;
   obs::StageProfiler* profiler_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
 };

@@ -3,9 +3,9 @@
 namespace silkroad::asic {
 
 void LearningFilter::learn(const net::FiveTuple& flow, std::uint32_t value) {
-  ++total_events_;
+  total_events_.inc();
   if (pending_.contains(flow)) {
-    ++duplicate_events_;
+    duplicate_events_.inc();
     return;
   }
   pending_.emplace(flow, LearnEvent{flow, value, sim_.now()});
@@ -29,14 +29,14 @@ void LearningFilter::flush_now() {
     const auto it = pending_.find(flow);
     if (it == pending_.end()) continue;
     if (drop_hook_ && drop_hook_(it->second)) {
-      ++dropped_events_;
+      dropped_events_.inc();
       continue;
     }
     batch.push_back(it->second);
   }
   pending_.clear();
   order_.clear();
-  ++flushes_;
+  flushes_.inc();
   sink_(std::move(batch));
 }
 

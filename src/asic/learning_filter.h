@@ -15,6 +15,7 @@
 
 #include "net/five_tuple.h"
 #include "net/hash.h"
+#include "obs/sharded.h"
 #include "sim/event_queue.h"
 
 namespace silkroad::asic {
@@ -72,10 +73,14 @@ class LearningFilter {
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
   std::size_t pending_count() const noexcept { return pending_.size(); }
-  std::uint64_t total_events() const noexcept { return total_events_; }
-  std::uint64_t duplicate_events() const noexcept { return duplicate_events_; }
-  std::uint64_t flushes() const noexcept { return flushes_; }
-  std::uint64_t dropped_events() const noexcept { return dropped_events_; }
+  std::uint64_t total_events() const noexcept { return total_events_.value(); }
+  std::uint64_t duplicate_events() const noexcept {
+    return duplicate_events_.value();
+  }
+  std::uint64_t flushes() const noexcept { return flushes_.value(); }
+  std::uint64_t dropped_events() const noexcept {
+    return dropped_events_.value();
+  }
   const Config& config() const noexcept { return config_; }
 
  private:
@@ -86,10 +91,11 @@ class LearningFilter {
   std::vector<net::FiveTuple> order_;  // flush in arrival order
   sim::EventHandle timeout_event_;
   DropHook drop_hook_;
-  std::uint64_t total_events_ = 0;
-  std::uint64_t duplicate_events_ = 0;
-  std::uint64_t flushes_ = 0;
-  std::uint64_t dropped_events_ = 0;
+  /// Sharded (DESIGN.md §14): learn() runs once per new-flow packet.
+  obs::ShardedCounter total_events_;
+  obs::ShardedCounter duplicate_events_;
+  obs::ShardedCounter flushes_;
+  obs::ShardedCounter dropped_events_;
 };
 
 }  // namespace silkroad::asic

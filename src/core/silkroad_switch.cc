@@ -35,6 +35,8 @@ SilkRoadSwitch::SilkRoadSwitch(sim::Simulator& simulator, const Config& config)
       trace_(4096, [this] { return sim_.now(); }),
       conn_profiler_(metrics_, "silkroad_conn_table",
                      config.conn_table.stages),
+      packet_profiler_(metrics_, "silkroad_packet",
+                       {"pipeline", "slow_path"}, config.profiler),
       conn_table_(config.conn_table),
       learning_filter_(simulator, config.learning,
                        [this](const std::vector<asic::LearnEvent>& batch) {
@@ -48,12 +50,16 @@ SilkRoadSwitch::SilkRoadSwitch(sim::Simulator& simulator, const Config& config)
 }
 
 void SilkRoadSwitch::init_metrics() {
-  c_.packets = metrics_.counter("silkroad_packets_total",
-                                "packets processed by the data plane");
-  c_.conn_table_hits = metrics_.counter("silkroad_conn_table_hits_total",
-                                        "ConnTable lookups that matched");
-  c_.conn_table_misses = metrics_.counter("silkroad_conn_table_misses_total",
-                                          "ConnTable lookups that missed");
+  // Per-packet counters are sharded (DESIGN.md §14): uncontended relaxed
+  // adds even when data-plane shards run in parallel.
+  c_.packets = metrics_.sharded_counter("silkroad_packets_total",
+                                        "packets processed by the data plane");
+  c_.conn_table_hits =
+      metrics_.sharded_counter("silkroad_conn_table_hits_total",
+                               "ConnTable lookups that matched");
+  c_.conn_table_misses =
+      metrics_.sharded_counter("silkroad_conn_table_misses_total",
+                               "ConnTable lookups that missed");
   c_.learns = metrics_.counter("silkroad_learns_total",
                                "new flows entered into the learning filter");
   c_.inserts = metrics_.counter("silkroad_inserts_total",
@@ -101,14 +107,16 @@ void SilkRoadSwitch::init_metrics() {
   c_.relearns = metrics_.counter(
       "silkroad_relearns_total",
       "pending flows re-enqueued after a lost learning notification");
-  c_.meter_green = metrics_.counter("silkroad_meter_packets_total",
-                                    "metered packets by color", "color=\"green\"");
-  c_.meter_yellow = metrics_.counter("silkroad_meter_packets_total",
-                                     "metered packets by color",
-                                     "color=\"yellow\"");
-  c_.meter_red = metrics_.counter("silkroad_meter_packets_total",
-                                  "metered packets by color", "color=\"red\"");
-  c_.packet_latency_ns = metrics_.histogram(
+  c_.meter_green =
+      metrics_.sharded_counter("silkroad_meter_packets_total",
+                               "metered packets by color", "color=\"green\"");
+  c_.meter_yellow =
+      metrics_.sharded_counter("silkroad_meter_packets_total",
+                               "metered packets by color", "color=\"yellow\"");
+  c_.meter_red =
+      metrics_.sharded_counter("silkroad_meter_packets_total",
+                               "metered packets by color", "color=\"red\"");
+  c_.packet_latency_ns = metrics_.sharded_histogram(
       "silkroad_packet_latency_ns",
       "per-packet added latency (pipeline + slow-path redirects)");
   c_.learn_batch_size = metrics_.histogram(
@@ -284,7 +292,39 @@ void SilkRoadSwitch::add_vip(const net::Endpoint& vip,
   state.versions = std::make_unique<VipVersionManager>(vip, dips, vm_config);
   state.trace_scope = trace_.intern(vip.to_string());
   state.versions->bind_trace(&trace_, state.trace_scope);
+  if (config_.data_plane_telemetry) {
+    state.sampled_latency = packet_profiler_.vip_series(vip.to_string());
+    // Pre-register the initial DIPs so the imbalance denominators exist at
+    // zero before any traffic (gauges count from the first sample).
+    for (const net::Endpoint& dip : dips) dip_handles(state, vip, dip);
+  }
   vips_.insert_or_assign(vip, std::move(state));
+}
+
+SilkRoadSwitch::DipConnHandles& SilkRoadSwitch::dip_handles(
+    VipState& state, const net::Endpoint& vip, const net::Endpoint& dip) {
+  const auto it = state.dip_conns.find(dip);
+  if (it != state.dip_conns.end()) return it->second;
+  const std::string labels =
+      "dip=\"" + dip.to_string() + "\",vip=\"" + vip.to_string() + "\"";
+  DipConnHandles handles;
+  handles.new_conns = metrics_.sharded_counter(
+      "silkroad_dip_new_conns_total",
+      "connections admitted for the DIP (learned, shed, or degraded)",
+      labels);
+  handles.active = metrics_.gauge(
+      "silkroad_dip_active_conns",
+      "version-tracked connections currently mapped to the DIP", labels);
+  return state.dip_conns.emplace(dip, handles).first->second;
+}
+
+void SilkRoadSwitch::release_dip_conn(VipState& state, const net::Endpoint&,
+                                      std::uint32_t version,
+                                      const net::FiveTuple& flow) {
+  const auto dip = state.versions->select(version, flow);
+  if (!dip) return;
+  const auto it = state.dip_conns.find(*dip);
+  if (it != state.dip_conns.end()) it->second.active->add(-1.0);
 }
 
 void SilkRoadSwitch::attach_meter(
@@ -354,7 +394,8 @@ std::uint32_t SilkRoadSwitch::version_for_miss(const net::Endpoint& vip,
 
 void SilkRoadSwitch::learn_new_flow(const net::Endpoint& vip, VipState& state,
                                     const net::FiveTuple& flow,
-                                    std::uint32_t version) {
+                                    std::uint32_t version,
+                                    const net::Endpoint& dip) {
   c_.learns->inc();
   trace_.record(obs::TraceEventKind::kLearn, state.trace_scope, version,
                 net::FiveTupleHash{}(flow));
@@ -362,6 +403,11 @@ void SilkRoadSwitch::learn_new_flow(const net::Endpoint& vip, VipState& state,
   pending_.emplace(flow, PendingConn{vip, version, false, sim_.now()});
   state.versions->acquire(version);
   state.conns_by_version[version].insert(flow);
+  if (config_.data_plane_telemetry) {
+    DipConnHandles& handles = dip_handles(state, vip, dip);
+    handles.new_conns->inc();
+    handles.active->add(1.0);
+  }
   track_digest(flow);
   arm_relearn_sweep();
 }
@@ -395,11 +441,33 @@ void SilkRoadSwitch::resolve_digest_conflicts(const net::FiveTuple& inserted) {
 }
 
 lb::PacketResult SilkRoadSwitch::process_packet(const net::Packet& packet) {
+  // Telemetry off: the sampler costs nothing; on: one countdown decrement
+  // per packet, full stage/VIP recording only for the 1-in-N sampled ones.
+  const bool sampled =
+      config_.data_plane_telemetry && packet_profiler_.begin_packet();
   const lb::PacketResult result = process_packet_impl(packet);
   // Unknown-VIP packets return a zero result; everything else was charged at
   // least the pipeline latency, so this records exactly the counted packets.
   if (result.added_latency > 0) {
     c_.packet_latency_ns->record(result.added_latency);
+    if (sampled) {
+      // Split the charge into the fixed pipeline slice and the slow-path
+      // remainder (SYN redirects), matching the modeled cost structure.
+      const std::uint64_t total =
+          static_cast<std::uint64_t>(result.added_latency);
+      const std::uint64_t pipeline = std::min(
+          total, static_cast<std::uint64_t>(config_.pipeline_latency));
+      packet_profiler_.enter(kStagePipeline);
+      packet_profiler_.exit(kStagePipeline, pipeline);
+      if (total > pipeline) {
+        packet_profiler_.enter(kStageSlowPath);
+        packet_profiler_.exit(kStageSlowPath, total - pipeline);
+      }
+      if (const VipState* state = find_vip(packet.flow.dst);
+          state != nullptr && state->sampled_latency != nullptr) {
+        state->sampled_latency->record(total);
+      }
+    }
   }
   return result;
 }
@@ -570,7 +638,7 @@ lb::PacketResult SilkRoadSwitch::process_packet_impl(
     return result;
   }
   result.dip = dip;
-  learn_new_flow(vip, *state, packet.flow, version);
+  learn_new_flow(vip, *state, packet.flow, version, *dip);
   return result;
 }
 
@@ -652,6 +720,11 @@ void SilkRoadSwitch::release_conn(const net::Endpoint& vip,
                                   std::uint32_t version) {
   VipState* state = find_vip(vip);
   if (state == nullptr) return;
+  // Before release(): the (version, flow) -> DIP mapping must still be live
+  // to attribute the departure to the right DIP gauge.
+  if (config_.data_plane_telemetry) {
+    release_dip_conn(*state, vip, version, flow);
+  }
   state->versions->release(version);
   const auto it = state->conns_by_version.find(version);
   if (it != state->conns_by_version.end()) {
@@ -862,6 +935,14 @@ bool SilkRoadSwitch::evict_version_for(const net::Endpoint& /*vip*/,
         trace_.record(obs::TraceEventKind::kSoftwareFallback,
                       state.trace_scope, *victim,
                       net::FiveTupleHash{}(flow));
+        // The flow leaves version tracking wholesale (no release_conn), so
+        // settle its per-DIP active gauge here.
+        if (config_.data_plane_telemetry) {
+          const auto handles = state.dip_conns.find(*dip);
+          if (handles != state.dip_conns.end()) {
+            handles->second.active->add(-1.0);
+          }
+        }
       }
       if (conn_table_.erase(flow)) {
         c_.erases->inc();
@@ -954,6 +1035,11 @@ std::optional<net::Endpoint> SilkRoadSwitch::admit_without_insert(
     degraded_flows_.emplace(flow, DegradedConn{vip, version});
     state.versions->acquire(version);
     state.conns_by_version[version].insert(flow);
+    if (config_.data_plane_telemetry) {
+      DipConnHandles& handles = dip_handles(state, vip, *dip);
+      handles.new_conns->inc();
+      handles.active->add(1.0);
+    }
   }
   if (shed) {
     c_.pending_shed->inc();
@@ -1055,6 +1141,11 @@ void SilkRoadSwitch::reset() {
   conn_table_.clear();
   learning_filter_.reset();
   transit_.clear();
+  // The crash wipes connection state, so the per-DIP active gauges go to
+  // zero with it (counters, being monotone, survive).
+  for (auto& [vip, state] : vips_) {
+    for (auto& [dip, handles] : state.dip_conns) handles.active->set(0.0);
+  }
   vips_.clear();
   pending_.clear();
   software_table_.clear();

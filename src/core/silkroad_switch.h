@@ -34,6 +34,8 @@
 #include "core/version_manager.h"
 #include "lb/load_balancer.h"
 #include "obs/metrics.h"
+#include "obs/sampling_profiler.h"
+#include "obs/sharded.h"
 #include "obs/span.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace.h"
@@ -104,6 +106,16 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     /// reached the CPU after this long is re-enqueued directly, recovering
     /// dropped learning-filter notifications. 0 = off.
     sim::Time relearn_timeout = 0;
+
+    // --- Data-plane performance telemetry (DESIGN.md §14) -------------------
+
+    /// Gates the sampling packet profiler and the per-DIP active/new
+    /// connection accounting. The always-on core counters (packets, table
+    /// hits/misses, ...) are sharded and stay on regardless; disabling this
+    /// removes everything that costs more than a counter bump.
+    bool data_plane_telemetry = true;
+    /// Sampling profiler knobs (period, seed, histogram resolution).
+    obs::SamplingProfiler::Options profiler;
   };
 
   /// Sizes a ConnTable geometry for `connections` at `occupancy` packing
@@ -252,6 +264,15 @@ class SilkRoadSwitch : public lb::LoadBalancer {
 
   enum class Phase : std::uint8_t { kIdle, kStep1, kStep2 };
 
+  /// Per-DIP load-telemetry handles (data_plane_telemetry): a monotone
+  /// new-connection counter and an active-connection gauge, both labeled
+  /// vip=..,dip=.. so TimeSeriesRecorder can derive per-VIP imbalance
+  /// indices across them.
+  struct DipConnHandles {
+    obs::ShardedCounter* new_conns = nullptr;
+    obs::Gauge* active = nullptr;
+  };
+
   struct VipState {
     std::unique_ptr<VipVersionManager> versions;
     /// CPU-side connection-to-pool tracking (§4.2): version -> flows.
@@ -262,6 +283,11 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     bool meter_enforce = false;
     /// Interned VIP name in the switch's TraceRing.
     std::uint32_t trace_scope = obs::kNoScope;
+    /// Sampled per-VIP packet-latency histogram (null when telemetry off).
+    obs::Histogram* sampled_latency = nullptr;
+    /// Per-DIP telemetry handles, registered lazily on first connection.
+    std::unordered_map<net::Endpoint, DipConnHandles, net::EndpointHash>
+        dip_conns;
   };
 
   struct PendingConn {
@@ -303,7 +329,18 @@ class SilkRoadSwitch : public lb::LoadBalancer {
                                  bool* redirected_to_cpu);
 
   void learn_new_flow(const net::Endpoint& vip, VipState& state,
-                      const net::FiveTuple& flow, std::uint32_t version);
+                      const net::FiveTuple& flow, std::uint32_t version,
+                      const net::Endpoint& dip);
+  /// Per-DIP telemetry handles for (vip, dip), registering the series on
+  /// first use. Only called when data_plane_telemetry is on.
+  DipConnHandles& dip_handles(VipState& state, const net::Endpoint& vip,
+                              const net::Endpoint& dip);
+  /// active-connection gauge decrement for a released flow: the DIP is
+  /// recomputed from (version, flow), which PCC keeps stable for the flow's
+  /// lifetime (a post-release mark_dip_down can drift a gauge by the flows
+  /// that die after the DIP — acceptable for telemetry).
+  void release_dip_conn(VipState& state, const net::Endpoint& vip,
+                        std::uint32_t version, const net::FiveTuple& flow);
   /// Serves a brand-new flow without learning it (pending queue full, or
   /// degraded mode). Returns the chosen DIP.
   std::optional<net::Endpoint> admit_without_insert(const net::Endpoint& vip,
@@ -352,17 +389,27 @@ class SilkRoadSwitch : public lb::LoadBalancer {
   /// DIP mappings in the software table.
   bool evict_version_for(const net::Endpoint& vip, VipState& state);
 
+  /// Sampling-profiler stage indices (stage labels "pipeline" and
+  /// "slow_path" on silkroad_packet_stage_latency_ns).
+  static constexpr std::size_t kStagePipeline = 0;
+  static constexpr std::size_t kStageSlowPath = 1;
+
   sim::Simulator& sim_;
   Config config_;
   /// Telemetry first: the instrumented members below bind to these.
   obs::MetricsRegistry metrics_;
   obs::TraceRing trace_;
   obs::StageProfiler conn_profiler_;
-  /// Hot-path counter handles into metrics_ (one relaxed add per bump).
+  /// Deterministic 1-in-N packet latency sampler (data_plane_telemetry).
+  obs::SamplingProfiler packet_profiler_;
+  /// Hot-path counter handles into metrics_. The per-packet ones (packets,
+  /// table hits/misses, meter colors, packet latency) are sharded so bumps
+  /// from parallel data-plane shards never contend on a cache line
+  /// (DESIGN.md §14); control-plane counters stay plain.
   struct CounterHandles {
-    obs::Counter* packets = nullptr;
-    obs::Counter* conn_table_hits = nullptr;
-    obs::Counter* conn_table_misses = nullptr;
+    obs::ShardedCounter* packets = nullptr;
+    obs::ShardedCounter* conn_table_hits = nullptr;
+    obs::ShardedCounter* conn_table_misses = nullptr;
     obs::Counter* learns = nullptr;
     obs::Counter* inserts = nullptr;
     obs::Counter* insert_failures = nullptr;
@@ -381,10 +428,10 @@ class SilkRoadSwitch : public lb::LoadBalancer {
     obs::Counter* degraded_admits = nullptr;
     obs::Counter* pending_shed = nullptr;
     obs::Counter* relearns = nullptr;
-    obs::Counter* meter_green = nullptr;
-    obs::Counter* meter_yellow = nullptr;
-    obs::Counter* meter_red = nullptr;
-    obs::Histogram* packet_latency_ns = nullptr;
+    obs::ShardedCounter* meter_green = nullptr;
+    obs::ShardedCounter* meter_yellow = nullptr;
+    obs::ShardedCounter* meter_red = nullptr;
+    obs::ShardedHistogram* packet_latency_ns = nullptr;
     obs::Histogram* learn_batch_size = nullptr;
     /// learn -> ConnTable-entry-landed, per installed connection.
     obs::Histogram* insert_latency_ns = nullptr;

@@ -39,16 +39,29 @@ void SoftwareLoadBalancer::request_update(const workload::DipUpdate& update) {
   if (risk_cb_) risk_cb_(update.vip);
 }
 
+void SoftwareLoadBalancer::bind_metrics(obs::MetricsRegistry& registry) {
+  packets_ = registry.sharded_counter("silkroad_slb_packets_total",
+                                      "packets handled in SLB software");
+  new_conns_ = registry.sharded_counter(
+      "silkroad_slb_new_conns_total",
+      "connections pinned into the SLB's software ConnTable");
+  conn_table_hits_ =
+      registry.sharded_counter("silkroad_slb_conn_table_hits_total",
+                               "packets served from an existing pin");
+}
+
 PacketResult SoftwareLoadBalancer::process_packet(const net::Packet& packet) {
   const sr::MutexLock lock(mu_);
   const auto vip_it = vips_.find(packet.flow.dst);
   if (vip_it == vips_.end()) return {};
+  if (packets_ != nullptr) packets_->inc();
   PacketResult result;
   result.handled_by_slb = true;
   result.added_latency = static_cast<sim::Time>(
       latency_dist_.sample(latency_rng_) * static_cast<double>(sim::kMicrosecond));
   if (const auto pinned = conn_table_.find(packet.flow);
       pinned != conn_table_.end()) {
+    if (conn_table_hits_ != nullptr) conn_table_hits_->inc();
     if (packet.fin) {
       result.dip = pinned->second;
       conn_table_.erase(pinned);
@@ -59,7 +72,10 @@ PacketResult SoftwareLoadBalancer::process_packet(const net::Packet& packet) {
   }
   const auto dip = vip_it->second.maglev.select(packet.flow);
   if (!dip) return result;
-  if (!packet.fin) conn_table_.emplace(packet.flow, *dip);
+  if (!packet.fin) {
+    conn_table_.emplace(packet.flow, *dip);
+    if (new_conns_ != nullptr) new_conns_->inc();
+  }
   result.dip = dip;
   return result;
 }

@@ -131,6 +131,52 @@ std::string to_json(const Snapshot& snapshot) {
   return out;
 }
 
+std::string to_profile_json(const Snapshot& snapshot) {
+  const auto ends_with = [](const std::string& s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  std::string out = "{\"histograms\":[";
+  bool first = true;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.kind != MetricKind::kHistogram || sample.count == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    const double mean = sample.sum / static_cast<double>(sample.count);
+    append(out,
+           "\n  {\"name\":\"%s\",\"labels\":\"%s\",\"count\":%" PRIu64
+           ",\"sum\":%s,\"mean\":%s",
+           json_escape(sample.name).c_str(),
+           json_escape(sample.labels).c_str(), sample.count,
+           format_number(sample.sum).c_str(), format_number(mean).c_str());
+    for (const auto& [key, q] : {std::pair<const char*, double>{"p50", 0.50},
+                                 {"p90", 0.90},
+                                 {"p99", 0.99},
+                                 {"p999", 0.999}}) {
+      append(out, ",\"%s\":%s", key,
+             format_number(histogram_quantile(sample, q)).c_str());
+    }
+    out += "}";
+  }
+  out += "\n],\"sampling\":[";
+  first = true;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.kind != MetricKind::kCounter ||
+        (!ends_with(sample.name, "_sampled_packets_total") &&
+         !ends_with(sample.name, "_profiler_reentry_total"))) {
+      continue;
+    }
+    if (!first) out += ",";
+    first = false;
+    append(out, "\n  {\"name\":\"%s\",\"labels\":\"%s\",\"value\":%s}",
+           json_escape(sample.name).c_str(),
+           json_escape(sample.labels).c_str(),
+           format_number(sample.value).c_str());
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 std::string to_chrome_trace(const TraceRing& ring) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;

@@ -37,6 +37,13 @@ std::string to_prometheus(const Snapshot& snapshot);
 /// Histograms carry "count", "sum", and a "buckets" array of {le, count}.
 std::string to_json(const Snapshot& snapshot);
 
+/// Latency-profile summary served as /profile: every non-empty histogram
+/// series rendered as {"name","labels","count","sum","mean","p50","p90",
+/// "p99","p999"}, plus a "sampling" array of the sampling-profiler counters
+/// (*_sampled_packets_total, *_profiler_reentry_total) so the sampled
+/// population and any re-entry anomalies are visible next to the quantiles.
+std::string to_profile_json(const Snapshot& snapshot);
+
 /// Chrome trace-event JSON. The 3-step PCC protocol renders as duration
 /// events (update-step1-open opens a span on the VIP's track, update-finish
 /// closes it, the flip is an instant marker inside); all other events are

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "check/sr_check.h"
+#include "obs/sharded.h"
 
 namespace silkroad::obs {
 
@@ -17,41 +18,49 @@ const char* to_string(MetricKind kind) noexcept {
 }
 
 // ---------------------------------------------------------------------------
-// Histogram
+// HDR bucket geometry (shared by Histogram and ShardedHistogram)
 // ---------------------------------------------------------------------------
 
-namespace {
-
-std::size_t histogram_bucket_total(unsigned log2_sub) {
+std::size_t hdr_bucket_count(unsigned log2_sub) noexcept {
   // Values < 2^(log2_sub+1) get exact/linear buckets; each higher power-of-two
   // range [2^e, 2^(e+1)) contributes 2^log2_sub buckets, up to e = 63.
   const std::size_t sub = std::size_t{1} << log2_sub;
   return 2 * sub + (63 - (log2_sub + 1) + 1) * sub;
 }
 
-}  // namespace
+std::size_t hdr_bucket_index(std::uint64_t value, unsigned log2_sub) noexcept {
+  const std::uint64_t sub = std::uint64_t{1} << log2_sub;
+  if (value < 2 * sub) return static_cast<std::size_t>(value);
+  const unsigned exponent = std::bit_width(value) - 1;  // >= log2_sub + 1
+  const unsigned shift = exponent - log2_sub;
+  const std::uint64_t mantissa = (value >> shift) & (sub - 1);
+  return static_cast<std::size_t>((exponent - log2_sub + 1) * sub + mantissa);
+}
+
+std::uint64_t hdr_bucket_lower_bound(std::size_t index,
+                                     unsigned log2_sub) noexcept {
+  const std::uint64_t sub = std::uint64_t{1} << log2_sub;
+  if (index < 2 * sub) return index;
+  const std::uint64_t exponent = index / sub + log2_sub - 1;
+  const std::uint64_t mantissa = index % sub;
+  return (std::uint64_t{1} << exponent) +
+         (mantissa << (exponent - log2_sub));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
 
 Histogram::Histogram(const Options& options)
     : log2_sub_(std::min(options.log2_subdivisions, 6u)),
-      buckets_(histogram_bucket_total(log2_sub_)) {}
+      buckets_(hdr_bucket_count(log2_sub_)) {}
 
 std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
-  const std::uint64_t sub = std::uint64_t{1} << log2_sub_;
-  if (value < 2 * sub) return static_cast<std::size_t>(value);
-  const unsigned exponent = std::bit_width(value) - 1;  // >= log2_sub_ + 1
-  const unsigned shift = exponent - log2_sub_;
-  const std::uint64_t mantissa = (value >> shift) & (sub - 1);
-  return static_cast<std::size_t>(
-      (exponent - log2_sub_ + 1) * sub + mantissa);
+  return hdr_bucket_index(value, log2_sub_);
 }
 
 std::uint64_t Histogram::bucket_lower_bound(std::size_t index) const noexcept {
-  const std::uint64_t sub = std::uint64_t{1} << log2_sub_;
-  if (index < 2 * sub) return index;
-  const std::uint64_t exponent = index / sub + log2_sub_ - 1;
-  const std::uint64_t mantissa = index % sub;
-  return (std::uint64_t{1} << exponent) +
-         (mantissa << (exponent - log2_sub_));
+  return hdr_bucket_lower_bound(index, log2_sub_);
 }
 
 std::uint64_t Histogram::count() const noexcept {
@@ -123,6 +132,11 @@ double Snapshot::quantile(const std::string& name, const std::string& labels,
 // MetricsRegistry
 // ---------------------------------------------------------------------------
 
+// Out of line: Series holds unique_ptrs to the sharded types, which metrics.h
+// only forward-declares (sharded.h includes metrics.h, not the reverse).
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 MetricsRegistry::Series* MetricsRegistry::find_or_create(
     const std::string& name, const std::string& labels,
     const std::string& help, MetricKind kind) {
@@ -147,7 +161,12 @@ Counter* MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   const std::string& labels) {
   const sr::MutexLock lock(mu_);
-  return &find_or_create(name, labels, help, MetricKind::kCounter)->counter;
+  Series* series = find_or_create(name, labels, help, MetricKind::kCounter);
+  SR_CHECKF(!series->sharded_counter,
+            "metric %s{%s} exists as a sharded counter; use sharded_counter()",
+            name.c_str(), labels.c_str());
+  series->plain_counter = true;
+  return &series->counter;
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
@@ -162,10 +181,42 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
                                       const Histogram::Options& options) {
   const sr::MutexLock lock(mu_);
   Series* series = find_or_create(name, labels, help, MetricKind::kHistogram);
+  SR_CHECKF(
+      !series->sharded_histogram,
+      "metric %s{%s} exists as a sharded histogram; use sharded_histogram()",
+      name.c_str(), labels.c_str());
   if (!series->histogram) {
     series->histogram = std::make_unique<Histogram>(options);
   }
   return series->histogram.get();
+}
+
+ShardedCounter* MetricsRegistry::sharded_counter(const std::string& name,
+                                                 const std::string& help,
+                                                 const std::string& labels) {
+  const sr::MutexLock lock(mu_);
+  Series* series = find_or_create(name, labels, help, MetricKind::kCounter);
+  if (!series->sharded_counter) {
+    SR_CHECKF(!series->plain_counter && !series->callback,
+              "metric %s{%s} already registered as a plain counter",
+              name.c_str(), labels.c_str());
+    series->sharded_counter = std::make_unique<ShardedCounter>();
+  }
+  return series->sharded_counter.get();
+}
+
+ShardedHistogram* MetricsRegistry::sharded_histogram(
+    const std::string& name, const std::string& help,
+    const std::string& labels, const Histogram::Options& options) {
+  const sr::MutexLock lock(mu_);
+  Series* series = find_or_create(name, labels, help, MetricKind::kHistogram);
+  if (!series->sharded_histogram) {
+    SR_CHECKF(!series->histogram,
+              "metric %s{%s} already registered as a plain histogram",
+              name.c_str(), labels.c_str());
+    series->sharded_histogram = std::make_unique<ShardedHistogram>(options);
+  }
+  return series->sharded_histogram.get();
 }
 
 void MetricsRegistry::register_callback(const std::string& name,
@@ -184,6 +235,37 @@ std::size_t MetricsRegistry::series_count() const {
   return series_.size();
 }
 
+namespace {
+
+/// Renders a histogram (plain or sharded — identical aggregated API) into a
+/// sample's cumulative bucket list.
+template <typename H>
+void render_histogram(const H& hist, MetricSample& sample) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+    const std::uint64_t n = hist.bucket_value(i);
+    if (n == 0) continue;
+    // A zero-delta floor marker at the bucket's lower edge keeps
+    // quantile interpolation inside the true bucket: without it a run
+    // of empty buckets would stretch the interpolation span down to
+    // the previous occupied bucket.
+    const std::uint64_t lower = hist.bucket_lower_bound(i);
+    if (lower > 0 && (sample.buckets.empty() ||
+                      sample.buckets.back().upper_bound < lower - 1)) {
+      sample.buckets.push_back({lower - 1, cumulative});
+    }
+    cumulative += n;
+    const std::uint64_t upper = i + 1 < hist.bucket_count()
+                                    ? hist.bucket_lower_bound(i + 1) - 1
+                                    : ~std::uint64_t{0};
+    sample.buckets.push_back({upper, cumulative});
+  }
+  sample.count = cumulative;
+  sample.sum = static_cast<double>(hist.sum());
+}
+
+}  // namespace
+
 Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
   {
@@ -197,34 +279,16 @@ Snapshot MetricsRegistry::snapshot() const {
       sample.kind = series.kind;
       if (series.callback) {
         sample.value = series.callback();
+      } else if (series.sharded_counter) {
+        sample.value = static_cast<double>(series.sharded_counter->value());
       } else if (series.kind == MetricKind::kCounter) {
         sample.value = static_cast<double>(series.counter.value());
       } else if (series.kind == MetricKind::kGauge) {
         sample.value = series.gauge.value();
+      } else if (series.sharded_histogram) {
+        render_histogram(*series.sharded_histogram, sample);
       } else if (series.histogram) {
-        std::uint64_t cumulative = 0;
-        const Histogram& hist = *series.histogram;
-        for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
-          const std::uint64_t n = hist.bucket_value(i);
-          if (n == 0) continue;
-          // A zero-delta floor marker at the bucket's lower edge keeps
-          // quantile interpolation inside the true bucket: without it a run
-          // of empty buckets would stretch the interpolation span down to
-          // the previous occupied bucket.
-          const std::uint64_t lower = hist.bucket_lower_bound(i);
-          if (lower > 0 && (sample.buckets.empty() ||
-                            sample.buckets.back().upper_bound < lower - 1)) {
-            sample.buckets.push_back({lower - 1, cumulative});
-          }
-          cumulative += n;
-          const std::uint64_t upper =
-              i + 1 < hist.bucket_count()
-                  ? hist.bucket_lower_bound(i + 1) - 1
-                  : ~std::uint64_t{0};
-          sample.buckets.push_back({upper, cumulative});
-        }
-        sample.count = cumulative;
-        sample.sum = static_cast<double>(hist.sum());
+        render_histogram(*series.histogram, sample);
       }
       snap.samples.push_back(std::move(sample));
     }

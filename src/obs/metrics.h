@@ -37,6 +37,22 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
 const char* to_string(MetricKind kind) noexcept;
 
+class ShardedCounter;    // sharded.h
+class ShardedHistogram;  // sharded.h
+
+/// Shared log-linear (HdrHistogram-style) bucket geometry used by both
+/// Histogram and ShardedHistogram: values below 2^(log2_sub+1) get exact
+/// unit buckets; each higher power-of-two range [2^e, 2^(e+1)) is split into
+/// 2^log2_sub linear buckets, covering the full 64-bit range.
+std::size_t hdr_bucket_count(unsigned log2_subdivisions) noexcept;
+/// Bucket holding `value`.
+std::size_t hdr_bucket_index(std::uint64_t value,
+                             unsigned log2_subdivisions) noexcept;
+/// Smallest value mapping to bucket `index` (inclusive); the bucket covers
+/// [lower_bound(i), lower_bound(i+1)).
+std::uint64_t hdr_bucket_lower_bound(std::size_t index,
+                                     unsigned log2_subdivisions) noexcept;
+
 /// Monotone event count. Increments are relaxed atomics: cheap, thread-safe,
 /// and wrap modulo 2^64.
 class Counter {
@@ -158,7 +174,8 @@ struct Snapshot {
 
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -172,6 +189,19 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name, const std::string& help = "",
                        const std::string& labels = "",
                        const Histogram::Options& options = {});
+
+  /// Sharded hot-path variants (sharded.h, DESIGN.md §14): same (name,
+  /// labels) identity and snapshot rendering as the plain kinds, but bumps
+  /// cost one uncontended relaxed add with no shared cache line. A series is
+  /// either plain or sharded for its whole life — requesting the other
+  /// flavor for an existing pair SR_CHECK-fails.
+  ShardedCounter* sharded_counter(const std::string& name,
+                                  const std::string& help = "",
+                                  const std::string& labels = "");
+  ShardedHistogram* sharded_histogram(const std::string& name,
+                                      const std::string& help = "",
+                                      const std::string& labels = "",
+                                      const Histogram::Options& options = {});
 
   /// Registers a pull metric: `fn` is evaluated at snapshot() time. Use for
   /// values another structure already maintains (table occupancy, queue
@@ -201,6 +231,13 @@ class MetricsRegistry {
     Counter counter;
     Gauge gauge;
     std::unique_ptr<Histogram> histogram;
+    /// Sharded flavors (mutually exclusive with the plain ones above);
+    /// `plain_counter` records that counter() already handed out &counter so
+    /// a later sharded_counter() call on the same pair fails loudly instead
+    /// of silently forking the series.
+    std::unique_ptr<ShardedCounter> sharded_counter;
+    std::unique_ptr<ShardedHistogram> sharded_histogram;
+    bool plain_counter = false;
     std::function<double()> callback;
   };
 

@@ -1,0 +1,57 @@
+#include "obs/sharded.h"
+
+#include <algorithm>
+
+namespace silkroad::obs {
+
+namespace detail {
+
+namespace {
+std::atomic<std::size_t> next_thread_slot{0};
+}  // namespace
+
+std::size_t this_thread_stripe() noexcept {
+  // Lazy per-thread registration: the first bump a thread makes claims the
+  // next dense slot; the thread_local caches it so subsequent calls are one
+  // TLS load. Slots are never recycled — a counter only wraps past kStripes
+  // if a run churns through more threads than stripes, which merely shares
+  // stripes (correct, just more coherence traffic).
+  thread_local const std::size_t slot =
+      next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+ShardedHistogram::ShardedHistogram(const Histogram::Options& options)
+    : log2_sub_(std::min(options.log2_subdivisions, 6u)),
+      bucket_total_(hdr_bucket_count(log2_sub_)) {
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bucket_total_);
+  }
+}
+
+std::uint64_t ShardedHistogram::bucket_value(std::size_t index) const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.buckets[index].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t ShardedHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bucket_total_; ++i) total += bucket_value(i);
+  return total;
+}
+
+std::uint64_t ShardedHistogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace silkroad::obs

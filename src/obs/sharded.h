@@ -1,0 +1,116 @@
+// Sharded (striped) hot-path metric primitives (DESIGN.md §14).
+//
+// A plain Counter is already a relaxed atomic, but every data-plane shard
+// bumping the *same* cache line serializes on coherence traffic, and fetching
+// a handle from MetricsRegistry takes the registry mutex. ShardedCounter and
+// ShardedHistogram stripe their state across cache-line-padded cells indexed
+// by a per-thread stripe id, so a bump from any thread is one uncontended
+// relaxed add — no mutex, no shared line — and aggregation happens only when
+// a reader asks (value() / snapshot()).
+//
+// Memory model: all writes are std::memory_order_relaxed. Readers see a sum
+// that is "eventually exact": every increment that happened-before the read
+// is included, concurrent increments may or may not be. There is no
+// cross-metric ordering — a snapshot can show N packets but N-1 table hits
+// even if the code always bumps both. That is the same contract the plain
+// Counter already offers, weakened only in that the per-stripe loads are not
+// a single atomic read. Counters are monotone, so sums never go backwards
+// between snapshots taken by the same reader thread.
+//
+// Thread-stripe assignment: threads draw a stripe id on first use
+// (lazily registered per thread via a thread_local, see sharded.cc) and keep
+// it for their lifetime. Stripes wrap modulo kStripes, so more than kStripes
+// threads share stripes — still correct, merely more coherence traffic.
+//
+// These types are lock-free and need no SR_GUARDED_BY annotations; the
+// registry that hands them out (MetricsRegistry::sharded_counter /
+// sharded_histogram) keeps its own mutex for registration and snapshot only.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace silkroad::obs {
+
+namespace detail {
+/// Small dense id for the calling thread, assigned on first call and stable
+/// for the thread's lifetime. Monotonically allocated, so the first
+/// kStripes threads get private stripes.
+std::size_t this_thread_stripe() noexcept;
+}  // namespace detail
+
+/// Monotone event count striped across cache-line-padded cells. inc() is one
+/// uncontended relaxed fetch_add; value() sums the stripes.
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+  static_assert((kStripes & (kStripes - 1)) == 0, "stripe mask needs pow2");
+
+  void inc(std::uint64_t delta = 1) noexcept {
+    cells_[detail::this_thread_stripe() & (kStripes - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all stripes (see the memory-model note in the file header).
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// Log-linear HDR-style histogram (same bucket geometry as Histogram, shared
+/// via hdr_bucket_*) with per-stripe bucket arrays. record() touches only the
+/// calling thread's stripe; the aggregated view (bucket_value/count/sum) sums
+/// stripes and is rendered by MetricsRegistry::snapshot() exactly like a
+/// plain Histogram, so exporters and quantile math are unchanged.
+class ShardedHistogram {
+ public:
+  static constexpr std::size_t kStripes = 8;
+  static_assert((kStripes & (kStripes - 1)) == 0, "stripe mask needs pow2");
+
+  explicit ShardedHistogram(const Histogram::Options& options);
+
+  void record(std::uint64_t value) noexcept {
+    Stripe& stripe = stripes_[detail::this_thread_stripe() & (kStripes - 1)];
+    stripe.buckets[hdr_bucket_index(value, log2_sub_)].fetch_add(
+        1, std::memory_order_relaxed);
+    stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::size_t bucket_count() const noexcept { return bucket_total_; }
+  /// Count in bucket `index`, summed over stripes.
+  std::uint64_t bucket_value(std::size_t index) const noexcept;
+  std::uint64_t bucket_lower_bound(std::size_t index) const noexcept {
+    return hdr_bucket_lower_bound(index, log2_sub_);
+  }
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+
+ private:
+  struct Stripe {
+    // Each stripe's bucket array is its own allocation, so stripes never
+    // share a cache line; the per-stripe sum rides in front of the pointer.
+    alignas(64) std::atomic<std::uint64_t> sum{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+  };
+
+  unsigned log2_sub_;
+  std::size_t bucket_total_;
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace silkroad::obs

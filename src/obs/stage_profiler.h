@@ -5,7 +5,16 @@
 // pipeline latency. The profiler materializes that as labeled registry
 // series — `<prefix>_stage_packets_total{stage="2"}` etc. — so a snapshot
 // answers "which stage is the bottleneck" directly. Handles are resolved
-// once at construction; the per-event cost is one counter increment.
+// once at construction; the per-event cost is one sharded counter increment
+// (these series sit on the per-lookup data path, so they use ShardedCounter —
+// DESIGN.md §14).
+//
+// Timing scopes: enter()/exit() bracket a stage's latency charge. A nested
+// enter() on an already-open stage would double-charge the stage sum, so it
+// is counted in `<prefix>_profiler_reentry_total{stage="i"}` and ignored —
+// the open scope keeps its single charge. The open flags are plain bools:
+// a StageProfiler instance's scopes belong to one data-plane thread at a
+// time (the counters underneath remain thread-safe).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/sharded.h"
 
 namespace silkroad::obs {
 
@@ -39,12 +49,39 @@ class StageProfiler {
     stages_[stage].latency_ns->inc(ns);
   }
 
+  /// Opens a timing scope on `stage`. Returns false — and bumps the
+  /// re-entry counter — when the stage is already open (nested enter without
+  /// exit), so a buggy caller skews a diagnostic counter instead of the
+  /// stage sums.
+  bool enter(std::size_t stage) noexcept {
+    if (stage >= stages_.size()) return false;
+    Stage& s = stages_[stage];
+    if (s.open) {
+      s.reentries->inc();
+      return false;
+    }
+    s.open = true;
+    return true;
+  }
+
+  /// Closes the scope opened by enter() and charges `ns` to the stage.
+  /// An exit without a matching open scope is ignored.
+  void exit(std::size_t stage, std::uint64_t ns) noexcept {
+    if (stage >= stages_.size()) return;
+    Stage& s = stages_[stage];
+    if (!s.open) return;
+    s.open = false;
+    s.latency_ns->inc(ns);
+  }
+
  private:
   struct Stage {
-    Counter* packets = nullptr;
-    Counter* hits = nullptr;
-    Counter* misses = nullptr;
-    Counter* latency_ns = nullptr;
+    ShardedCounter* packets = nullptr;
+    ShardedCounter* hits = nullptr;
+    ShardedCounter* misses = nullptr;
+    ShardedCounter* latency_ns = nullptr;
+    ShardedCounter* reentries = nullptr;
+    bool open = false;
   };
   std::vector<Stage> stages_;
 };

@@ -1,6 +1,7 @@
 #include "obs/timeseries.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "obs/exporters.h"
@@ -26,6 +27,26 @@ std::uint64_t cumulative_at(const std::vector<HistogramBucket>& buckets,
     cumulative = bucket.cumulative_count;
   }
   return cumulative;
+}
+
+/// Extracts `key`'s value from a pre-rendered label string like
+/// vip="20.0.0.1:80",dip="10.0.0.1:20". Returns false when the key is
+/// absent. Values are assumed quote-free (endpoints and identifiers are).
+bool label_value(const std::string& labels, const std::string& key,
+                 std::string& out) {
+  const std::string needle = key + "=\"";
+  std::size_t pos = 0;
+  while ((pos = labels.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || labels[pos - 1] == ',') {
+      const std::size_t start = pos + needle.size();
+      const std::size_t end = labels.find('"', start);
+      if (end == std::string::npos) return false;
+      out = labels.substr(start, end - start);
+      return true;
+    }
+    ++pos;
+  }
+  return false;
 }
 
 }  // namespace
@@ -108,10 +129,65 @@ void TimeSeriesRecorder::sample(sim::Time at) {
            histogram_quantile(delta, q));
     }
   }
+  compute_imbalance(snap, at, derive);
   prev_ = std::move(snap);
   prev_at_ = at;
   have_prev_ = true;
   ++samples_;
+}
+
+void TimeSeriesRecorder::compute_imbalance(const Snapshot& snap, sim::Time at,
+                                           bool derive) {
+  for (const std::string& metric : options_.imbalance_metrics) {
+    // Group the metric's per-DIP samples by VIP. Gauges contribute their
+    // level; counters the per-interval delta (so the index describes this
+    // interval's arrivals, not since-boot totals).
+    std::map<std::string, std::vector<double>> by_vip;
+    for (const auto& sample : snap.samples) {
+      if (sample.name != metric ||
+          sample.kind == MetricKind::kHistogram) {
+        continue;
+      }
+      std::string vip;
+      std::string dip;
+      if (!label_value(sample.labels, "vip", vip) ||
+          !label_value(sample.labels, "dip", dip)) {
+        continue;
+      }
+      double v = sample.value;
+      if (sample.kind == MetricKind::kCounter) {
+        if (!derive) continue;
+        const MetricSample* prev = prev_.find(sample.name, sample.labels);
+        v = std::max(0.0, sample.value - (prev == nullptr ? 0.0 : prev->value));
+      }
+      by_vip[vip].push_back(v);
+    }
+    for (const auto& [vip, values] : by_vip) {
+      double sum = 0;
+      double max = 0;
+      for (const double v : values) {
+        sum += v;
+        max = std::max(max, v);
+      }
+      const double n = static_cast<double>(values.size());
+      const double mean = sum / n;
+      if (mean <= 0.0) continue;  // idle interval: gap, not a 0/0 spike
+      double var = 0;
+      for (const double v : values) var += (v - mean) * (v - mean);
+      var /= n;
+      ImbalanceStat stat;
+      stat.at = at;
+      stat.dips = values.size();
+      stat.mean = mean;
+      stat.max = max;
+      stat.max_mean = max / mean;
+      stat.cv = std::sqrt(var) / mean;
+      const std::string label = "vip=\"" + vip + "\"";
+      push({metric + ":imbalance_maxmean", label}, at, stat.max_mean);
+      push({metric + ":imbalance_cv", label}, at, stat.cv);
+      imbalance_[{metric, vip}] = stat;
+    }
+  }
 }
 
 void TimeSeriesRecorder::attach(sim::Simulator& sim, sim::Time until) {
@@ -194,6 +270,85 @@ std::string TimeSeriesRecorder::to_csv() const {
       out += "\n";
     }
   }
+  return out;
+}
+
+TimeSeriesRecorder::ImbalanceStat TimeSeriesRecorder::imbalance(
+    const std::string& metric, const std::string& vip) const {
+  const sr::MutexLock lock(mu_);
+  const auto it = imbalance_.find({metric, vip});
+  return it == imbalance_.end() ? ImbalanceStat{} : it->second;
+}
+
+void TimeSeriesRecorder::window_of(const std::string& name,
+                                   const std::string& labels, double& mean,
+                                   double& max, std::size_t& points) const {
+  mean = 0;
+  max = 0;
+  points = 0;
+  const auto it = series_.find({name, labels});
+  if (it == series_.end() || it->second.empty()) return;
+  double sum = 0;
+  for (const Point& point : it->second) {
+    sum += point.value;
+    max = std::max(max, point.value);
+  }
+  points = it->second.size();
+  mean = sum / static_cast<double>(points);
+}
+
+std::string TimeSeriesRecorder::imbalance_json() const {
+  const sr::MutexLock lock(mu_);
+  std::string out = "{\"interval_ns\":";
+  out += std::to_string(options_.interval);
+  out += ",\"metrics\":[";
+  bool first_metric = true;
+  for (const std::string& metric : options_.imbalance_metrics) {
+    if (!first_metric) out += ",";
+    first_metric = false;
+    out += "\n  {\"metric\":\"";
+    out += json_escape(metric);
+    out += "\",\"vips\":[";
+    bool first_vip = true;
+    for (const auto& [key, stat] : imbalance_) {
+      if (key.first != metric) continue;
+      if (!first_vip) out += ",";
+      first_vip = false;
+      const std::string label = "vip=\"" + key.second + "\"";
+      double mm_mean = 0, mm_max = 0, cv_mean = 0, cv_max = 0;
+      std::size_t mm_points = 0, cv_points = 0;
+      window_of(metric + ":imbalance_maxmean", label, mm_mean, mm_max,
+                mm_points);
+      window_of(metric + ":imbalance_cv", label, cv_mean, cv_max, cv_points);
+      out += "\n    {\"vip\":\"";
+      out += json_escape(key.second);
+      out += "\",\"at_seconds\":";
+      out += format_number(sim::to_seconds(stat.at));
+      out += ",\"dips\":";
+      out += std::to_string(stat.dips);
+      out += ",\"mean\":";
+      out += format_number(stat.mean);
+      out += ",\"max\":";
+      out += format_number(stat.max);
+      out += ",\"max_mean\":";
+      out += format_number(stat.max_mean);
+      out += ",\"cv\":";
+      out += format_number(stat.cv);
+      out += ",\"window\":{\"points\":";
+      out += std::to_string(mm_points);
+      out += ",\"maxmean_mean\":";
+      out += format_number(mm_mean);
+      out += ",\"maxmean_max\":";
+      out += format_number(mm_max);
+      out += ",\"cv_mean\":";
+      out += format_number(cv_mean);
+      out += ",\"cv_max\":";
+      out += format_number(cv_max);
+      out += "}}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
   return out;
 }
 

@@ -49,6 +49,16 @@ class TimeSeriesRecorder {
     std::size_t capacity = 1024;        ///< max points retained per series
     double quantile_lo = 0.50;          ///< lower derived quantile (":p50")
     double quantile_hi = 0.99;          ///< upper derived quantile (":p99")
+    /// Metrics carrying per-DIP series labeled vip="..",dip=".." whose
+    /// cross-DIP spread is summarized per VIP at each sample: gauges
+    /// contribute their level, counters their per-interval delta. Each
+    /// (metric, vip) with a nonzero mean yields two derived series —
+    /// `<name>:imbalance_maxmean{vip=...}` (max/mean across DIPs, 1.0 =
+    /// perfectly balanced) and `<name>:imbalance_cv{vip=...}` (coefficient
+    /// of variation, 0.0 = perfectly balanced) — plus the latest stats in
+    /// imbalance_json().
+    std::vector<std::string> imbalance_metrics = {
+        "silkroad_dip_active_conns", "silkroad_dip_new_conns_total"};
   };
 
   /// One (time, value) observation. Times are sim-time nanoseconds.
@@ -63,6 +73,17 @@ class TimeSeriesRecorder {
     double min = 0;
     double mean = 0;
     double max = 0;
+  };
+
+  /// Latest per-(metric, vip) load-imbalance summary across that VIP's DIPs
+  /// (Options::imbalance_metrics).
+  struct ImbalanceStat {
+    sim::Time at = 0;
+    std::size_t dips = 0;   ///< DIP series contributing to the sample
+    double mean = 0;        ///< mean per-DIP value
+    double max = 0;         ///< hottest DIP's value
+    double max_mean = 0;    ///< max/mean — 1.0 is perfectly balanced
+    double cv = 0;          ///< stddev/mean — 0.0 is perfectly balanced
   };
 
   TimeSeriesRecorder(Source source, const Options& options);
@@ -114,10 +135,26 @@ class TimeSeriesRecorder {
   /// as /timeseries.json.
   std::string to_json() const;
 
+  /// Latest imbalance stats for (metric, vip), or a zero-count default when
+  /// that pair never produced a sample.
+  ImbalanceStat imbalance(const std::string& metric,
+                          const std::string& vip) const;
+
+  /// Per-metric, per-VIP imbalance report — latest stats plus windowed
+  /// max/mean of the :imbalance_maxmean and :imbalance_cv series — served by
+  /// the ScrapeServer as /imbalance.json.
+  std::string imbalance_json() const;
+
  private:
   using SeriesKey = std::pair<std::string, std::string>;  // (name, labels)
 
   void push(const SeriesKey& key, sim::Time at, double value)
+      SR_REQUIRES(mu_);
+  void compute_imbalance(const Snapshot& snap, sim::Time at, bool derive)
+      SR_REQUIRES(mu_);
+  /// Windowed mean/max over a derived series' retained points.
+  void window_of(const std::string& name, const std::string& labels,
+                 double& mean, double& max, std::size_t& points) const
       SR_REQUIRES(mu_);
   void schedule_next();
 
@@ -126,6 +163,8 @@ class TimeSeriesRecorder {
 
   mutable sr::Mutex mu_;
   std::map<SeriesKey, std::deque<Point>> series_ SR_GUARDED_BY(mu_);
+  /// Latest imbalance stats keyed by (metric, vip).
+  std::map<SeriesKey, ImbalanceStat> imbalance_ SR_GUARDED_BY(mu_);
   Snapshot prev_ SR_GUARDED_BY(mu_);
   sim::Time prev_at_ SR_GUARDED_BY(mu_) = 0;
   bool have_prev_ SR_GUARDED_BY(mu_) = false;

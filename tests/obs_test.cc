@@ -12,10 +12,14 @@
 #include <vector>
 
 #include "core/silkroad_switch.h"
+#include "lb/slb.h"
 #include "obs/exporters.h"
 #include "obs/journey.h"
 #include "obs/metrics.h"
+#include "obs/sampling_profiler.h"
 #include "obs/scrape_server.h"
+#include "obs/sharded.h"
+#include "obs/stage_profiler.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -195,6 +199,55 @@ TEST(HistogramQuantile, FloorMarkerKeepsEstimateInsideTrueBucket) {
   const Snapshot snap = registry.snapshot();
   EXPECT_NEAR(snap.quantile("lat", "", 0.50), 400.0, 64.0);
   EXPECT_NEAR(snap.quantile("lat", "", 0.99), 400.0, 64.0);
+}
+
+TEST(HistogramQuantile, SingleBucketKeepsAllQuantilesInsideIt) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  for (int i = 0; i < 100; ++i) h->record(700);  // one log-linear bucket
+  const Snapshot snap = registry.snapshot();
+  const std::size_t bucket =
+      hdr_bucket_index(700, Histogram::Options{}.log2_subdivisions);
+  const double lower = static_cast<double>(
+      hdr_bucket_lower_bound(bucket, Histogram::Options{}.log2_subdivisions));
+  const double upper = static_cast<double>(hdr_bucket_lower_bound(
+      bucket + 1, Histogram::Options{}.log2_subdivisions));
+  for (const double q : {0.01, 0.5, 0.99, 0.999}) {
+    const double est = snap.quantile("lat", "", q);
+    EXPECT_GE(est, lower) << "q=" << q;
+    EXPECT_LE(est, upper) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, OverflowBucketReturnsLastFiniteEdge) {
+  // Values beyond the top bounded bucket land in the unbounded overflow
+  // bucket, which has no upper edge to interpolate toward: every quantile
+  // that falls there reports the last finite edge instead of garbage.
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  for (int i = 0; i < 10; ++i) h->record(~std::uint64_t{0});
+  const Snapshot snap = registry.snapshot();
+  const double p50 = snap.quantile("lat", "", 0.50);
+  const double p999 = snap.quantile("lat", "", 0.999);
+  EXPECT_TRUE(std::isfinite(p50));
+  EXPECT_GT(p50, 0.0);
+  EXPECT_DOUBLE_EQ(p50, p999);  // no spread inside the unbounded bucket
+}
+
+TEST(HistogramQuantile, ExactBoundaryValueStaysInItsBucket) {
+  // A power-of-two boundary value belongs to exactly one bucket; the
+  // quantile estimate must stay inside that bucket's bounds.
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  const std::uint64_t boundary = 256;
+  for (int i = 0; i < 50; ++i) h->record(boundary);
+  const std::size_t sub = Histogram::Options{}.log2_subdivisions;
+  const std::size_t bucket = hdr_bucket_index(boundary, sub);
+  EXPECT_GE(boundary, hdr_bucket_lower_bound(bucket, sub));
+  EXPECT_LT(boundary, hdr_bucket_lower_bound(bucket + 1, sub));
+  const double est = registry.snapshot().quantile("lat", "", 0.5);
+  EXPECT_GE(est, static_cast<double>(hdr_bucket_lower_bound(bucket, sub)));
+  EXPECT_LE(est, static_cast<double>(hdr_bucket_lower_bound(bucket + 1, sub)));
 }
 
 TEST(HistogramQuantile, NanForMissingEmptyOrNonHistogram) {
@@ -624,6 +677,9 @@ std::string http_get(std::uint16_t port, const std::string& path) {
 TEST(ScrapeServer, ServesAllEndpointsOverLoopback) {
   MetricsRegistry registry;
   registry.counter("silkroad_packets_total")->inc(12);
+  registry.histogram("lat_ns")->record(500);
+  registry.gauge("silkroad_dip_active_conns", "", "dip=\"d\",vip=\"V\"")
+      ->set(4);
   TimeSeriesRecorder recorder(registry);
   recorder.sample(sim::kSecond);
 
@@ -634,6 +690,11 @@ TEST(ScrapeServer, ServesAllEndpointsOverLoopback) {
                 [&recorder] { return recorder.to_json(); });
   server.handle("/tables", "application/json",
                 [] { return std::string("{\"conn_table\":{}}"); });
+  server.handle("/profile", "application/json", [&registry] {
+    return to_profile_json(registry.snapshot());
+  });
+  server.handle("/imbalance.json", "application/json",
+                [&recorder] { return recorder.imbalance_json(); });
   ASSERT_TRUE(server.start());
   ASSERT_NE(server.port(), 0u);
 
@@ -653,10 +714,20 @@ TEST(ScrapeServer, ServesAllEndpointsOverLoopback) {
   EXPECT_NE(tables.find("200 OK"), std::string::npos);
   EXPECT_NE(tables.find("conn_table"), std::string::npos);
 
+  const std::string profile = http_get(server.port(), "/profile");
+  EXPECT_NE(profile.find("200 OK"), std::string::npos);
+  EXPECT_NE(profile.find("\"name\":\"lat_ns\""), std::string::npos);
+  EXPECT_NE(profile.find("\"p999\":"), std::string::npos);
+
+  const std::string imbalance = http_get(server.port(), "/imbalance.json");
+  EXPECT_NE(imbalance.find("200 OK"), std::string::npos);
+  EXPECT_NE(imbalance.find("\"vip\":\"V\""), std::string::npos);
+  EXPECT_NE(imbalance.find("\"max_mean\""), std::string::npos);
+
   const std::string missing = http_get(server.port(), "/nope");
   EXPECT_NE(missing.find("404"), std::string::npos);
 
-  EXPECT_GE(server.requests_served(), 5u);
+  EXPECT_GE(server.requests_served(), 7u);
   server.stop();
   EXPECT_FALSE(server.running());
   server.stop();  // idempotent
@@ -843,6 +914,385 @@ TEST(SwitchTelemetry, TraceDroppedGaugeTracksRingWraparound) {
   EXPECT_GT(sw.trace().dropped(), 0u);
   EXPECT_EQ(sw.metrics().snapshot().value_of("obs_trace_dropped_total"),
             static_cast<double>(sw.trace().dropped()));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded counters and histograms (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedCounter, MultithreadedSumIsExact) {
+  MetricsRegistry registry;
+  ShardedCounter* c = registry.sharded_counter("pkts");
+  std::vector<std::thread> threads;
+  constexpr std::uint64_t kPerThread = 50'000;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c->inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), 8 * kPerThread);
+  // Snapshot renders it as a plain counter sample — scrapers cannot tell.
+  const Snapshot snap = registry.snapshot();
+  const MetricSample* sample = snap.find("pkts");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kCounter);
+  EXPECT_EQ(sample->value, static_cast<double>(8 * kPerThread));
+}
+
+TEST(ShardedCounter, RegistryReturnsSameHandleForSameSeries) {
+  MetricsRegistry registry;
+  ShardedCounter* a = registry.sharded_counter("pkts", "help", "vip=\"v\"");
+  ShardedCounter* b = registry.sharded_counter("pkts", "", "vip=\"v\"");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.sharded_counter("pkts", "", "vip=\"w\""));
+}
+
+TEST(ShardedHistogram, MatchesPlainHistogramBucketForBucket) {
+  MetricsRegistry registry;
+  Histogram* plain = registry.histogram("plain_lat");
+  ShardedHistogram* sharded = registry.sharded_histogram("sharded_lat");
+  sim::Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform_int(1'000'000);
+    plain->record(v);
+    sharded->record(v);
+  }
+  ASSERT_EQ(sharded->bucket_count(), plain->bucket_count());
+  EXPECT_EQ(sharded->count(), plain->count());
+  EXPECT_EQ(sharded->sum(), plain->sum());
+  for (std::size_t b = 0; b < plain->bucket_count(); ++b) {
+    EXPECT_EQ(sharded->bucket_value(b), plain->bucket_value(b)) << "b=" << b;
+    EXPECT_EQ(sharded->bucket_lower_bound(b), plain->bucket_lower_bound(b));
+  }
+  // Identical buckets mean identical snapshot quantiles.
+  const Snapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile("plain_lat", "", 0.99),
+                   snap.quantile("sharded_lat", "", 0.99));
+}
+
+TEST(ShardedHistogram, ConcurrentRecordsAreLossless) {
+  MetricsRegistry registry;
+  ShardedHistogram* h = registry.sharded_histogram("lat");
+  std::vector<std::thread> threads;
+  constexpr std::uint64_t kPerThread = 20'000;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h->record(static_cast<std::uint64_t>(t) * 1000 + 7);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->count(), 8 * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < 8; ++t) {
+    expected_sum += (static_cast<std::uint64_t>(t) * 1000 + 7) * kPerThread;
+  }
+  EXPECT_EQ(h->sum(), expected_sum);
+}
+
+// ---------------------------------------------------------------------------
+// SamplingProfiler
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> sampled_indices(SamplingProfiler& profiler,
+                                         std::size_t packets) {
+  std::vector<std::size_t> sampled;
+  for (std::size_t i = 0; i < packets; ++i) {
+    if (profiler.begin_packet()) sampled.push_back(i);
+  }
+  return sampled;
+}
+
+TEST(SamplingProfiler, SameSeedSamplesTheSamePackets) {
+  MetricsRegistry ra;
+  MetricsRegistry rb;
+  SamplingProfiler a(ra, "p", {"s"});
+  SamplingProfiler b(rb, "p", {"s"});
+  const auto ia = sampled_indices(a, 100'000);
+  const auto ib = sampled_indices(b, 100'000);
+  EXPECT_EQ(ia, ib);  // determinism is a first-class property
+  EXPECT_EQ(a.sampled_packets(), ia.size());
+  // The gap draw is uniform on [1, 2*period), so the rate is ~1/period.
+  const double expected = 100'000.0 / static_cast<double>(a.period());
+  EXPECT_NEAR(static_cast<double>(ia.size()), expected, 0.2 * expected);
+
+  MetricsRegistry rc;
+  SamplingProfiler::Options reseeded;
+  reseeded.seed = 0xD1FFULL;
+  SamplingProfiler c(rc, "p", {"s"}, reseeded);
+  EXPECT_NE(sampled_indices(c, 100'000), ia);  // the seed is the stream
+}
+
+TEST(SamplingProfiler, PeriodOneSamplesEveryPacket) {
+  MetricsRegistry registry;
+  SamplingProfiler::Options every_packet;
+  every_packet.period = 1;
+  SamplingProfiler profiler(registry, "p", {"s"}, every_packet);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(profiler.begin_packet());
+  EXPECT_EQ(profiler.sampled_packets(), 100u);
+}
+
+TEST(SamplingProfiler, ReentryIsCountedAndScopeRecordsOnce) {
+  MetricsRegistry registry;
+  SamplingProfiler::Options every_packet;
+  every_packet.period = 1;
+  SamplingProfiler profiler(registry, "p", {"pipe"}, every_packet);
+  ASSERT_TRUE(profiler.begin_packet());
+  EXPECT_TRUE(profiler.enter(0));
+  EXPECT_FALSE(profiler.enter(0));  // nested — counted, not charged
+  profiler.exit(0, 500);
+  profiler.exit(0, 500);  // unmatched — ignored
+  const Snapshot snap = registry.snapshot();
+  const MetricSample* lat = snap.find("p_stage_latency_ns", "stage=\"pipe\"");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 1u);  // single charge despite the nested enter
+  EXPECT_EQ(snap.value_of("p_profiler_reentry_total", "stage=\"pipe\""), 1.0);
+}
+
+TEST(SamplingProfiler, StagesAndVipSeriesAreNoOpsWhenNotSampling) {
+  MetricsRegistry registry;
+  SamplingProfiler::Options sparse;
+  sparse.period = 1'000'000;
+  SamplingProfiler profiler(registry, "p", {"pipe"}, sparse);
+  Histogram* vip = profiler.vip_series("10.0.0.1:80");
+  ASSERT_NE(vip, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    if (profiler.begin_packet()) continue;  // expect: never sampled
+    EXPECT_FALSE(profiler.enter(0));
+    if (profiler.sampling()) vip->record(1);
+  }
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("p_stage_latency_ns", "stage=\"pipe\"")->count, 0u);
+  EXPECT_EQ(snap.find("p_vip_latency_ns", "vip=\"10.0.0.1:80\"")->count, 0u);
+}
+
+TEST(StageProfiler, EnterExitGuardsReentry) {
+  MetricsRegistry registry;
+  StageProfiler profiler(registry, "sp", 2);
+  EXPECT_TRUE(profiler.enter(0));
+  EXPECT_FALSE(profiler.enter(0));  // re-entry: counted, scope stays open
+  EXPECT_TRUE(profiler.enter(1));   // other stages are independent
+  profiler.exit(0, 100);
+  profiler.exit(1, 50);
+  profiler.exit(0, 100);  // unmatched — ignored
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("sp_stage_latency_ns_total", "stage=\"0\""), 100.0);
+  EXPECT_EQ(snap.value_of("sp_profiler_reentry_total", "stage=\"0\""), 1.0);
+  EXPECT_EQ(snap.value_of("sp_profiler_reentry_total", "stage=\"1\""), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Load-imbalance telemetry
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesRecorder, ImbalanceFromGaugeLevels) {
+  MetricsRegistry registry;
+  registry.gauge("silkroad_dip_active_conns", "", "dip=\"a\",vip=\"V\"")
+      ->set(10);
+  registry.gauge("silkroad_dip_active_conns", "", "dip=\"b\",vip=\"V\"")
+      ->set(30);
+  registry.gauge("silkroad_dip_active_conns", "", "dip=\"c\",vip=\"W\"")
+      ->set(5);
+  TimeSeriesRecorder recorder(registry);
+  recorder.sample(sim::kSecond);
+
+  const auto v = recorder.imbalance("silkroad_dip_active_conns", "V");
+  EXPECT_EQ(v.dips, 2u);
+  EXPECT_DOUBLE_EQ(v.mean, 20.0);
+  EXPECT_DOUBLE_EQ(v.max, 30.0);
+  EXPECT_DOUBLE_EQ(v.max_mean, 1.5);
+  EXPECT_DOUBLE_EQ(v.cv, 0.5);  // stddev 10 over mean 20
+  // The single-DIP VIP is perfectly balanced by definition.
+  const auto w = recorder.imbalance("silkroad_dip_active_conns", "W");
+  EXPECT_EQ(w.dips, 1u);
+  EXPECT_DOUBLE_EQ(w.max_mean, 1.0);
+  EXPECT_DOUBLE_EQ(w.cv, 0.0);
+  // Derived series carry the same values, labeled by VIP.
+  const auto maxmean = recorder.find(
+      "silkroad_dip_active_conns:imbalance_maxmean", "vip=\"V\"");
+  ASSERT_EQ(maxmean.size(), 1u);
+  EXPECT_DOUBLE_EQ(maxmean[0].value, 1.5);
+  // A never-sampled pair reports the zero default.
+  EXPECT_EQ(recorder.imbalance("silkroad_dip_active_conns", "nope").dips, 0u);
+}
+
+TEST(TimeSeriesRecorder, ImbalanceFromCounterDeltasNeedsTwoSamples) {
+  MetricsRegistry registry;
+  Counter* a =
+      registry.counter("silkroad_dip_new_conns_total", "", "dip=\"a\",vip=\"V\"");
+  Counter* b =
+      registry.counter("silkroad_dip_new_conns_total", "", "dip=\"b\",vip=\"V\"");
+  a->inc(100);
+  b->inc(100);
+  TimeSeriesRecorder recorder(registry);
+  recorder.sample(sim::kSecond);
+  // One sample: counters have no interval delta yet — no imbalance point.
+  EXPECT_TRUE(recorder
+                  .find("silkroad_dip_new_conns_total:imbalance_maxmean",
+                        "vip=\"V\"")
+                  .empty());
+  // Second interval: a gains 30, b gains 10 — the imbalance is the *new*
+  // connection skew of that interval, not of the since-boot totals.
+  a->inc(30);
+  b->inc(10);
+  recorder.sample(2 * sim::kSecond);
+  const auto stat = recorder.imbalance("silkroad_dip_new_conns_total", "V");
+  EXPECT_EQ(stat.dips, 2u);
+  EXPECT_DOUBLE_EQ(stat.mean, 20.0);
+  EXPECT_DOUBLE_EQ(stat.max_mean, 1.5);
+}
+
+TEST(TimeSeriesRecorder, ImbalanceJsonRendersLatestAndWindow) {
+  MetricsRegistry registry;
+  Gauge* hot =
+      registry.gauge("silkroad_dip_active_conns", "", "dip=\"a\",vip=\"V\"");
+  registry.gauge("silkroad_dip_active_conns", "", "dip=\"b\",vip=\"V\"")
+      ->set(10);
+  TimeSeriesRecorder recorder(registry);
+  hot->set(10);
+  recorder.sample(sim::kSecond);
+  hot->set(30);
+  recorder.sample(2 * sim::kSecond);
+
+  const std::string json = recorder.imbalance_json();
+  EXPECT_NE(json.find("\"metric\":\"silkroad_dip_active_conns\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"vip\":\"V\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_mean\":1.5"), std::string::npos);  // latest
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\":2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// /profile exporter
+// ---------------------------------------------------------------------------
+
+TEST(Exporters, ProfileJsonHasQuantilesAndSamplingCounters) {
+  MetricsRegistry registry;
+  Histogram* lat = registry.histogram("p_stage_latency_ns", "", "stage=\"s\"");
+  for (std::uint64_t v = 1; v <= 1000; ++v) lat->record(v);
+  registry.histogram("empty_lat");  // count 0 — must be skipped
+  registry.counter("p_sampled_packets_total")->inc(10);
+  registry.counter("p_profiler_reentry_total", "", "stage=\"s\"")->inc(2);
+  registry.counter("unrelated_total")->inc(5);
+
+  const std::string json = to_profile_json(registry.snapshot());
+  EXPECT_NE(json.find("\"name\":\"p_stage_latency_ns\""), std::string::npos);
+  for (const char* q : {"\"p50\":", "\"p90\":", "\"p99\":", "\"p999\":"}) {
+    EXPECT_NE(json.find(q), std::string::npos) << q;
+  }
+  EXPECT_EQ(json.find("empty_lat"), std::string::npos);
+  EXPECT_NE(json.find("\"p_sampled_packets_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p_profiler_reentry_total\""), std::string::npos);
+  EXPECT_EQ(json.find("unrelated_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Switch integration: per-DIP telemetry and the sampling profiler
+// ---------------------------------------------------------------------------
+
+TEST(SwitchTelemetry, PerDipCountersTrackLearnsAndFinsDrainGauges) {
+  sim::Simulator sim;
+  core::SilkRoadSwitch sw(sim, small_config());
+  const auto dips = make_dips(4);
+  sw.add_vip(vip_ep(), dips);
+  constexpr std::uint32_t kFlows = 120;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    sw.process_packet(packet_of(i, true));
+  }
+  sim.run();
+
+  const auto sum_over_dips = [&](const std::string& name) {
+    double sum = 0;
+    for (const auto& sample : sw.metrics().snapshot().samples) {
+      if (sample.name == name) sum += sample.value;
+    }
+    return sum;
+  };
+  // Every learned flow was attributed to exactly one DIP.
+  EXPECT_EQ(sum_over_dips("silkroad_dip_new_conns_total"),
+            static_cast<double>(kFlows));
+  EXPECT_EQ(sum_over_dips("silkroad_dip_active_conns"),
+            static_cast<double>(kFlows));
+
+  // FINs release the connections; the active gauges must drain to zero
+  // while the monotone new-conn counters keep their totals.
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    auto fin = packet_of(i, false);
+    fin.fin = true;
+    sw.process_packet(fin);
+  }
+  sim.run();
+  EXPECT_EQ(sum_over_dips("silkroad_dip_active_conns"), 0.0);
+  EXPECT_EQ(sum_over_dips("silkroad_dip_new_conns_total"),
+            static_cast<double>(kFlows));
+}
+
+TEST(SwitchTelemetry, SamplingProfilerRecordsStageAndVipLatency) {
+  sim::Simulator sim;
+  auto config = small_config();
+  config.profiler.period = 8;  // dense sampling so a small test sees samples
+  core::SilkRoadSwitch sw(sim, config);
+  sw.add_vip(vip_ep(), make_dips(4));
+  constexpr std::uint32_t kPackets = 400;
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    sw.process_packet(packet_of(i % 50, i < 50));
+    sim.run();
+  }
+
+  const Snapshot snap = sw.metrics().snapshot();
+  const double sampled =
+      snap.value_of("silkroad_packet_sampled_packets_total");
+  EXPECT_GT(sampled, 0.0);
+  EXPECT_LT(sampled, kPackets);
+  const MetricSample* stage =
+      snap.find("silkroad_packet_stage_latency_ns", "stage=\"pipeline\"");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_GT(stage->count, 0u);
+  EXPECT_LE(stage->count, static_cast<std::uint64_t>(sampled));
+  const MetricSample* vip = snap.find("silkroad_packet_vip_latency_ns",
+                                      "vip=\"" + vip_ep().to_string() + "\"");
+  ASSERT_NE(vip, nullptr);
+  EXPECT_EQ(vip->count, static_cast<std::uint64_t>(sampled));
+}
+
+TEST(SwitchTelemetry, TelemetryOffLeavesDataPlaneSeriesSilent) {
+  sim::Simulator sim;
+  auto config = small_config();
+  config.data_plane_telemetry = false;
+  core::SilkRoadSwitch sw(sim, config);
+  sw.add_vip(vip_ep(), make_dips(4));
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    sw.process_packet(packet_of(i, true));
+  }
+  sim.run();
+
+  const Snapshot snap = sw.metrics().snapshot();
+  EXPECT_EQ(snap.value_of("silkroad_packet_sampled_packets_total"), 0.0);
+  for (const auto& sample : snap.samples) {
+    EXPECT_NE(sample.name, "silkroad_dip_new_conns_total");
+    EXPECT_NE(sample.name, "silkroad_dip_active_conns");
+  }
+  // The base packet counters are unconditional — telemetry off only
+  // disables the *added* profiling layers.
+  EXPECT_GT(snap.value_of("silkroad_packets_total"), 0.0);
+}
+
+TEST(SlbTelemetry, BindMetricsCountsPacketsPinsAndHits) {
+  MetricsRegistry registry;
+  lb::SoftwareLoadBalancer slb;
+  slb.bind_metrics(registry);
+  slb.add_vip(vip_ep(), make_dips(4));
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    slb.process_packet(packet_of(i, true));   // pin
+    slb.process_packet(packet_of(i, false));  // hit
+  }
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value_of("silkroad_slb_packets_total"), 100.0);
+  EXPECT_EQ(snap.value_of("silkroad_slb_new_conns_total"), 50.0);
+  EXPECT_EQ(snap.value_of("silkroad_slb_conn_table_hits_total"), 50.0);
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+// R11: plain registry counter()/histogram() in src/lb/ (and src/asic/) —
+// the packet path must stripe its bumps via the sharded variants.
+#include "obs/metrics.h"
+#include "obs/sharded.h"
+
+void positives(silkroad::obs::MetricsRegistry& registry,
+               silkroad::obs::MetricsRegistry* reg_ptr) {
+  auto* c = registry.counter("pkts");  // srlint-expect: R11
+  auto* h = registry.histogram(  // srlint-expect: R11
+      "lat_ns");
+  auto* c2 = reg_ptr->counter("drops");  // srlint-expect: R11
+  (void)c;
+  (void)h;
+  (void)c2;
+}
+
+void negatives(silkroad::obs::MetricsRegistry& registry) {
+  // The sharded variants are the whole point — clean.
+  auto* sc = registry.sharded_counter("pkts");
+  auto* sh = registry.sharded_histogram("lat_ns");
+  // Gauges stay plain by design (rare CAS adds, no per-packet bump).
+  auto* g = registry.gauge("active");
+  // A free function named counter() is not a registry factory — clean.
+  int counter(int);
+  (void)counter(0);
+  // registry.counter( in a comment is clean
+  const char* s = "registry.counter(\"in a string is clean\")";
+  // Suppressed with a reason: config-time bookkeeping, one bump per update.
+  auto* ok =
+      registry.counter("updates");  // srlint: allow(R11) control-plane count
+  (void)sc;
+  (void)sh;
+  (void)g;
+  (void)s;
+  (void)ok;
+}

@@ -40,6 +40,14 @@ R10 no iteration over an unordered container that feeds control-channel
                                       — unordered iteration order is
                                       implementation-defined; snapshot and
                                       sort first (see fleet.cc apply_resync).
+R11 no plain registry.counter()/histogram() in src/lb/ or src/asic/ — those
+                                      directories hold the packet path, where
+                                      every bump contends on one cache line;
+                                      use sharded_counter()/sharded_histogram()
+                                      (DESIGN.md §14). Control-plane metrics
+                                      in those directories carry an
+                                      `srlint: allow(R11)` suppression or an
+                                      exemptions.json entry.
 """
 
 from __future__ import annotations
@@ -486,6 +494,43 @@ def _first_sink(toks: list, start: int, end: int) -> str | None:
     return None
 
 
+# --- R11 --------------------------------------------------------------------
+
+# Registry factory methods whose product is a single contended cache line.
+# The sharded variants (sharded_counter, sharded_histogram) are distinct
+# identifiers and never match; `gauge` stays plain by design (CAS add is
+# rare on the packet path).
+_R11_FACTORIES = {"counter", "histogram"}
+
+
+def check_r11(model: FileModel) -> list[Violation]:
+    if _src_sub(model) not in ("lb", "asic"):
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if (
+            t.kind == "ident"
+            and t.value in _R11_FACTORIES
+            and i > 0
+            and toks[i - 1].value in (".", "->")
+            and i + 1 < len(toks)
+            and toks[i + 1].value == "("
+        ):
+            out.append(
+                Violation(
+                    model.rel,
+                    t.line,
+                    "R11",
+                    f"plain registry {t.value}() on the packet path — use "
+                    f"sharded_{t.value}() (DESIGN.md §14) so per-packet bumps "
+                    "stripe across cache lines; control-plane metrics may "
+                    "suppress with 'srlint: allow(R11) <reason>'",
+                )
+            )
+    return out
+
+
 RULES: list[Rule] = [
     Rule("R1", "no raw assert() in src/ (use SR_CHECK/SR_DCHECK)", check_r1),
     Rule("R2", "no rand()/std::rand() anywhere (use sim::Rng)", check_r2),
@@ -497,6 +542,7 @@ RULES: list[Rule] = [
     Rule("R8", "no wall-clock/getenv nondeterminism in src/ outside src/sim/", check_r8),
     Rule("R9", "no bare std::mutex family in src/ (use sr:: wrappers)", check_r9),
     Rule("R10", "no unordered iteration feeding channel/protocol calls", check_r10),
+    Rule("R11", "no plain counter()/histogram() in src/lb|asic (use sharded)", check_r11),
 ]
 
 RULE_IDS = {r.rule_id for r in RULES}
