@@ -178,10 +178,11 @@ int main() {
                                                                 journeys)) &&
         obs::write_file(base + "tables.json", lb.tables_json()) &&
         obs::write_file(base + "profile.json", obs::to_profile_json(snapshot)) &&
-        obs::write_file(base + "imbalance.json", recorder.imbalance_json());
+        obs::write_file(base + "imbalance.json", recorder.imbalance_json()) &&
+        obs::write_file(base + "capacity.json", lb.capacity().to_json());
     std::printf("telemetry written to %s{metrics.prom,metrics.json,"
                 "trace.json,timeseries.json,timeseries.csv,journeys.json,"
-                "tables.json,profile.json,imbalance.json}%s\n",
+                "tables.json,profile.json,imbalance.json,capacity.json}%s\n",
                 base.c_str(), ok ? "" : " (write failed)");
     if (!ok) return 1;
   }
@@ -207,6 +208,10 @@ int main() {
     });
     server.handle("/imbalance.json", "application/json",
                   [&recorder] { return recorder.imbalance_json(); });
+    server.handle("/capacity", "text/plain",
+                  [&lb] { return lb.capacity().to_text(); });
+    server.handle("/capacity.json", "application/json",
+                  [&lb] { return lb.capacity().to_json(); });
     if (!server.start()) {
       std::printf("scrape server: could not bind 127.0.0.1:%u\n", scrape_port);
       return 1;
@@ -217,7 +222,7 @@ int main() {
     }
     std::printf("scrape server on http://127.0.0.1:%u "
                 "(/metrics /healthz /timeseries.json /tables /profile "
-                "/imbalance.json), lingering %lds\n",
+                "/imbalance.json /capacity /capacity.json), lingering %lds\n",
                 server.port(), linger);
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(linger));

@@ -177,6 +177,10 @@ std::string ForensicsReport::to_text() const {
            static_cast<double>(entry.at) / 1e6, entry.source.c_str(),
            entry.line.c_str());
   }
+  if (!capacity_text.empty()) {
+    out += "\n";
+    out += capacity_text;
+  }
   return out;
 }
 
@@ -208,7 +212,19 @@ std::string ForensicsReport::to_json() const {
            entry.at, json_escape(entry.source).c_str(),
            json_escape(entry.line).c_str());
   }
-  out += "\n]}\n";
+  out += "\n]";
+  if (!capacity_json.empty()) {
+    // capacity_json is the ResourceLedger's own JSON document; embed it as a
+    // sub-object (trimming its trailing newline) rather than re-encoding.
+    std::string trimmed = capacity_json;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\n' || trimmed.back() == ' ')) {
+      trimmed.pop_back();
+    }
+    out += ",\"capacity\":";
+    out += trimmed;
+  }
+  out += "}\n";
   return out;
 }
 

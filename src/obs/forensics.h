@@ -41,6 +41,17 @@ struct ForensicsReport {
   /// events at equal timestamps).
   std::vector<Entry> timeline;
 
+  /// SRAM capacity-ledger snapshot at assembly time (DESIGN.md §15): the
+  /// human table (ResourceLedger::to_text) and the /capacity.json document
+  /// (ResourceLedger::to_json). Both empty when the failing component
+  /// carries no ledger; callers fill them via attach_capacity().
+  std::string capacity_text;
+  std::string capacity_json;
+  void attach_capacity(std::string text, std::string json) {
+    capacity_text = std::move(text);
+    capacity_json = std::move(json);
+  }
+
   std::string to_text() const;
   std::string to_json() const;
 };

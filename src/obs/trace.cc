@@ -29,6 +29,8 @@ const char* to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kDegradedExit: return "degraded-exit";
     case TraceEventKind::kInsertShed: return "insert-shed";
     case TraceEventKind::kRelearn: return "relearn";
+    case TraceEventKind::kCapacityAlarmRaise: return "capacity-alarm-raise";
+    case TraceEventKind::kCapacityAlarmClear: return "capacity-alarm-clear";
   }
   return "unknown";
 }

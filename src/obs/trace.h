@@ -15,6 +15,7 @@
 //   kDigestCollision / kRelocationFail
 //   kTransitFalsePositive, kMeterColor, kLearn, kSoftwareFallback, kAgedOut
 //   kDegradedEnter / kDegradedExit / kInsertShed / kRelearn — degradation
+//   kCapacityAlarmRaise / kCapacityAlarmClear — SRAM capacity ledger alarms
 //
 // Exporters (exporters.h) render the ring as Chrome trace-event JSON for
 // chrome://tracing; format_event() gives the one-line human form used by the
@@ -54,6 +55,8 @@ enum class TraceEventKind : std::uint8_t {
   kDegradedExit,          ///< degraded mode left (arg0=backlog, arg1=pending)
   kInsertShed,            ///< pending queue full: flow shed (arg0=flow)
   kRelearn,               ///< dropped notification re-enqueued (arg0=flow)
+  kCapacityAlarmRaise,    ///< ledger level rose (arg0=level, arg1=occ bps)
+  kCapacityAlarmClear,    ///< ledger level fell (arg0=level, arg1=occ bps)
 };
 // Flow-identified kinds carry the connection's 64-bit five-tuple hash in the
 // noted arg slot; journey.h reconstructs per-connection timelines from it.

@@ -340,10 +340,16 @@ bool run_seed(std::uint64_t seed) {
         const auto& record = records.front();
         const auto route = fleet.route_of(record.flow);
         const auto& sw = fleet.switch_at(route.value_or(0));
-        const auto report = obs::assemble_forensics(
+        auto report = obs::assemble_forensics(
             sw.trace(), &fleet.spans(), net::FiveTupleHash{}(record.flow),
             "chaos PCC violation");
+        // Capacity section (DESIGN.md §15): was the offending switch's SRAM
+        // under pressure or exhausting when the flow broke?
+        report.attach_capacity(sw.capacity().to_text(),
+                               sw.capacity().to_json());
         obs::write_forensics(report, dir, std::string(stem) + "_forensics");
+        obs::write_file(dir + "/" + std::string(stem) + "_capacity.json",
+                        sw.capacity().to_json());
       }
       std::fprintf(stderr, "seed %llu: telemetry written under %s\n",
                    static_cast<unsigned long long>(seed), dir.c_str());

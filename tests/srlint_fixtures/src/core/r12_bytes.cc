@@ -1,0 +1,44 @@
+// R12: SRAM byte-count calls folded into arithmetic outside the capacity
+// single-sources (src/asic/resources.*, src/asic/sram.h,
+// src/core/memory_model.*, src/obs/capacity.*) — totals belong to
+// asic::silkroad_usage / obs::ResourceLedger.
+#include "asic/sram.h"
+#include "core/memory_model.h"
+
+struct Pool {
+  std::uint64_t pool_table_bytes() const;
+  std::uint64_t byte_count() const;
+};
+
+std::uint64_t positives(const Pool& pool, const Pool* ptr,
+                        std::uint64_t entries) {
+  // Summing two model calls re-derives a total.
+  std::uint64_t total =
+      silkroad::core::conn_table_bytes(entries) +  // srlint-expect: R12
+      silkroad::core::dip_pool_table_bytes(100, 4, false);  // srlint-expect: R12
+  // Compound assignment is aggregation too (`+=` lexes as two tokens).
+  total += pool.pool_table_bytes();  // srlint-expect: R12
+  total -= ptr->byte_count();  // srlint-expect: R12
+  // Scaling a per-entry cost inline.
+  total += entries * silkroad::asic::bits_to_bytes(28);  // srlint-expect: R12
+  return total;
+}
+
+std::uint64_t negatives(const Pool& pool, std::uint64_t limit) {
+  // Snapshotting one call into a variable is not aggregation.
+  const std::uint64_t bytes = pool.pool_table_bytes();
+  // Comparisons never flag: ==, !=, <=, >= keep their first char.
+  if (pool.byte_count() >= limit || bytes == limit) return 0;
+  // Forwarding a single result is clean.
+  return silkroad::asic::bits_to_bytes(112);
+  // byte_count() + 1 in a comment is clean
+}
+
+const char* strings() {
+  return "sram_bytes() + pool_table_bytes() in a string is clean";
+}
+
+std::uint64_t suppressed(const Pool& pool, std::uint64_t base) {
+  // Suppressed with a reason: a justified attribution site.
+  return base + pool.pool_table_bytes();  // srlint: allow(R12) attribution
+}

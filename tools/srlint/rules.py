@@ -48,6 +48,16 @@ R11 no plain registry.counter()/histogram() in src/lb/ or src/asic/ — those
                                       in those directories carry an
                                       `srlint: allow(R11)` suppression or an
                                       exemptions.json entry.
+R12 no ad-hoc SRAM byte aggregation in src/ outside the capacity
+                                      single-sources — folding sram_bytes()/
+                                      bits_to_bytes()/..._table_bytes() results
+                                      into +/-/*//(+=,-=) arithmetic re-derives
+                                      totals that asic::silkroad_usage and
+                                      obs::ResourceLedger (DESIGN.md §15)
+                                      already own; inline totals drift silently
+                                      when the cell model changes. Attribution
+                                      sites carry `srlint: allow(R12)` or an
+                                      exemptions.json entry.
 """
 
 from __future__ import annotations
@@ -531,6 +541,110 @@ def check_r11(model: FileModel) -> list[Violation]:
     return out
 
 
+# --- R12 --------------------------------------------------------------------
+
+# Functions whose return value is an SRAM byte count. Summing or scaling
+# them inline re-derives capacity math that the single-source files below
+# already own; the totals drift silently when the cell model changes.
+_R12_BYTE_CALLS = {
+    "sram_bytes",
+    "sram_bytes_for_entries",
+    "conn_table_bytes",
+    "dip_pool_table_bytes",
+    "pool_table_bytes",
+    "byte_count",
+    "bits_to_bytes",
+}
+# Binary arithmetic that marks aggregation. `=` alone (snapshotting a count)
+# is fine; `+=`/`-=` lex as two tokens and are handled in _r12_compound.
+_R12_OPS = {"+", "-", "*", "/"}
+# The capacity single-sources: the static SRAM models and the live ledger.
+_R12_ALLOWED = {
+    "src/asic/resources.h",
+    "src/asic/resources.cc",
+    "src/asic/sram.h",
+    "src/core/memory_model.h",
+    "src/core/memory_model.cc",
+    "src/obs/capacity.h",
+    "src/obs/capacity.cc",
+}
+
+
+def _r12_chain_start(toks: list, i: int) -> int:
+    """Index of the token just before the object/scope chain ending at
+    toks[i]: walks left over identifiers and `.`/`->`/`::` connectors, so
+    for `usage.versions->pool_table_bytes` it lands before `usage`."""
+    j = i - 1
+    while j >= 0 and (
+        toks[j].kind == "ident" or toks[j].value in (".", "->", "::")
+    ):
+        j -= 1
+    return j
+
+
+def _r12_close_paren(toks: list, open_idx: int) -> int | None:
+    depth = 0
+    for k in range(open_idx, len(toks)):
+        v = toks[k].value
+        if v == "(":
+            depth += 1
+        elif v == ")":
+            depth -= 1
+            if depth == 0:
+                return k
+    return None
+
+
+def _r12_compound(toks: list, j: int) -> bool:
+    """True when toks[j] is the `=` of a `+=`/`-=` (lexed as two tokens).
+    `==`, `<=`, `>=`, `!=` keep their non-arithmetic first char and stay
+    clean."""
+    return (
+        j > 0
+        and toks[j].value == "="
+        and toks[j - 1].value in ("+", "-")
+        and toks[j - 1].line == toks[j].line
+    )
+
+
+def check_r12(model: FileModel) -> list[Violation]:
+    if not _in_src(model) or model.rel in _R12_ALLOWED:
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.value not in _R12_BYTE_CALLS:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].value != "(":
+            continue  # a field or declaration, not a call
+        j = _r12_chain_start(toks, i)
+        before = toks[j].value if j >= 0 else ""
+        close = _r12_close_paren(toks, i + 1)
+        after = (
+            toks[close + 1].value
+            if close is not None and close + 1 < len(toks)
+            else ""
+        )
+        aggregated = (
+            before in _R12_OPS
+            or _r12_compound(toks, j)
+            or after in _R12_OPS
+        )
+        if aggregated:
+            out.append(
+                Violation(
+                    model.rel,
+                    t.line,
+                    "R12",
+                    f"'{t.value}()' folded into ad-hoc SRAM byte arithmetic "
+                    "— capacity totals belong to asic::silkroad_usage / "
+                    "obs::ResourceLedger (DESIGN.md §15); attribution sites "
+                    "may suppress with 'srlint: allow(R12) <reason>'",
+                )
+            )
+    return out
+
+
 RULES: list[Rule] = [
     Rule("R1", "no raw assert() in src/ (use SR_CHECK/SR_DCHECK)", check_r1),
     Rule("R2", "no rand()/std::rand() anywhere (use sim::Rng)", check_r2),
@@ -543,6 +657,7 @@ RULES: list[Rule] = [
     Rule("R9", "no bare std::mutex family in src/ (use sr:: wrappers)", check_r9),
     Rule("R10", "no unordered iteration feeding channel/protocol calls", check_r10),
     Rule("R11", "no plain counter()/histogram() in src/lb|asic (use sharded)", check_r11),
+    Rule("R12", "no ad-hoc SRAM byte aggregation outside capacity sources", check_r12),
 ]
 
 RULE_IDS = {r.rule_id for r in RULES}
