@@ -1,0 +1,196 @@
+// Resync cost gate (DESIGN.md §16): bytes on the wire to re-converge one
+// restored switch, as a function of how far its durable watermark lags the
+// controller's journal head. The escalation ladder promises:
+//
+//   lag == 0            -> empty confirmation session (a handful of bytes)
+//   0 < lag <= horizon  -> delta session, bytes proportional to lag
+//   lag  > horizon      -> full state transfer, bytes proportional to state
+//
+// The gate is the ladder's economic claim: an in-horizon delta must cost
+// strictly fewer wire bytes than the full transfer it replaces. Delta cost
+// grows with lag (22 bytes per journaled DipUpdate record) while full cost
+// grows with state (8 + 6*dips per VIP record), so the lag grid scales with
+// fleet size — lag in {0, V, 4V} for V VIPs — mirroring how an operator
+// sizes the journal horizon against state size. The channel runs loss-free
+// here (drop = reorder = 0) so every byte count is exact and deterministic;
+// bytes are scraped from silkroad_ctrl_resync_bytes_total, the same series
+// CI and the quickstart endpoints export.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "deploy/fleet.h"
+#include "workload/update_gen.h"
+
+using namespace silkroad;
+
+namespace {
+
+constexpr std::size_t kSwitches = 3;
+constexpr std::size_t kDipsPerVip = 24;
+constexpr std::size_t kWarmupUpdates = 4;
+constexpr std::uint64_t kJournalCapacity = 64;
+
+net::Endpoint vip_of(std::size_t v) {
+  return {net::IpAddress::v4(0x14000001 + static_cast<std::uint32_t>(v)), 80};
+}
+
+std::vector<net::Endpoint> dips_of(std::size_t v) {
+  std::vector<net::Endpoint> dips;
+  for (std::size_t i = 0; i < kDipsPerVip; ++i) {
+    dips.push_back(
+        {net::IpAddress::v4(0x0A000000 +
+                            static_cast<std::uint32_t>(v * 256 + i)),
+         20});
+  }
+  return dips;
+}
+
+struct CaseResult {
+  double bytes = 0;
+  double chunks = 0;
+  std::uint64_t delta_sessions = 0;
+  std::uint64_t full_sessions = 0;
+  std::uint64_t empty_sessions = 0;
+  bool converged = false;
+  bool caught_up = false;
+};
+
+/// One fail/lag/restore cycle: switch 0 goes down with a durable watermark,
+/// misses `lag` journaled mutations, and is restored; the result carries the
+/// wire bytes its single resync session cost.
+CaseResult run_case(std::size_t vips, std::size_t lag) {
+  sim::Simulator sim;
+  core::SilkRoadSwitch::Config config;
+  config.conn_table = core::SilkRoadSwitch::conn_table_for(8192);
+
+  // Loss-free, jitter-free channel: one transmission per chunk, so the
+  // resync byte counter reads exactly the session's wire size.
+  fault::ControlChannel::Config channel;
+  channel.base_delay = 200 * sim::kMicrosecond;
+  channel.jitter = 0;
+  channel.drop_probability = 0.0;
+  channel.reorder_probability = 0.0;
+  channel.retry_timeout = 1 * sim::kMillisecond;
+
+  deploy::SyncConfig sync;
+  sync.journal_capacity = kJournalCapacity;
+  sync.chunk_entries = 16;
+  // Checkpoint on every applied mutation so the durable watermark at the
+  // moment of the crash equals everything the switch had applied.
+  sync.checkpoint_every = 1;
+
+  deploy::SilkRoadFleet fleet(sim, config, kSwitches, 0xFEE7ULL, channel,
+                              sync);
+  for (std::size_t v = 0; v < vips; ++v) fleet.add_vip(vip_of(v), dips_of(v));
+
+  // Membership toggles: remove then re-add the tail DIP of each VIP in
+  // rotation. Each toggle journals one mutation and keeps pool sizes stable.
+  std::size_t issued = 0;
+  std::vector<bool> remove_next(vips, true);
+  const auto issue = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i, ++issued) {
+      const std::size_t v = issued % vips;
+      workload::DipUpdate update;
+      update.vip = vip_of(v);
+      update.dip = dips_of(v).back();
+      update.action = remove_next[v] ? workload::UpdateAction::kRemoveDip
+                                     : workload::UpdateAction::kAddDip;
+      update.cause = workload::UpdateCause::kServiceUpgrade;
+      remove_next[v] = !remove_next[v];
+      fleet.request_update(update);
+    }
+  };
+
+  issue(kWarmupUpdates);  // advance every watermark past the VIP configs
+  sim.run();
+  fleet.fail_switch(0);
+  issue(lag);
+  sim.run();
+  fleet.restore_switch(0);
+  sim.run();
+
+  CaseResult result;
+  const auto snap = fleet.metrics_snapshot();
+  result.bytes =
+      snap.value_of("silkroad_ctrl_resync_bytes_total", "switch=\"0\"");
+  result.chunks =
+      snap.value_of("silkroad_ctrl_resync_chunks_total", "switch=\"0\"");
+  result.delta_sessions = fleet.delta_sessions();
+  result.full_sessions = fleet.full_sessions();
+  result.empty_sessions = fleet.empty_sessions();
+  result.converged = fleet.converged();
+  result.caught_up = fleet.applied_through(0) == fleet.journal_head();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "resync cost — wire bytes to re-converge one restored switch vs lag",
+      "incremental sync: in-horizon deltas must beat the full transfer");
+
+  bool ok = true;
+  for (const std::size_t vips : {std::size_t{2}, std::size_t{8}}) {
+    const std::size_t lag_1x = vips;
+    const std::size_t lag_4x = 4 * vips;
+    const CaseResult empty = run_case(vips, 0);
+    const CaseResult delta_1x = run_case(vips, lag_1x);
+    const CaseResult delta_4x = run_case(vips, lag_4x);
+    // One past the horizon: the journal has compacted past the watermark.
+    const CaseResult full = run_case(vips, kJournalCapacity + 1);
+
+    std::printf("\n--- %zu VIPs x %zu DIPs (journal horizon %llu) ---\n", vips,
+                kDipsPerVip, static_cast<unsigned long long>(kJournalCapacity));
+    std::printf("%-26s %12s %8s %10s\n", "case", "wire bytes", "chunks",
+                "session");
+    const auto row = [](const char* label, const CaseResult& r) {
+      const char* kind = r.full_sessions ? "full"
+                         : r.delta_sessions ? "delta"
+                                            : "empty";
+      std::printf("%-26s %12.0f %8.0f %10s\n", label, r.bytes, r.chunks, kind);
+    };
+    char label[64];
+    row("lag 0 (confirmation)", empty);
+    std::snprintf(label, sizeof(label), "lag %zu (1x VIPs)", lag_1x);
+    row(label, delta_1x);
+    std::snprintf(label, sizeof(label), "lag %zu (4x VIPs)", lag_4x);
+    row(label, delta_4x);
+    row("lag past horizon", full);
+
+    // Ladder rungs must be what the lag says they are, and every restore
+    // must land the switch at the journal head.
+    ok &= empty.empty_sessions == 1 && delta_1x.delta_sessions == 1 &&
+          delta_4x.delta_sessions == 1 && full.full_sessions == 1;
+    for (const CaseResult* r : {&empty, &delta_1x, &delta_4x, &full}) {
+      ok &= r->converged && r->caught_up && r->bytes > 0;
+    }
+    // The economic gate: every in-horizon session strictly beats the full
+    // transfer, and cost is monotone in lag.
+    ok &= empty.bytes < delta_1x.bytes && delta_1x.bytes < delta_4x.bytes &&
+          delta_4x.bytes < full.bytes;
+
+    const std::string suffix = "_vips" + std::to_string(vips);
+    bench::headline("resync_bytes_empty" + suffix, empty.bytes,
+                    "wire bytes, up-to-date restore (confirmation session)");
+    bench::headline("resync_bytes_lag1x" + suffix, delta_1x.bytes,
+                    "wire bytes, delta resync at lag = VIP count");
+    bench::headline("resync_bytes_lag4x" + suffix, delta_4x.bytes,
+                    "wire bytes, delta resync at lag = 4x VIP count");
+    bench::headline("resync_bytes_full" + suffix, full.bytes,
+                    "wire bytes, watermark past horizon (full transfer)");
+    bench::headline("delta_over_full" + suffix, delta_4x.bytes / full.bytes,
+                    "deepest in-horizon delta over full transfer (must be <1)");
+  }
+
+  bench::headline("delta_beats_full", ok ? 1.0 : 0.0,
+                  "every in-horizon session cost < full transfer (must be 1)");
+  bench::emit_headlines("resync_cost");
+
+  if (!ok) {
+    std::printf("\nFAIL: escalation ladder economics violated\n");
+    return 1;
+  }
+  std::printf("\nall ladder rungs in order: empty < delta < full\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "deploy/fleet.h"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
+#include <utility>
 
 #include "check/sr_check.h"
 #include "net/hash.h"
@@ -11,13 +13,22 @@ namespace silkroad::deploy {
 SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
                              const core::SilkRoadSwitch::Config& config,
                              std::size_t replicas, std::uint64_t ecmp_seed,
-                             const fault::ControlChannel::Config& channel)
+                             const fault::ControlChannel::Config& channel,
+                             const SyncConfig& sync)
     : sim_(simulator),
       alive_(replicas, true),
       restoring_(replicas, false),
       ecmp_seed_(ecmp_seed),
-      applied_(replicas) {
+      applied_(replicas),
+      journal_(sync.journal_capacity),
+      snapshots_(replicas),
+      applied_through_(replicas, 0),
+      since_checkpoint_(replicas, 0),
+      sync_(sync),
+      resync_started_(replicas, 0) {
   SR_CHECK(replicas > 0);
+  SR_CHECK(sync_.chunk_entries > 0);
+  SR_CHECK(sync_.checkpoint_every > 0);
   switches_.reserve(replicas);
   channels_.reserve(replicas);
   for (std::size_t i = 0; i < replicas; ++i) {
@@ -30,7 +41,11 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
         [this, i](const fault::ControlChannel::Payload& p) {
           deliver_to(i, p);
         },
-        [this, i] { apply_resync(i); }));
+        [this, i] {
+          // srlint: allow(R13) the channel's ResyncFn binding is the one
+          // sanctioned entry into the session opener.
+          begin_resync_session(i);
+        }));
     channels_.back()->bind_metrics(fleet_metrics_,
                                    "switch=\"" + std::to_string(i) + "\"");
     const auto leg = static_cast<std::uint32_t>(i);
@@ -38,6 +53,67 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
     switches_.back()->bind_spans(&spans_, leg);
   }
   spans_.bind_metrics(fleet_metrics_);
+  // Sync-subsystem telemetry. The journal/snapshot stores are guarded fleet
+  // state, so they export as pull callbacks that take mu_ at snapshot time
+  // (metrics_snapshot() never holds it); the session-rung counters are
+  // simulation-thread plain members, same convention as the channels'.
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_journal_entries", obs::MetricKind::kGauge,
+      [this] {
+        const sr::MutexLock lock(mu_);
+        return static_cast<double>(journal_.size());
+      },
+      "desired-state journal entries retained (compaction horizon window)");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_journal_head", obs::MetricKind::kGauge,
+      [this] {
+        const sr::MutexLock lock(mu_);
+        return static_cast<double>(journal_.head_pos());
+      },
+      "newest journal log position");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_journal_appended_total", obs::MetricKind::kCounter,
+      [this] {
+        const sr::MutexLock lock(mu_);
+        return static_cast<double>(journal_.appended());
+      },
+      "desired-state mutations journaled");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_journal_compactions_total", obs::MetricKind::kCounter,
+      [this] {
+        const sr::MutexLock lock(mu_);
+        return static_cast<double>(journal_.compacted());
+      },
+      "journal entries dropped by compaction");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_snapshot_checkpoints_total", obs::MetricKind::kCounter,
+      [this] {
+        const sr::MutexLock lock(mu_);
+        return static_cast<double>(snapshots_.checkpoints());
+      },
+      "switch snapshot checkpoints taken");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_snapshot_bytes", obs::MetricKind::kGauge,
+      [this] {
+        const sr::MutexLock lock(mu_);
+        return static_cast<double>(snapshots_.total_wire_size());
+      },
+      "modeled serialized size of every durable switch snapshot");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_resync_sessions_total", obs::MetricKind::kCounter,
+      [this] { return static_cast<double>(delta_sessions_); },
+      "resync sessions begun, by escalation rung", "kind=\"delta\"");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_resync_sessions_total", obs::MetricKind::kCounter,
+      [this] { return static_cast<double>(full_sessions_); },
+      "resync sessions begun, by escalation rung", "kind=\"full\"");
+  fleet_metrics_.register_callback(
+      "silkroad_ctrl_resync_sessions_total", obs::MetricKind::kCounter,
+      [this] { return static_cast<double>(empty_sessions_); },
+      "resync sessions begun, by escalation rung", "kind=\"empty\"");
+  h_resync_duration_ = fleet_metrics_.histogram(
+      "silkroad_ctrl_resync_duration_ns",
+      "resync session duration, session open to final chunk applied");
 }
 
 void SilkRoadFleet::add_vip(const net::Endpoint& vip,
@@ -46,8 +122,14 @@ void SilkRoadFleet::add_vip(const net::Endpoint& vip,
     const sr::MutexLock lock(mu_);
     if (!membership_.contains(vip)) vip_order_.push_back(vip);
     membership_[vip] = dips;
+    journal_.append(fault::VipConfig{vip, dips});
     for (std::size_t i = 0; i < switches_.size(); ++i) {
-      if (alive_[i]) applied_[i][vip] = DipSet(dips.begin(), dips.end());
+      if (!alive_[i]) continue;
+      applied_[i][vip] = DipSet(dips.begin(), dips.end());
+      // The synchronous config does not advance the watermark — a delta
+      // session replays the VipConfig record and the diff no-ops — so the
+      // cadence checkpoint below is what makes it durable.
+      note_applied_locked(i);
     }
   }
   for (std::size_t i = 0; i < switches_.size(); ++i) {
@@ -56,6 +138,7 @@ void SilkRoadFleet::add_vip(const net::Endpoint& vip,
 }
 
 void SilkRoadFleet::request_update(const workload::DipUpdate& update) {
+  std::uint64_t pos = 0;
   {
     const sr::MutexLock lock(mu_);
     auto& members = membership_[update.vip];
@@ -68,12 +151,19 @@ void SilkRoadFleet::request_update(const workload::DipUpdate& update) {
       members.erase(std::remove(members.begin(), members.end(), update.dip),
                     members.end());
     }
+    // Journal the intent under its fleet log position; the journaled copy is
+    // untraced (span ids are per-send, the journal is per-mutation).
+    workload::DipUpdate journaled = update;
+    journaled.update_id = 0;
+    journaled.log_pos = 0;
+    pos = journal_.append(std::move(journaled));
   }
   // Mint the intent span; the stamped id rides in every channel copy and
   // survives retransmits, duplicates, and resync escalation. Sends happen
   // outside mu_ — a zero-delay channel can deliver synchronously, and
   // deliver_to() takes the lock again.
   workload::DipUpdate traced = update;
+  traced.log_pos = pos;
   spans_.begin_update(traced, sim_.now());
   for (const auto& channel : channels_) channel->send(traced);
 }
@@ -101,20 +191,20 @@ void SilkRoadFleet::handle_dip_failure(const net::Endpoint& vip,
 
 void SilkRoadFleet::deliver_to(std::size_t index,
                                const fault::ControlChannel::Payload& payload) {
+  if (const auto* chunk = std::get_if<fault::ResyncChunk>(&payload)) {
+    apply_chunk(index, *chunk);
+    return;
+  }
   if (const auto* config = std::get_if<fault::VipConfig>(&payload)) {
-    if (switches_[index]->version_manager(config->vip) == nullptr) {
-      switches_[index]->add_vip(config->vip, config->dips);
-    }
-    const sr::MutexLock lock(mu_);
-    applied_[index][config->vip] =
-        DipSet(config->dips.begin(), config->dips.end());
+    apply_vip_config(index, *config, 0);
     return;
   }
   const auto& update = std::get<workload::DipUpdate>(payload);
   const auto leg = static_cast<std::uint32_t>(index);
   if (switches_[index]->version_manager(update.vip) == nullptr) {
     // The replica is not provisioned with this VIP yet (its resync is still
-    // in flight); the resync diff will carry the membership over.
+    // in flight); the resync chunks will carry the membership over. The
+    // watermark deliberately does not advance — the mutation was not applied.
     spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
                   sim_.now(), 0, 0);
     return;
@@ -129,6 +219,13 @@ void SilkRoadFleet::deliver_to(std::size_t index,
     } else {
       duplicate = dips.erase(update.dip) == 0;
     }
+    // In-order delivery applied (or confirmed as already-applied) this log
+    // position: the replica is caught up through it.
+    if (update.log_pos != 0) {
+      applied_through_[index] =
+          std::max(applied_through_[index], update.log_pos);
+    }
+    if (!duplicate) note_applied_locked(index);
   }
   if (duplicate) {
     spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
@@ -138,85 +235,221 @@ void SilkRoadFleet::deliver_to(std::size_t index,
   switches_[index]->request_update(update);
 }
 
-void SilkRoadFleet::apply_resync(std::size_t index) {
-  auto& sw = *switches_[index];
-  // Provisions and delta updates are collected under mu_ and issued after it
-  // is released: sw.add_vip/request_update fire span and mapping-risk
-  // callbacks whose probe sweeps re-enter the fleet.
-  struct Action {
-    bool provision = false;
-    net::Endpoint vip;
-    std::vector<net::Endpoint> dips;  ///< provision payload
-    workload::DipUpdate update;       ///< delta payload
-  };
-  std::vector<Action> actions;
+void SilkRoadFleet::begin_resync_session(std::size_t index) {
+  // Compute the catch-up under mu_, send it after release: the chunks travel
+  // the ordinary lossy channel, and a zero-delay channel delivers
+  // synchronously back into apply_chunk which takes the lock again.
+  std::vector<fault::JournalRecord> records;
+  bool full = false;
+  std::uint64_t watermark = 0;
+  std::uint64_t head = 0;
   {
     const sr::MutexLock lock(mu_);
-    for (const auto& vip : vip_order_) {
-      const auto& desired = membership_.at(vip);
-      if (sw.version_manager(vip) == nullptr) {
-        applied_[index][vip] = DipSet(desired.begin(), desired.end());
-        Action action;
-        action.provision = true;
-        action.vip = vip;
-        action.dips = desired;
-        actions.push_back(std::move(action));
-        continue;
+    watermark = applied_through_[index];
+    head = journal_.head_pos();
+    if (journal_.covers(watermark)) {
+      records = journal_.suffix_since(watermark);
+    } else {
+      // Compacted past the watermark: escalate to a full-state transfer —
+      // one synthetic config record per VIP, still chunked and lossy.
+      full = true;
+      records.reserve(vip_order_.size());
+      for (const auto& vip : vip_order_) {
+        fault::JournalRecord record;
+        record.mutation = fault::VipConfig{vip, membership_.at(vip)};
+        records.push_back(std::move(record));
       }
-      // The switch already serves this VIP: diff its applied membership
-      // against the desired set and issue the delta as ordinary updates
-      // (each runs the 3-step protocol, keeping existing flows consistent).
-      auto& have = applied_[index][vip];
-      const DipSet want(desired.begin(), desired.end());
-      for (const auto& dip : desired) {
-        if (have.contains(dip)) continue;
-        Action action;
-        action.vip = vip;
-        action.update.at = sim_.now();
-        action.update.vip = vip;
-        action.update.dip = dip;
-        action.update.action = workload::UpdateAction::kAddDip;
-        action.update.cause = workload::UpdateCause::kProvisioning;
-        actions.push_back(std::move(action));
-      }
-      // `have` is an unordered set (R10): snapshot and sort the stale DIPs
-      // so the re-issued removals — and therefore their span ids and 3-step
-      // executions — happen in the same order on every platform and run.
-      std::vector<net::Endpoint> stale;
-      for (const auto& dip : have) {
-        if (!want.contains(dip)) stale.push_back(dip);
-      }
-      std::sort(stale.begin(), stale.end());
-      for (const auto& dip : stale) {
-        Action action;
-        action.vip = vip;
-        action.update.at = sim_.now();
-        action.update.vip = vip;
-        action.update.dip = dip;
-        action.update.action = workload::UpdateAction::kRemoveDip;
-        action.update.cause = workload::UpdateCause::kRemoval;
-        actions.push_back(std::move(action));
-      }
-      have = want;
     }
   }
-  // Diff updates are children of the channel's resync span: the spans of
-  // the wiped in-flight updates point at the same resync, closing the
-  // causal chain intent -> abandoned leg -> resync -> re-issued delta.
-  const std::uint64_t resync_id = channels_[index]->active_resync_id();
-  for (auto& action : actions) {
-    if (action.provision) {
-      sw.add_vip(action.vip, action.dips);
-      continue;
-    }
-    spans_.begin_update(action.update, sim_.now(), resync_id);
-    sw.request_update(action.update);
+  if (full) {
+    ++full_sessions_;
+  } else if (records.empty()) {
+    ++empty_sessions_;
+  } else {
+    ++delta_sessions_;
   }
+  resync_started_[index] = sim_.now();
+  const std::uint64_t session = channels_[index]->active_resync_id();
+  const auto leg = static_cast<std::uint32_t>(index);
+  // An empty delta still sends one (empty, final) chunk: the switch rejoins
+  // ECMP only once a chunk confirms the round trip, and the chunk's
+  // watermark re-anchors the checkpoint.
+  const std::size_t chunk_count =
+      records.empty()
+          ? 1
+          : (records.size() + sync_.chunk_entries - 1) / sync_.chunk_entries;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    fault::ResyncChunk chunk;
+    chunk.resync_id = session;
+    chunk.chunk_index = static_cast<std::uint32_t>(c);
+    chunk.final_chunk = c + 1 == chunk_count;
+    chunk.full = full;
+    const std::size_t begin = c * sync_.chunk_entries;
+    const std::size_t end =
+        std::min(records.size(), begin + sync_.chunk_entries);
+    chunk.entries.assign(std::make_move_iterator(records.begin() + begin),
+                         std::make_move_iterator(records.begin() + end));
+    if (full) {
+      // Synthetic records carry no positions; only the final chunk of a
+      // complete full transfer certifies the head position.
+      chunk.watermark_after = chunk.final_chunk ? head : watermark;
+    } else {
+      // Chunks deliver in order, so applying this one means every position
+      // it (and its predecessors) carried has been applied.
+      chunk.watermark_after = watermark;
+      for (const auto& record : chunk.entries) {
+        chunk.watermark_after = std::max(chunk.watermark_after, record.pos);
+      }
+    }
+    chunk.span_id =
+        spans_.begin_chunk(leg, sim_.now(), session, c, chunk.entries.size());
+    channels_[index]->send(std::move(chunk));
+  }
+}
+
+void SilkRoadFleet::apply_chunk(std::size_t index,
+                                const fault::ResyncChunk& chunk) {
+  for (const auto& record : chunk.entries) {
+    if (const auto* config = std::get_if<fault::VipConfig>(&record.mutation)) {
+      apply_vip_config(index, *config, chunk.resync_id);
+    } else {
+      apply_journaled_update(index,
+                             std::get<workload::DipUpdate>(record.mutation),
+                             chunk.resync_id);
+    }
+  }
+  {
+    const sr::MutexLock lock(mu_);
+    applied_through_[index] =
+        std::max(applied_through_[index], chunk.watermark_after);
+    // Every chunk boundary checkpoints: a crash mid-session restarts the
+    // next session from this chunk's watermark, not from zero.
+    checkpoint_switch_locked(index);
+  }
+  const auto leg = static_cast<std::uint32_t>(index);
+  spans_.record(chunk.span_id, obs::SpanEventKind::kResyncApply, leg,
+                sim_.now(), chunk.chunk_index, chunk.entries.size());
+  if (!chunk.final_chunk) return;
+  spans_.record(chunk.resync_id, obs::SpanEventKind::kResyncApply, leg,
+                sim_.now(), chunk.chunk_index, 0);
+  h_resync_duration_->record(
+      static_cast<std::uint64_t>(sim_.now() - resync_started_[index]));
   if (restoring_[index]) {
     restoring_[index] = false;
     alive_[index] = true;
     if (membership_cb_) membership_cb_(index, true);
   }
+}
+
+void SilkRoadFleet::apply_vip_config(std::size_t index,
+                                     const fault::VipConfig& config,
+                                     std::uint64_t parent_id) {
+  auto& sw = *switches_[index];
+  if (sw.version_manager(config.vip) == nullptr) {
+    {
+      const sr::MutexLock lock(mu_);
+      applied_[index][config.vip] =
+          DipSet(config.dips.begin(), config.dips.end());
+    }
+    sw.add_vip(config.vip, config.dips);
+    return;
+  }
+  // The switch already serves this VIP: diff its applied membership against
+  // the config and issue the delta as ordinary updates (each runs the 3-step
+  // protocol, keeping existing flows consistent). Deltas are collected under
+  // mu_ and issued after release — request_update fires span and
+  // mapping-risk callbacks whose probe sweeps re-enter the fleet.
+  std::vector<workload::DipUpdate> deltas;
+  {
+    const sr::MutexLock lock(mu_);
+    auto& have = applied_[index][config.vip];
+    const DipSet want(config.dips.begin(), config.dips.end());
+    for (const auto& dip : config.dips) {
+      if (have.contains(dip)) continue;
+      workload::DipUpdate update;
+      update.at = sim_.now();
+      update.vip = config.vip;
+      update.dip = dip;
+      update.action = workload::UpdateAction::kAddDip;
+      update.cause = workload::UpdateCause::kProvisioning;
+      deltas.push_back(std::move(update));
+    }
+    // `have` is an unordered set (R10): snapshot and sort the stale DIPs so
+    // the re-issued removals — and therefore their span ids and 3-step
+    // executions — happen in the same order on every platform and run.
+    std::vector<net::Endpoint> stale;
+    for (const auto& dip : have) {
+      if (!want.contains(dip)) stale.push_back(dip);
+    }
+    std::sort(stale.begin(), stale.end());
+    for (const auto& dip : stale) {
+      workload::DipUpdate update;
+      update.at = sim_.now();
+      update.vip = config.vip;
+      update.dip = dip;
+      update.action = workload::UpdateAction::kRemoveDip;
+      update.cause = workload::UpdateCause::kRemoval;
+      deltas.push_back(std::move(update));
+    }
+    have = want;
+  }
+  for (auto& update : deltas) {
+    spans_.begin_update(update, sim_.now(), parent_id);
+    sw.request_update(update);
+  }
+}
+
+void SilkRoadFleet::apply_journaled_update(std::size_t index,
+                                           const workload::DipUpdate& update,
+                                           std::uint64_t parent_id) {
+  auto& sw = *switches_[index];
+  // Journal order guarantees the VIP's config record precedes its updates;
+  // this guard is belt-and-braces against a snapshot/journal mismatch.
+  if (sw.version_manager(update.vip) == nullptr) return;
+  bool duplicate = false;
+  {
+    const sr::MutexLock lock(mu_);
+    auto& dips = applied_[index][update.vip];
+    if (update.action == workload::UpdateAction::kAddDip) {
+      duplicate = !dips.insert(update.dip).second;
+    } else {
+      duplicate = dips.erase(update.dip) == 0;
+    }
+  }
+  // Already applied (the snapshot or an earlier delivery carried it): the
+  // replay is idempotent, nothing to re-execute.
+  if (duplicate) return;
+  workload::DipUpdate replay = update;
+  replay.at = sim_.now();
+  replay.update_id = 0;
+  replay.log_pos = 0;
+  spans_.begin_update(replay, sim_.now(), parent_id);
+  sw.request_update(replay);
+}
+
+void SilkRoadFleet::note_applied_locked(std::size_t index) {
+  if (++since_checkpoint_[index] >= sync_.checkpoint_every) {
+    checkpoint_switch_locked(index);
+  }
+}
+
+void SilkRoadFleet::checkpoint_switch_locked(std::size_t index) {
+  SwitchSnapshot snapshot;
+  snapshot.watermark = applied_through_[index];
+  snapshot.vips.reserve(applied_[index].size());
+  for (const auto& vip : vip_order_) {
+    const auto it = applied_[index].find(vip);
+    if (it == applied_[index].end()) continue;
+    VipMembers members;
+    members.vip = vip;
+    // The mirror is an unordered set (R10): sort so the checkpoint — and the
+    // restore-time add_vip replay it drives — is deterministic.
+    members.dips.assign(it->second.begin(), it->second.end());
+    std::sort(members.dips.begin(), members.dips.end());
+    snapshot.vips.push_back(std::move(members));
+  }
+  snapshots_.checkpoint(index, std::move(snapshot));
+  since_checkpoint_[index] = 0;
 }
 
 void SilkRoadFleet::set_mapping_risk_callback(MappingRiskCallback cb) {
@@ -270,7 +503,9 @@ void SilkRoadFleet::fail_switch(std::size_t index) {
   channels_[index]->set_offline(true);
   {
     const sr::MutexLock lock(mu_);
-    applied_[index].clear();  // whatever it had applied died with it
+    // Whatever it had applied in memory died with it; the durable snapshot
+    // in snapshots_ survives — that is the restore-time recovery anchor.
+    applied_[index].clear();
   }
   if (membership_cb_) membership_cb_(index, false);
   // Flows the failed switch carried re-hash to survivors on their next
@@ -280,11 +515,26 @@ void SilkRoadFleet::fail_switch(std::size_t index) {
 
 void SilkRoadFleet::restore_switch(std::size_t index) {
   if (index >= alive_.size() || alive_[index] || restoring_[index]) return;
-  // Crash model: the replacement comes up empty — no VIP config, no
-  // connection state. The controller replays config and newest membership
-  // through the channel's full-state resync; only once that lands does the
-  // switch re-enter ECMP (apply_resync flips alive_).
+  // Crash model: the replacement comes up with nothing in memory. Its
+  // durable checkpoint is replayed first (config + membership as of the
+  // watermark), then the resync session ships only the journal suffix past
+  // that watermark. Only once the session's final chunk lands does the
+  // switch re-enter ECMP (apply_chunk flips alive_).
   switches_[index]->reset();
+  SwitchSnapshot snapshot;
+  {
+    const sr::MutexLock lock(mu_);
+    snapshot = snapshots_.at(index);
+    applied_[index].clear();
+    for (const auto& entry : snapshot.vips) {
+      applied_[index][entry.vip] = DipSet(entry.dips.begin(), entry.dips.end());
+    }
+    applied_through_[index] = snapshot.watermark;
+    since_checkpoint_[index] = 0;
+  }
+  for (const auto& entry : snapshot.vips) {
+    switches_[index]->add_vip(entry.vip, entry.dips);
+  }
   restoring_[index] = true;
   channels_[index]->set_offline(false);
   channels_[index]->force_resync();
@@ -295,6 +545,8 @@ bool SilkRoadFleet::converged() const {
   // (none of them call back into the fleet).
   const sr::MutexLock lock(mu_);
   for (std::size_t i = 0; i < switches_.size(); ++i) {
+    // A mid-resync switch is about to rejoin with chunks in flight.
+    if (restoring_[i]) return false;
     if (!alive_[i]) continue;
     if (channels_[i]->outstanding() != 0 || channels_[i]->needs_resync()) {
       return false;
@@ -340,6 +592,43 @@ std::size_t SilkRoadFleet::ctrl_outstanding() const {
   std::size_t total = 0;
   for (const auto& channel : channels_) total += channel->outstanding();
   return total;
+}
+
+std::uint64_t SilkRoadFleet::ctrl_resync_chunks() const {
+  std::uint64_t total = 0;
+  for (const auto& channel : channels_) total += channel->resync_chunks();
+  return total;
+}
+
+std::uint64_t SilkRoadFleet::ctrl_resync_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& channel : channels_) total += channel->resync_bytes();
+  return total;
+}
+
+std::uint64_t SilkRoadFleet::applied_through(std::size_t index) const {
+  const sr::MutexLock lock(mu_);
+  return applied_through_.at(index);
+}
+
+SwitchSnapshot SilkRoadFleet::snapshot_of(std::size_t index) const {
+  const sr::MutexLock lock(mu_);
+  return snapshots_.at(index);
+}
+
+std::uint64_t SilkRoadFleet::journal_head() const {
+  const sr::MutexLock lock(mu_);
+  return journal_.head_pos();
+}
+
+std::uint64_t SilkRoadFleet::journal_compacted() const {
+  const sr::MutexLock lock(mu_);
+  return journal_.compacted();
+}
+
+std::uint64_t SilkRoadFleet::snapshot_checkpoints() const {
+  const sr::MutexLock lock(mu_);
+  return snapshots_.checkpoints();
 }
 
 obs::Snapshot SilkRoadFleet::metrics_snapshot() const {

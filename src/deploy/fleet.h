@@ -23,13 +23,32 @@
 
 #include "check/thread_annotations.h"
 #include "core/silkroad_switch.h"
+#include "deploy/journal.h"
+#include "deploy/snapshot.h"
 #include "fault/control_channel.h"
 #include "lb/load_balancer.h"
 
 namespace silkroad::deploy {
 
+/// Incremental state-sync knobs (DESIGN.md §16). Namespace-scope so the
+/// constructor's defaulted parameter can use it before SilkRoadFleet is
+/// complete.
+struct SyncConfig {
+  /// Journal entries retained before compaction — the compaction horizon.
+  /// A replica whose watermark lags further than this can only be served
+  /// a full-state transfer.
+  std::size_t journal_capacity = 1024;
+  /// Journal records packed per ResyncChunk.
+  std::size_t chunk_entries = 16;
+  /// Checkpoint a switch's snapshot every N applied mutations (resync
+  /// chunk boundaries always checkpoint in addition).
+  std::size_t checkpoint_every = 8;
+};
+
 class SilkRoadFleet : public lb::LoadBalancer {
  public:
+  using SyncConfig = deploy::SyncConfig;
+
   /// `replicas` identical switches sharing one configuration. `channel`
   /// shapes every controller->switch session; the default (zero delay, no
   /// loss) behaves like the idealized synchronous fan-out apart from event
@@ -37,7 +56,8 @@ class SilkRoadFleet : public lb::LoadBalancer {
   SilkRoadFleet(sim::Simulator& simulator,
                 const core::SilkRoadSwitch::Config& config,
                 std::size_t replicas, std::uint64_t ecmp_seed = 0xFEE7ULL,
-                const fault::ControlChannel::Config& channel = {});
+                const fault::ControlChannel::Config& channel = {},
+                const SyncConfig& sync = SyncConfig());
 
   std::string name() const override { return "silkroad-fleet"; }
 
@@ -75,10 +95,14 @@ class SilkRoadFleet : public lb::LoadBalancer {
   /// survivors from the next packet on.
   void fail_switch(std::size_t index);
 
-  /// Begins restoring a switch: its state is wiped (crash model), the
-  /// channel comes back online, and the controller schedules a full-state
-  /// resync that replays the VIP config and newest membership. The switch
-  /// rejoins ECMP only when the resync lands (run the simulator).
+  /// Begins restoring a switch: its in-memory state is wiped (crash model),
+  /// the durable checkpoint snapshot is replayed into it, the channel comes
+  /// back online, and the controller opens a resync session that sends only
+  /// the journal suffix past the snapshot's watermark as sequenced chunks
+  /// (escalating to a chunked full-state transfer when the journal has been
+  /// compacted past it). The switch rejoins ECMP only when the session's
+  /// final chunk lands (run the simulator). A crash mid-session restarts the
+  /// next session from the last chunk-boundary checkpoint, not from zero.
   void restore_switch(std::size_t index);
 
   /// True when every live switch serves every VIP with exactly the
@@ -114,6 +138,24 @@ class SilkRoadFleet : public lb::LoadBalancer {
   std::uint64_t ctrl_retries() const;
   std::uint64_t ctrl_resyncs() const;
   std::size_t ctrl_outstanding() const;
+  /// Sums of the per-channel chunk traffic counters.
+  std::uint64_t ctrl_resync_chunks() const;
+  std::uint64_t ctrl_resync_bytes() const;
+
+  // --- Incremental-sync introspection (DESIGN.md §16) -----------------------
+
+  const SyncConfig& sync_config() const noexcept { return sync_; }
+  /// Journal position switch `index` has durably applied through.
+  std::uint64_t applied_through(std::size_t index) const;
+  /// Copy of switch `index`'s durable checkpoint snapshot.
+  SwitchSnapshot snapshot_of(std::size_t index) const;
+  std::uint64_t journal_head() const;
+  std::uint64_t journal_compacted() const;
+  std::uint64_t snapshot_checkpoints() const;
+  /// Resync sessions begun, by escalation rung.
+  std::uint64_t delta_sessions() const noexcept { return delta_sessions_; }
+  std::uint64_t full_sessions() const noexcept { return full_sessions_; }
+  std::uint64_t empty_sessions() const noexcept { return empty_sessions_; }
 
   /// The fleet's causal-trace collector: every request_update intent mints a
   /// span here, and the channels/switches record their legs on it. The span
@@ -145,9 +187,28 @@ class SilkRoadFleet : public lb::LoadBalancer {
   /// by the per-switch applied-state mirror so resync-vs-in-flight overlap
   /// cannot double-apply an update.
   void deliver_to(std::size_t index, const fault::ControlChannel::Payload& p);
-  /// Full-state resync of switch `index`: replays missing VIP configs and
-  /// diffs the switch's applied membership against the desired membership.
-  void apply_resync(std::size_t index);
+  /// ResyncFn target: computes switch `index`'s catch-up (journal delta,
+  /// full state after compaction, or an empty confirmation) and sends it as
+  /// sequenced ResyncChunk payloads through the switch's channel.
+  void begin_resync_session(std::size_t index);
+  /// Applies one delivered chunk: replays its journal records, advances the
+  /// watermark, checkpoints the snapshot, and on the final chunk flips a
+  /// restoring switch back into ECMP.
+  void apply_chunk(std::size_t index, const fault::ResyncChunk& chunk);
+  /// Applies a (re)configuration record: provisions an unknown VIP, or
+  /// diffs the applied mirror against the config and issues the delta as
+  /// 3-step updates parented under span `parent_id`.
+  void apply_vip_config(std::size_t index, const fault::VipConfig& config,
+                        std::uint64_t parent_id);
+  /// Replays one journaled DIP update (content-deduped against the mirror)
+  /// as a fresh child update parented under span `parent_id`.
+  void apply_journaled_update(std::size_t index,
+                              const workload::DipUpdate& update,
+                              std::uint64_t parent_id);
+  /// Counts one applied mutation toward the checkpoint cadence.
+  void note_applied_locked(std::size_t index) SR_REQUIRES(mu_);
+  /// Captures switch `index`'s mirror + watermark into the snapshot store.
+  void checkpoint_switch_locked(std::size_t index) SR_REQUIRES(mu_);
 
   sim::Simulator& sim_;
   /// Declared before the switches/channels that hold raw pointers into it,
@@ -176,9 +237,29 @@ class SilkRoadFleet : public lb::LoadBalancer {
   /// Per-switch mirror of what this controller has asked it to apply.
   std::vector<std::unordered_map<net::Endpoint, DipSet, net::EndpointHash>>
       applied_ SR_GUARDED_BY(mu_);
+  /// Versioned desired-state mutation journal (DESIGN.md §16).
+  MutationJournal journal_ SR_GUARDED_BY(mu_);
+  /// Durable per-switch checkpoints; deliberately NOT cleared by
+  /// fail_switch() — they model storage that survives the crash.
+  SnapshotStore snapshots_ SR_GUARDED_BY(mu_);
+  /// Journal position each switch has applied through (advanced by in-order
+  /// delivery and by chunk boundaries; synchronous provisioning is replayed
+  /// idempotently instead of advancing it).
+  std::vector<std::uint64_t> applied_through_ SR_GUARDED_BY(mu_);
+  /// Mutations applied since the last checkpoint (cadence counter).
+  std::vector<std::size_t> since_checkpoint_ SR_GUARDED_BY(mu_);
+
+  SyncConfig sync_;
+  /// Session start times / escalation-rung counters (simulation-thread-only,
+  /// like the channel counters).
+  std::vector<sim::Time> resync_started_;
+  std::uint64_t delta_sessions_ = 0;
+  std::uint64_t full_sessions_ = 0;
+  std::uint64_t empty_sessions_ = 0;
 
   /// Channel counters live here (the switches' registries are their own).
   obs::MetricsRegistry fleet_metrics_;
+  obs::Histogram* h_resync_duration_ = nullptr;
   MappingRiskCallback risk_cb_;
   MembershipCallback membership_cb_;
 };

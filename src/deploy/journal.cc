@@ -1,0 +1,37 @@
+#include "deploy/journal.h"
+
+#include <utility>
+
+#include "check/sr_check.h"
+
+namespace silkroad::deploy {
+
+MutationJournal::MutationJournal(std::size_t capacity) : capacity_(capacity) {
+  SR_CHECK(capacity_ > 0);
+}
+
+std::uint64_t MutationJournal::append(fault::JournalMutation mutation) {
+  const std::uint64_t pos = next_pos_++;
+  fault::JournalRecord record;
+  record.pos = pos;
+  record.mutation = std::move(mutation);
+  wire_size_ += wire_size(record);
+  entries_.push_back(std::move(record));
+  while (entries_.size() > capacity_) {
+    wire_size_ -= wire_size(entries_.front());
+    entries_.pop_front();
+    ++compacted_;
+  }
+  return pos;
+}
+
+std::vector<fault::JournalRecord> MutationJournal::suffix_since(
+    std::uint64_t watermark) const {
+  std::vector<fault::JournalRecord> suffix;
+  for (const auto& record : entries_) {
+    if (record.pos > watermark) suffix.push_back(record);
+  }
+  return suffix;
+}
+
+}  // namespace silkroad::deploy

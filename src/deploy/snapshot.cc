@@ -1,0 +1,29 @@
+#include "deploy/snapshot.h"
+
+#include <utility>
+
+#include "fault/sync_wire.h"
+
+namespace silkroad::deploy {
+
+std::size_t SwitchSnapshot::wire_size() const noexcept {
+  std::size_t total = 8;  // watermark
+  for (const auto& entry : vips) {
+    total += fault::kWireEndpointSize + 2 +
+             entry.dips.size() * fault::kWireEndpointSize;
+  }
+  return total;
+}
+
+void SnapshotStore::checkpoint(std::size_t index, SwitchSnapshot snapshot) {
+  snapshots_.at(index) = std::move(snapshot);
+  ++checkpoints_;
+}
+
+std::size_t SnapshotStore::total_wire_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& snapshot : snapshots_) total += snapshot.wire_size();
+  return total;
+}
+
+}  // namespace silkroad::deploy

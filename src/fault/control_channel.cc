@@ -33,6 +33,7 @@ void ControlChannel::send(Payload payload) {
     if (spans_ != nullptr && id != 0) pending_subsume_.push_back(id);
     return;
   }
+  if (std::holds_alternative<ResyncChunk>(payload)) ++resync_chunks_;
   const std::uint64_t seq = next_seq_++;
   auto [it, inserted] = outstanding_.emplace(
       seq, Outstanding{std::move(payload), 0, config_.retry_timeout, {}});
@@ -52,6 +53,15 @@ void ControlChannel::transmit(std::uint64_t seq) {
       out_it == outstanding_.end()
           ? 0
           : static_cast<std::uint64_t>(out_it->second.retries);
+  if (out_it != outstanding_.end()) {
+    // Every transmission attempt pays the chunk's modeled wire cost — a
+    // retransmitted chunk is re-sent in full, so loss makes resync more
+    // expensive, not magically cheaper.
+    if (const auto* chunk =
+            std::get_if<ResyncChunk>(&out_it->second.payload)) {
+      resync_bytes_ += wire_size(*chunk);
+    }
+  }
   bool drop = offline_ || rng_.bernoulli(config_.drop_probability);
   if (!drop && loss_hook_ && loss_hook_(now)) drop = true;
   if (drop) {
@@ -89,9 +99,14 @@ void ControlChannel::on_retry_timeout(std::uint64_t seq) {
   if (it == outstanding_.end()) return;  // Acked in the meantime.
   if (offline_) return;                  // Restore will resync instead.
   ++it->second.retries;
-  if (it->second.retries > config_.resync_after_retries) {
+  const bool chunk =
+      std::holds_alternative<ResyncChunk>(it->second.payload);
+  if (!chunk && it->second.retries > config_.resync_after_retries) {
     // The window is not making progress message-by-message; escalate to a
-    // bulk resync, which supersedes everything outstanding.
+    // resync session, which supersedes everything outstanding. Chunk traffic
+    // IS the session: it sits at the bottom of the escalation ladder and is
+    // retried until acknowledged (a mid-session crash restarts the session
+    // from the watermark via set_offline/force_resync instead).
     force_resync();
     return;
   }
@@ -101,6 +116,11 @@ void ControlChannel::on_retry_timeout(std::uint64_t seq) {
              static_cast<std::uint64_t>(it->second.retries));
   it->second.timeout = static_cast<sim::Time>(
       static_cast<double>(it->second.timeout) * config_.retry_backoff);
+  if (chunk && it->second.timeout > 16 * config_.retry_timeout) {
+    // Cap the chunk backoff: recovery traffic keeps probing through long
+    // loss windows instead of backing off into minutes of lag.
+    it->second.timeout = 16 * config_.retry_timeout;
+  }
   transmit(seq);
   arm_retry(seq);
 }
@@ -209,21 +229,20 @@ void ControlChannel::force_resync() {
   }
   needs_resync_ = false;
   ++resyncs_;
-  std::uint64_t rid = 0;
+  ++epoch_;  // Stale in-flight arrivals and acks die with the old window.
+  // Re-anchor the in-order stream: the session's chunks (and anything sent
+  // after them) are the next sequences the receiver will accept.
+  next_expected_ = next_seq_;
   if (spans_ != nullptr) {
-    rid = spans_->begin_resync(span_switch_, sim_.now(), pending_subsume_);
-    active_resync_id_ = rid;
+    active_resync_id_ =
+        spans_->begin_resync(span_switch_, sim_.now(), pending_subsume_);
     pending_subsume_.clear();
   }
-  const std::uint64_t syncpoint = next_seq_;
-  const std::uint64_t epoch = ++epoch_;
-  sim_.schedule_after(config_.base_delay, [this, syncpoint, epoch, rid] {
-    if (epoch != epoch_) return;  // Went offline (or resynced again) since.
-    next_expected_ = syncpoint;
-    span_event(rid, obs::SpanEventKind::kResyncApply);
-    resync_();
-    drain_in_order();  // Messages sent during the resync flight, if any.
-  });
+  // Ask the controller to send the chunked catch-up. The chunks go through
+  // send()/transmit() like every other message — there is no reliable
+  // delivery fiction here; the session span gets its kResyncApply when the
+  // final chunk actually lands at the receiver.
+  resync_();
 }
 
 void ControlChannel::bind_metrics(obs::MetricsRegistry& registry,
@@ -247,7 +266,13 @@ void ControlChannel::bind_metrics(obs::MetricsRegistry& registry,
   bind("silkroad_ctrl_retries_total", "Retransmissions after ack timeout",
        &retries_);
   bind("silkroad_ctrl_resyncs_total",
-       "Full-state resyncs (retry exhaustion or crash restore)", &resyncs_);
+       "Resync sessions begun (retry exhaustion or crash restore)",
+       &resyncs_);
+  bind("silkroad_ctrl_resync_chunks_total",
+       "ResyncChunk payloads submitted on the channel", &resync_chunks_);
+  bind("silkroad_ctrl_resync_bytes_total",
+       "Modeled bytes of chunk transmission attempts (retransmits re-pay)",
+       &resync_bytes_);
   registry.register_callback(
       "silkroad_ctrl_outstanding", obs::MetricKind::kGauge,
       [this] { return static_cast<double>(outstanding_.size()); },
@@ -270,8 +295,13 @@ void ControlChannel::bind_spans(obs::SpanCollector* spans,
 
 std::uint64_t ControlChannel::payload_update_id(
     const Payload& payload) noexcept {
-  const auto* update = std::get_if<workload::DipUpdate>(&payload);
-  return update == nullptr ? 0 : update->update_id;
+  if (const auto* update = std::get_if<workload::DipUpdate>(&payload)) {
+    return update->update_id;
+  }
+  if (const auto* chunk = std::get_if<ResyncChunk>(&payload)) {
+    return chunk->span_id;
+  }
+  return 0;  // VipConfig payloads are untraced.
 }
 
 void ControlChannel::span_event(std::uint64_t id, obs::SpanEventKind kind,

@@ -3,12 +3,16 @@
 // The paper assumes every switch receives the controller's DIP-pool update
 // stream; production control channels are RPC sessions over a management
 // network that delays, drops, and reorders messages, and that must resync a
-// replica wholesale when it falls too far behind or returns from a crash
-// (§5.3, §7). This class models one such session: messages carry sequence
-// numbers, the receiver delivers strictly in order (buffering gaps), the
-// sender retries unacknowledged messages with exponential backoff, and after
-// too many retries it escalates to a full-state resync — the "replay the
-// config" path a real controller takes for a restored switch.
+// replica when it falls too far behind or returns from a crash (§5.3, §7).
+// This class models one such session: messages carry sequence numbers, the
+// receiver delivers strictly in order (buffering gaps), the sender retries
+// unacknowledged messages with exponential backoff, and after too many
+// retries it escalates to a resync *session* — the controller computes the
+// catch-up (journal delta or full state, DESIGN.md §16) and sends it as
+// ResyncChunk payloads through this same channel, subject to the same loss,
+// reordering, and retransmission as every other message. There is no
+// reliable side channel: chunk traffic is the bottom of the escalation
+// ladder and is retried until acknowledged (it never re-escalates).
 //
 // Both endpoints live in this one object (the simulation owns both sides);
 // loss applies independently to the message and to its ack, so a lost ack
@@ -21,6 +25,7 @@
 #include <variant>
 #include <vector>
 
+#include "fault/sync_wire.h"
 #include "net/endpoint.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -29,13 +34,6 @@
 #include "workload/update_gen.h"
 
 namespace silkroad::fault {
-
-/// Full VIP (re)configuration carried over the channel: the controller's
-/// desired member set, replayed at provisioning time or during a resync.
-struct VipConfig {
-  net::Endpoint vip;
-  std::vector<net::Endpoint> dips;
-};
 
 class ControlChannel {
  public:
@@ -58,11 +56,15 @@ class ControlChannel {
     std::uint64_t seed = 0xC0117301ULL;
   };
 
-  using Payload = std::variant<workload::DipUpdate, VipConfig>;
+  using Payload = std::variant<workload::DipUpdate, VipConfig, ResyncChunk>;
   /// Receiver-side application of one in-order message.
   using DeliverFn = std::function<void(const Payload& payload)>;
-  /// Full-state resync: the callee reads the controller's *current* desired
-  /// state (resync is a bulk transfer, not a replay of individual messages).
+  /// Begin-resync-session request: the callee computes the catch-up (journal
+  /// suffix past the replica's watermark, or full state after compaction)
+  /// and sends it back through this channel as sequenced ResyncChunk
+  /// payloads. Invoked synchronously from force_resync(); nothing about the
+  /// transfer itself is reliable (srlint R13 keeps direct invocations out of
+  /// the rest of the tree).
   using ResyncFn = std::function<void()>;
   /// Fault-injection hook: returns true to force-drop this transmission.
   using LossHook = std::function<bool(sim::Time now)>;
@@ -83,9 +85,11 @@ class ControlChannel {
   /// online does *not* resync by itself — call force_resync().
   void set_offline(bool offline);
 
-  /// Escalates to a full-state resync: drops the in-flight window and, after
-  /// one channel delay, invokes the resync callback (reliable — modeled as a
-  /// bulk transfer over a retransmitting transport).
+  /// Escalates to a resync session: drops the in-flight window, bumps the
+  /// receive epoch (stale arrivals die), re-anchors the in-order syncpoint,
+  /// and synchronously asks the resync callback to send the chunked catch-up
+  /// through this channel. The chunks themselves are ordinary lossy traffic;
+  /// a chunk is retried until acknowledged but never re-escalates.
   void force_resync();
 
   void set_loss_hook(LossHook hook) { loss_hook_ = std::move(hook); }
@@ -121,6 +125,10 @@ class ControlChannel {
   std::uint64_t reorders() const noexcept { return reorders_; }
   std::uint64_t retries() const noexcept { return retries_; }
   std::uint64_t resyncs() const noexcept { return resyncs_; }
+  /// ResyncChunk payloads submitted on this channel.
+  std::uint64_t resync_chunks() const noexcept { return resync_chunks_; }
+  /// Modeled bytes of every chunk transmission attempt (retransmits re-pay).
+  std::uint64_t resync_bytes() const noexcept { return resync_bytes_; }
   const Config& config() const noexcept { return config_; }
 
  private:
@@ -179,6 +187,8 @@ class ControlChannel {
   std::uint64_t reorders_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t resyncs_ = 0;
+  std::uint64_t resync_chunks_ = 0;
+  std::uint64_t resync_bytes_ = 0;
 };
 
 }  // namespace silkroad::fault

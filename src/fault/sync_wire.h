@@ -1,0 +1,93 @@
+// Wire types for incremental controller->switch state sync (DESIGN.md §16).
+//
+// The controller journals every desired-state mutation (VIP provisioning,
+// DIP add/remove) under a monotone fleet log position. A lagging or restored
+// replica reports its durable applied-through watermark and receives only the
+// journal suffix past it, packed into ResyncChunk messages that ride the
+// ordinary lossy ControlChannel — sequenced, delayed, dropped, retried —
+// instead of the old magically-reliable bulk transfer. When the journal has
+// been compacted past the watermark the session escalates to a full-state
+// transfer (one VipConfig record per VIP), still chunked over the channel.
+//
+// The wire_size() helpers model the serialized footprint of each message so
+// the silkroad_ctrl_resync_bytes_total counter (and bench/resync_cost) can
+// compare delta-vs-full transfer cost without a real serializer.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "workload/update_gen.h"
+
+namespace silkroad::fault {
+
+/// Full VIP (re)configuration carried over the channel: the controller's
+/// desired member set, replayed at provisioning time or during a resync.
+struct VipConfig {
+  net::Endpoint vip;
+  std::vector<net::Endpoint> dips;
+};
+
+/// One desired-state mutation as the controller journals it.
+using JournalMutation = std::variant<workload::DipUpdate, VipConfig>;
+
+/// A journal entry replayed to a lagging replica: the mutation plus its
+/// monotone fleet log position (pos 0 = synthetic full-transfer record that
+/// never lived in the journal).
+struct JournalRecord {
+  std::uint64_t pos = 0;
+  JournalMutation mutation;
+};
+
+/// One leg of a chunked resync session. Chunks are ordinary channel payloads:
+/// they carry sequence numbers, suffer loss/reordering, and are retransmitted
+/// until acknowledged. `watermark_after` is the log position the receiver has
+/// durably applied through once this chunk lands — the resume point a
+/// mid-resync crash restarts from.
+struct ResyncChunk {
+  /// Span id of the resync session (ControlChannel::active_resync_id()).
+  std::uint64_t resync_id = 0;
+  /// Causal-trace id of this chunk's own span (0 = untraced).
+  std::uint64_t span_id = 0;
+  std::uint32_t chunk_index = 0;
+  bool final_chunk = false;
+  /// True when the journal was compacted past the receiver's watermark and
+  /// this session is a full-state transfer instead of a delta.
+  bool full = false;
+  std::uint64_t watermark_after = 0;
+  std::vector<JournalRecord> entries;
+};
+
+// --- Modeled serialized sizes ----------------------------------------------
+
+/// v4 address (4) + port (2).
+inline constexpr std::size_t kWireEndpointSize = 6;
+
+inline std::size_t wire_size(const workload::DipUpdate&) noexcept {
+  // vip + dip endpoints, action, cause.
+  return 2 * kWireEndpointSize + 2;
+}
+
+inline std::size_t wire_size(const VipConfig& config) noexcept {
+  // vip endpoint + member count (2) + members.
+  return kWireEndpointSize + 2 + config.dips.size() * kWireEndpointSize;
+}
+
+inline std::size_t wire_size(const JournalRecord& record) noexcept {
+  const std::size_t mutation_size =
+      std::holds_alternative<VipConfig>(record.mutation)
+          ? wire_size(std::get<VipConfig>(record.mutation))
+          : wire_size(std::get<workload::DipUpdate>(record.mutation));
+  return 8 /*pos*/ + mutation_size;
+}
+
+inline std::size_t wire_size(const ResyncChunk& chunk) noexcept {
+  // session id + chunk index (4) + flags (1) + watermark + entry count (2).
+  std::size_t total = 8 + 4 + 1 + 8 + 2;
+  for (const auto& record : chunk.entries) total += wire_size(record);
+  return total;
+}
+
+}  // namespace silkroad::fault

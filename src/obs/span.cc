@@ -47,6 +47,7 @@ const char* to_string(SpanEventKind kind) noexcept {
     case SpanEventKind::kFinish: return "finish";
     case SpanEventKind::kAbandon: return "abandon";
     case SpanEventKind::kResyncApply: return "resync-apply";
+    case SpanEventKind::kChunkBegin: return "chunk-begin";
   }
   return "?";
 }
@@ -123,6 +124,29 @@ std::uint64_t SpanCollector::begin_resync(
     span.events.push_back({now, SpanEventKind::kSubsume, switch_index, sub, 0});
   }
   events_recorded_ += 1 + subsumed.size();
+  while (spans_.size() > capacity_) {
+    spans_.erase(spans_.begin());
+    ++evicted_;
+  }
+  return id;
+}
+
+std::uint64_t SpanCollector::begin_chunk(std::uint32_t switch_index,
+                                         sim::Time now,
+                                         std::uint64_t parent_id,
+                                         std::uint64_t chunk_index,
+                                         std::uint64_t entries) {
+  if (!enabled_) return 0;
+  const std::uint64_t id = next_id_++;
+  UpdateSpan& span = spans_[id];
+  span.id = id;
+  span.parent_id = parent_id;
+  span.chunk = true;
+  span.resync_switch = switch_index;
+  span.intent_at = now;
+  span.events.push_back(
+      {now, SpanEventKind::kChunkBegin, switch_index, chunk_index, entries});
+  ++events_recorded_;
   while (spans_.size() > capacity_) {
     spans_.erase(spans_.begin());
     ++evicted_;
@@ -254,6 +278,29 @@ std::vector<std::string> SpanCollector::audit_complete() const {
     for (const auto& event : span.events) {
       if (event.switch_index != kControllerLeg) legs.insert(event.switch_index);
     }
+    if (span.chunk) {
+      // A chunk leg has no 3-step protocol of its own: its terminal states
+      // are applied at the receiver (kResyncApply), abandoned by a window
+      // wipe, or subsumed by the switch's next resync session.
+      for (const std::uint32_t leg : legs) {
+        const bool delivered = span.has(SpanEventKind::kChannelDeliver, leg);
+        const bool applied = span.has(SpanEventKind::kResyncApply, leg);
+        const bool abandoned = span.has(SpanEventKind::kAbandon, leg);
+        const bool sent = span.has(SpanEventKind::kChannelSend, leg);
+        if (delivered && !applied) {
+          complain(span, leg, "chunk delivered but never applied");
+        }
+        if (sent && !delivered && !abandoned) {
+          const auto it = subsumed_by.find(leg);
+          if (it == subsumed_by.end() || !it->second.contains(span.id)) {
+            complain(span, leg,
+                     "chunk sent but never delivered, abandoned, or "
+                     "resync-subsumed");
+          }
+        }
+      }
+      continue;
+    }
     for (const std::uint32_t leg : legs) {
       const bool finished = span.has(SpanEventKind::kFinish, leg);
       const bool staged = span.has(SpanEventKind::kQueueStage, leg);
@@ -294,10 +341,13 @@ namespace {
 
 void append_span_json(std::string& out, const UpdateSpan& span) {
   append(out, "{\"id\":%" PRIu64 ",\"parent_id\":%" PRIu64
-              ",\"resync\":%s,\"intent_at_ns\":%" PRId64,
+              ",\"resync\":%s,\"chunk\":%s,\"intent_at_ns\":%" PRId64,
          span.id, span.parent_id, span.resync ? "true" : "false",
+         span.chunk ? "true" : "false",
          static_cast<std::int64_t>(span.intent_at));
-  if (span.resync) {
+  if (span.chunk) {
+    append(out, ",\"resync_switch\":%u", span.resync_switch);
+  } else if (span.resync) {
     append(out, ",\"resync_switch\":%u,\"subsumed\":[", span.resync_switch);
     bool first = true;
     for (const std::uint64_t sub : span.subsumed) {
@@ -371,7 +421,9 @@ std::string SpanCollector::to_chrome_trace() const {
   };
   for (const auto& [id, span] : spans_) {
     std::string name;
-    if (span.resync) {
+    if (span.chunk) {
+      append(name, "chunk#%" PRIu64 " switch=%u", span.id, span.resync_switch);
+    } else if (span.resync) {
       append(name, "resync#%" PRIu64 " switch=%u", span.id, span.resync_switch);
     } else {
       append(name, "update#%" PRIu64 " %s %s", span.id,
@@ -388,7 +440,8 @@ std::string SpanCollector::to_chrome_trace() const {
         static_cast<double>(span.last() - span.first()) / 1e3;
     emit("{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu64 ",\"ts\":%.3f,"
          "\"dur\":%.3f,\"name\":\"%s\"}",
-         span.id, begin_us, dur_us, span.resync ? "resync" : "update");
+         span.id, begin_us, dur_us,
+         span.chunk ? "chunk" : (span.resync ? "resync" : "update"));
     for (const auto& event : span.events) {
       const double us = static_cast<double>(event.at) / 1e3;
       std::string args;

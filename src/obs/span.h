@@ -58,7 +58,10 @@ enum class SpanEventKind : std::uint8_t {
   kFinish,         ///< TransitTable cleared; the 3-step window closed
   kAbandon,        ///< leg terminated without effect (arg1: 0=unknown VIP,
                    ///< 1=stage failure, 2=crash wipe, 3=channel window wipe)
-  kResyncApply,    ///< the bulk resync transfer landed at the switch agent
+  kResyncApply,    ///< a resync chunk (or, on the session span, the final
+                   ///< chunk) landed and was applied at the switch agent
+  kChunkBegin,     ///< controller packed one resync chunk (arg0 = chunk
+                   ///< index, arg1 = journal entries carried)
 };
 
 const char* to_string(SpanEventKind kind) noexcept;
@@ -74,10 +77,14 @@ struct SpanEvent {
 /// One update intent's (or resync escalation's) full causal record.
 struct UpdateSpan {
   std::uint64_t id = 0;
-  /// For resync-synthesized diff updates: the resync span that caused them.
+  /// For resync-synthesized diff updates and chunk spans: the resync
+  /// session span that caused them.
   std::uint64_t parent_id = 0;
-  bool resync = false;  ///< true for resync-escalation spans
-  /// For resync spans: the switch whose channel escalated.
+  bool resync = false;  ///< true for resync-escalation (session) spans
+  /// True for one chunk leg of a resync session (parent_id = the session);
+  /// its channel leg must end in kResyncApply, abandonment, or subsumption.
+  bool chunk = false;
+  /// For resync/chunk spans: the switch whose channel escalated.
   std::uint32_t resync_switch = kControllerLeg;
   /// The intent as minted (resync spans leave this zeroed).
   workload::DipUpdate intent;
@@ -113,6 +120,14 @@ class SpanCollector {
   std::uint64_t begin_resync(std::uint32_t switch_index, sim::Time now,
                              const std::vector<std::uint64_t>& subsumed);
 
+  /// Opens a chunk span: one channel leg of resync session `parent_id`
+  /// toward `switch_index`, carrying `entries` journal records as chunk
+  /// number `chunk_index`. The returned id rides inside the ResyncChunk
+  /// payload so the channel records every transmission/drop/retry on it.
+  std::uint64_t begin_chunk(std::uint32_t switch_index, sim::Time now,
+                            std::uint64_t parent_id, std::uint64_t chunk_index,
+                            std::uint64_t entries);
+
   /// Appends one event to span `id`; no-op when id is 0, tracing is
   /// disabled, or the span was evicted. kFinish feeds the per-hop histograms.
   void record(std::uint64_t id, SpanEventKind kind, std::uint32_t switch_index,
@@ -135,8 +150,9 @@ class SpanCollector {
 
   /// Structural audit over every retained span: each observed channel leg
   /// must reach a terminal state (delivered→staged→finished, skipped,
-  /// abandoned, or subsumed by a resync of the same switch), and every
-  /// finished leg must carry the full step1/flip/commit chain. Returns one
+  /// abandoned, or subsumed by a resync of the same switch), every finished
+  /// leg must carry the full step1/flip/commit chain, and every resync chunk
+  /// leg must end applied (kResyncApply), abandoned, or subsumed. Returns one
   /// human-readable problem per violation; empty == complete. Call only at
   /// quiesce (an in-flight update is legitimately incomplete).
   std::vector<std::string> audit_complete() const;

@@ -60,6 +60,10 @@ struct DipUpdate {
   /// controller mints the update intent; 0 = untraced. Survives retransmits
   /// and duplicate deliveries because it rides inside the payload.
   std::uint64_t update_id = 0;
+  /// Monotone fleet-journal position stamped by the controller when the
+  /// mutation is journaled (DESIGN.md §16); 0 = unjournaled. A switch's
+  /// applied-through watermark advances to this on in-order delivery.
+  std::uint64_t log_pos = 0;
 };
 
 struct UpdateGenConfig {

@@ -12,7 +12,16 @@
 //   * zero invariant-auditor findings (Scenario self_checks continuously);
 //   * every replica converged to the controller's membership at quiesce.
 //
-// Usage: chaos_test [--seed-range=a:b]   (default 0:20, end exclusive)
+// Usage: chaos_test [--seed-range=a:b] [--restore-heavy]
+//   (default 0:20, end exclusive)
+//
+// --restore-heavy stresses the incremental-sync ladder (DESIGN.md §16):
+// every injected restore is followed by a re-kill while the resync session's
+// chunks are still in flight, then a second restore — the catch-up must
+// resume from the last checkpointed chunk watermark, not restart from zero.
+// In this mode every seed always dumps its span tree and per-switch capacity
+// JSON under SILKROAD_TELEMETRY_DIR (CI bundles them into the forensics
+// artifact even when the seed passes).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -106,7 +115,7 @@ extern "C" void chaos_alarm(int) {
   _exit(3);
 }
 
-bool run_seed(std::uint64_t seed) {
+bool run_seed(std::uint64_t seed, bool restore_heavy) {
   sim::Simulator sim;
   deploy::SilkRoadFleet fleet(sim, chaos_switch_config(), kSwitches,
                               0xFEE7ULL + seed, chaos_channel_config(seed));
@@ -184,19 +193,32 @@ bool run_seed(std::uint64_t seed) {
   // They are exempt from the PCC audit and reported as the failover cost.
   std::uint64_t crash_exempted = 0;
   std::uint64_t crash_pinned = 0;
-  injector.schedule_crashes(
-      [&](std::size_t index) {
-        crash_pinned += fleet.switch_at(index).failover_blast_radius().size();
-        for (const auto& flow : scenario.active_flows()) {
-          if (const auto route = fleet.route_of(flow);
-              route && *route == index) {
-            scenario.exempt_flow(flow);
-            ++crash_exempted;
-          }
-        }
-        fleet.fail_switch(index);
-      },
-      [&](std::size_t index) { fleet.restore_switch(index); });
+  const auto kill_switch = [&](std::size_t index) {
+    crash_pinned += fleet.switch_at(index).failover_blast_radius().size();
+    for (const auto& flow : scenario.active_flows()) {
+      if (const auto route = fleet.route_of(flow); route && *route == index) {
+        scenario.exempt_flow(flow);
+        ++crash_exempted;
+      }
+    }
+    fleet.fail_switch(index);
+  };
+  // Restore-heavy: re-kill shortly after each injected restore — usually
+  // while the resync session's chunks are still in the air — then restore
+  // again. kill_switch handles both outcomes of the race: a still-restoring
+  // switch carries no ECMP flows (nothing to exempt), a just-rejoined one is
+  // exempted exactly like a first crash. Bounded so late-horizon restores
+  // cannot cascade past quiesce.
+  std::uint64_t rekills = 0;
+  injector.schedule_crashes(kill_switch, [&](std::size_t index) {
+    fleet.restore_switch(index);
+    if (!restore_heavy || rekills >= 3) return;
+    ++rekills;
+    sim.schedule_after(300 * sim::kMicrosecond,
+                       [&kill_switch, index] { kill_switch(index); });
+    sim.schedule_after(2500 * sim::kMicrosecond,
+                       [&fleet, index] { fleet.restore_switch(index); });
+  });
   fleet.set_membership_callback([&](std::size_t index, bool alive) {
     if (!alive) return;  // fail-time exemptions happen in the crash hook
     // A restored switch pulls its ECMP share back; those flows' state lives
@@ -250,7 +272,9 @@ bool run_seed(std::uint64_t seed) {
   std::printf(
       "seed %3llu: flows=%llu violations=%llu faults=%llu "
       "(stall=%llu slow=%llu learn=%llu insert=%llu chan=%llu flap=%llu "
-      "crash=%llu) ctrl[retries=%llu resyncs=%llu] degraded_transitions=%.0f "
+      "crash=%llu) ctrl[retries=%llu resyncs=%llu] "
+      "sync[delta=%llu full=%llu empty=%llu chunks=%llu bytes=%llu] "
+      "degraded_transitions=%.0f "
       "shed=%.0f relearns=%.0f blast[routed=%llu pinned=%llu] "
       "checker[fail=%llu recover=%llu suppressed=%llu] converged=%d\n",
       static_cast<unsigned long long>(seed),
@@ -273,6 +297,11 @@ bool run_seed(std::uint64_t seed) {
           injector.injected(fault::FaultKind::kSwitchCrash)),
       static_cast<unsigned long long>(fleet.ctrl_retries()),
       static_cast<unsigned long long>(fleet.ctrl_resyncs()),
+      static_cast<unsigned long long>(fleet.delta_sessions()),
+      static_cast<unsigned long long>(fleet.full_sessions()),
+      static_cast<unsigned long long>(fleet.empty_sessions()),
+      static_cast<unsigned long long>(fleet.ctrl_resync_chunks()),
+      static_cast<unsigned long long>(fleet.ctrl_resync_bytes()),
       fleet_snap.value_of("silkroad_degraded_mode_transitions_total"),
       fleet_snap.value_of("silkroad_pending_shed_total"),
       fleet_snap.value_of("silkroad_relearns_total"),
@@ -356,6 +385,26 @@ bool run_seed(std::uint64_t seed) {
     }
   }
 
+  // Restore-heavy runs always leave their evidence behind, pass or fail: the
+  // full span tree (session/chunk spans included) and every switch's live
+  // capacity ledger, bundled by CI into the forensics artifact.
+  if (restore_heavy) {
+    const std::string dir = obs::telemetry_dir_from_env();
+    if (!dir.empty()) {
+      char stem[64];
+      std::snprintf(stem, sizeof stem, "restore_heavy_seed%llu",
+                    static_cast<unsigned long long>(seed));
+      obs::write_file(dir + "/" + std::string(stem) + "_spans.json",
+                      fleet.spans().to_json());
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        char name[96];
+        std::snprintf(name, sizeof name, "%s/%s_sw%zu_capacity.json",
+                      dir.c_str(), stem, i);
+        obs::write_file(name, fleet.switch_at(i).capacity().to_json());
+      }
+    }
+  }
+
   // Final structural audit of every live switch (aborts on a finding).
   fleet.self_check();
   return ok;
@@ -367,6 +416,7 @@ bool run_seed(std::uint64_t seed) {
 int main(int argc, char** argv) {
   unsigned long long begin = 0;
   unsigned long long end = 20;
+  bool restore_heavy = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed-range=", 13) == 0) {
       if (std::sscanf(argv[i] + 13, "%llu:%llu", &begin, &end) != 2 ||
@@ -374,14 +424,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --seed-range, expected a:b with a<b\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--restore-heavy") == 0) {
+      restore_heavy = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--seed-range=a:b]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seed-range=a:b] [--restore-heavy]\n",
+                   argv[0]);
       return 2;
     }
   }
   int failed = 0;
   for (unsigned long long seed = begin; seed < end; ++seed) {
-    if (!silkroad::run_seed(seed)) ++failed;
+    if (!silkroad::run_seed(seed, restore_heavy)) ++failed;
   }
   if (failed != 0) {
     std::fprintf(stderr, "%d/%llu chaos seeds FAILED\n", failed, end - begin);

@@ -1,0 +1,41 @@
+// R13: resync sessions begin only through ControlChannel::force_resync() —
+// directly invoking the fleet's session opener or the channel's stored
+// ResyncFn skips the window wipe, the epoch bump, and the session span.
+// (src/fault/control_channel.cc itself is the exempted invocation site.)
+#include "deploy/fleet.h"
+
+struct Fleet {
+  void begin_resync_session(std::size_t index);  // declaration: clean
+  std::function<void()> resync_;
+  void restore(std::size_t index);
+};
+
+void Fleet::restore(std::size_t index) {
+  begin_resync_session(index);  // srlint-expect: R13
+  this->begin_resync_session(index);  // srlint-expect: R13
+  resync_();  // srlint-expect: R13
+}
+
+struct Channel {
+  std::function<void()> resync_;
+  void escalate();
+};
+
+void Channel::escalate() {
+  this->resync_();  // srlint-expect: R13
+}
+
+// Qualified definition of the opener itself is clean (not an invocation).
+void Fleet::begin_resync_session(std::size_t index) {
+  (void)index;
+  // begin_resync_session() in a comment is clean
+}
+
+const char* strings() {
+  return "begin_resync_session() and resync_() in a string are clean";
+}
+
+void suppressed(Fleet& fleet) {
+  // The channel's ResyncFn binding site is the sanctioned suppression.
+  fleet.begin_resync_session(0);  // srlint: allow(R13) ResyncFn binding
+}

@@ -87,7 +87,7 @@ def check_fixtures() -> list[str]:
         errors.append("no srlint-expect markers found — fixture tree broken")
     # Every rule must have at least one positive fixture.
     covered = {rule for (_, _, rule) in expected}
-    for rule in [f"R{n}" for n in range(1, 13)] + ["S1", "S2"]:
+    for rule in [f"R{n}" for n in range(1, 14)] + ["S1", "S2"]:
         if rule not in covered:
             errors.append(f"rule {rule} has no positive fixture")
     return errors
@@ -108,7 +108,7 @@ def check_list_rules() -> list[str]:
     if proc.returncode != 0:
         return [f"--list-rules failed: {proc.stderr}"]
     missing = [
-        f"R{n}" for n in range(1, 13) if f"R{n}" not in proc.stdout.split()
+        f"R{n}" for n in range(1, 14) if f"R{n}" not in proc.stdout.split()
     ]
     return [f"--list-rules missing {missing}"] if missing else []
 

@@ -58,6 +58,15 @@ R12 no ad-hoc SRAM byte aggregation in src/ outside the capacity
                                       when the cell model changes. Attribution
                                       sites carry `srlint: allow(R12)` or an
                                       exemptions.json entry.
+R13 no direct resync-machinery invocation in src/ outside the channel —
+                                      calling begin_resync_session()/resync_()
+                                      bypasses ControlChannel::force_resync(),
+                                      which wipes the in-flight window, bumps
+                                      the receive epoch, and mints the session
+                                      span before the catch-up is computed
+                                      (DESIGN.md §16). The channel's ResyncFn
+                                      binding site carries
+                                      `srlint: allow(R13)`.
 """
 
 from __future__ import annotations
@@ -645,6 +654,49 @@ def check_r12(model: FileModel) -> list[Violation]:
     return out
 
 
+# --- R13 --------------------------------------------------------------------
+
+# The resync-session machinery: the fleet's session opener and the
+# ControlChannel's stored ResyncFn. ControlChannel::force_resync() is the one
+# sanctioned entry — it wipes the in-flight window, bumps the receive epoch,
+# and mints the session span before asking for the catch-up.
+_R13_NAMES = {"begin_resync_session", "resync_"}
+# The channel invokes its own ResyncFn from inside force_resync().
+_R13_ALLOWED = {"src/fault/control_channel.cc"}
+
+
+def check_r13(model: FileModel) -> list[Violation]:
+    if not _in_src(model) or model.rel in _R13_ALLOWED:
+        return []
+    out = []
+    toks = model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.value not in _R13_NAMES:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].value != "(":
+            continue  # a field, declaration type position, or bare mention
+        prev = toks[i - 1].value if i > 0 else ""
+        invoked = prev in (".", "->") or _is_call(
+            toks, i, std_qualified_ok=False
+        )
+        if not invoked:
+            continue  # declaration (`void begin_resync_session(...)`) or
+            # qualified definition (`SilkRoadFleet::begin_resync_session`)
+        out.append(
+            Violation(
+                model.rel,
+                t.line,
+                "R13",
+                f"direct '{t.value}()' invocation — resync sessions begin "
+                "only through ControlChannel::force_resync(), which wipes "
+                "the window, bumps the epoch, and mints the session span "
+                "first (DESIGN.md §16); the channel's ResyncFn binding may "
+                "suppress with 'srlint: allow(R13) <reason>'",
+            )
+        )
+    return out
+
+
 RULES: list[Rule] = [
     Rule("R1", "no raw assert() in src/ (use SR_CHECK/SR_DCHECK)", check_r1),
     Rule("R2", "no rand()/std::rand() anywhere (use sim::Rng)", check_r2),
@@ -658,6 +710,7 @@ RULES: list[Rule] = [
     Rule("R10", "no unordered iteration feeding channel/protocol calls", check_r10),
     Rule("R11", "no plain counter()/histogram() in src/lb|asic (use sharded)", check_r11),
     Rule("R12", "no ad-hoc SRAM byte aggregation outside capacity sources", check_r12),
+    Rule("R13", "no direct resync-machinery invocation outside the channel", check_r13),
 ]
 
 RULE_IDS = {r.rule_id for r in RULES}
