@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "core/silkroad_switch.h"
+#include "deploy/fleet.h"
 #include "obs/exporters.h"
 #include "obs/journey.h"
 #include "obs/scrape_server.h"
@@ -159,6 +160,42 @@ int main() {
 
   std::printf("\n%s", lb.debug_report().c_str());
 
+  // --- Fleet convergence observatory (DESIGN.md §17) ------------------------
+  // Three replicas behind ECMP on a mildly lossy control plane: stream
+  // paired remove/add updates, crash and restore one replica mid-churn, and
+  // let the FleetObserver derive watermark lag, the convergence SLO, and
+  // per-switch digests for the /fleet scrape plane below.
+  fault::ControlChannel::Config fleet_channel;
+  fleet_channel.base_delay = 200 * sim::kMicrosecond;
+  fleet_channel.jitter = 100 * sim::kMicrosecond;
+  fleet_channel.drop_probability = 0.05;
+  deploy::SilkRoadFleet fleet(sim, config, 3, 0xFEE7ULL, fleet_channel);
+  const net::Endpoint fleet_vip = *net::Endpoint::parse("20.0.1.1:80");
+  fleet.add_vip(fleet_vip, dips);
+  sim.run();
+  for (int round = 0; round < 20; ++round) {
+    const net::Endpoint& dip = dips[static_cast<std::size_t>(round) % dips.size()];
+    fleet.request_update({sim.now(), fleet_vip, dip,
+                          workload::UpdateAction::kRemoveDip,
+                          workload::UpdateCause::kServiceUpgrade});
+    fleet.request_update({sim.now(), fleet_vip, dip,
+                          workload::UpdateAction::kAddDip,
+                          workload::UpdateCause::kServiceUpgrade});
+    if (round == 8) fleet.fail_switch(2);
+    if (round == 12) fleet.restore_switch(2);
+    sim.run();
+  }
+  sim.run();
+  fleet.observer()->evaluate(sim.now());
+  std::printf("\nfleet: %zu/%zu live, converged=%d; observer: head=%llu "
+              "slo_ok=%d divergences=%llu (digest self-check %s)\n",
+              fleet.live_count(), fleet.size(), fleet.converged() ? 1 : 0,
+              static_cast<unsigned long long>(fleet.observer()->head()),
+              fleet.observer()->slo_ok() ? 1 : 0,
+              static_cast<unsigned long long>(
+                  fleet.observer()->divergences()),
+              fleet.observer()->verify_digests() ? "ok" : "FAILED");
+
   // With SILKROAD_TELEMETRY_DIR set, dump all three telemetry formats: the
   // Prometheus text and JSON snapshot of every metric, and the trace ring as
   // Chrome trace-event JSON (open trace.json in chrome://tracing or
@@ -179,10 +216,12 @@ int main() {
         obs::write_file(base + "tables.json", lb.tables_json()) &&
         obs::write_file(base + "profile.json", obs::to_profile_json(snapshot)) &&
         obs::write_file(base + "imbalance.json", recorder.imbalance_json()) &&
-        obs::write_file(base + "capacity.json", lb.capacity().to_json());
+        obs::write_file(base + "capacity.json", lb.capacity().to_json()) &&
+        obs::write_file(base + "fleet.json", fleet.observer()->to_json());
     std::printf("telemetry written to %s{metrics.prom,metrics.json,"
                 "trace.json,timeseries.json,timeseries.csv,journeys.json,"
-                "tables.json,profile.json,imbalance.json,capacity.json}%s\n",
+                "tables.json,profile.json,imbalance.json,capacity.json,"
+                "fleet.json}%s\n",
                 base.c_str(), ok ? "" : " (write failed)");
     if (!ok) return 1;
   }
@@ -212,6 +251,10 @@ int main() {
                   [&lb] { return lb.capacity().to_text(); });
     server.handle("/capacity.json", "application/json",
                   [&lb] { return lb.capacity().to_json(); });
+    server.handle("/fleet", "text/plain",
+                  [&fleet] { return fleet.observer()->to_text(); });
+    server.handle("/fleet.json", "application/json",
+                  [&fleet] { return fleet.observer()->to_json(); });
     if (!server.start()) {
       std::printf("scrape server: could not bind 127.0.0.1:%u\n", scrape_port);
       return 1;
@@ -222,7 +265,8 @@ int main() {
     }
     std::printf("scrape server on http://127.0.0.1:%u "
                 "(/metrics /healthz /timeseries.json /tables /profile "
-                "/imbalance.json /capacity /capacity.json), lingering %lds\n",
+                "/imbalance.json /capacity /capacity.json /fleet "
+                "/fleet.json), lingering %lds\n",
                 server.port(), linger);
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(linger));

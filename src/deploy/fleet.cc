@@ -35,6 +35,7 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
     switches_.push_back(
         std::make_unique<core::SilkRoadSwitch>(simulator, config));
     fault::ControlChannel::Config per_switch = channel;
+    // srlint: allow(R14) channel-seed derivation, not a membership digest.
     per_switch.seed = channel.seed ^ net::mix64(ecmp_seed + i + 1);
     channels_.push_back(std::make_unique<fault::ControlChannel>(
         simulator, per_switch,
@@ -51,6 +52,31 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
     const auto leg = static_cast<std::uint32_t>(i);
     channels_.back()->bind_spans(&spans_, leg);
     switches_.back()->bind_spans(&spans_, leg);
+    // Resync-session open notification (window-wipe edge): the observer
+    // suspends digest checks for the session before any chunk is computed.
+    channels_.back()->set_session_hook(
+        [this, i](std::uint64_t session, sim::Time now) {
+          if (observer_ != nullptr) observer_->on_session_open(i, session, now);
+        });
+  }
+  if (sync_.observe_convergence) {
+    observer_ =
+        std::make_unique<obs::FleetObserver>(replicas, sync_.observer);
+    observer_->bind_metrics(fleet_metrics_);
+    observer_->set_divergence_callback(
+        [this](const obs::DivergenceFinding& finding) {
+          // Assemble the incident report while the trace ring still holds
+          // the window: the diverged switch's events interleaved with every
+          // overlapping update/resync span, plus per-VIP attribution.
+          obs::ForensicsReport report = obs::assemble_forensics(
+              switches_[finding.switch_index]->trace(), &spans_, 0,
+              "silent divergence: switch " +
+                  std::to_string(finding.switch_index) +
+                  " digest mismatch at watermark " +
+                  std::to_string(finding.position));
+          report.attach_divergence(finding.to_text(), finding.to_json());
+          divergence_reports_.push_back(std::move(report));
+        });
   }
   spans_.bind_metrics(fleet_metrics_);
   // Sync-subsystem telemetry. The journal/snapshot stores are guarded fleet
@@ -118,11 +144,12 @@ SilkRoadFleet::SilkRoadFleet(sim::Simulator& simulator,
 
 void SilkRoadFleet::add_vip(const net::Endpoint& vip,
                             const std::vector<net::Endpoint>& dips) {
+  std::uint64_t pos = 0;
   {
     const sr::MutexLock lock(mu_);
     if (!membership_.contains(vip)) vip_order_.push_back(vip);
     membership_[vip] = dips;
-    journal_.append(fault::VipConfig{vip, dips});
+    pos = journal_.append(fault::VipConfig{vip, dips});
     for (std::size_t i = 0; i < switches_.size(); ++i) {
       if (!alive_[i]) continue;
       applied_[i][vip] = DipSet(dips.begin(), dips.end());
@@ -130,6 +157,14 @@ void SilkRoadFleet::add_vip(const net::Endpoint& vip,
       // session replays the VipConfig record and the diff no-ops — so the
       // cadence checkpoint below is what makes it durable.
       note_applied_locked(i);
+    }
+  }
+  if (observer_ != nullptr) {
+    observer_->on_append_config(pos, sim_.now(), vip, dips);
+    // The synchronous application lands at an out-of-band journal position:
+    // the observer extends each switch's effective watermark through it.
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      if (alive_[i]) observer_->on_mirror_config(i, vip, dips, pos, sim_.now());
     }
   }
   for (std::size_t i = 0; i < switches_.size(); ++i) {
@@ -157,6 +192,11 @@ void SilkRoadFleet::request_update(const workload::DipUpdate& update) {
     journaled.update_id = 0;
     journaled.log_pos = 0;
     pos = journal_.append(std::move(journaled));
+  }
+  if (observer_ != nullptr) {
+    observer_->on_append_update(
+        pos, sim_.now(), update.vip, update.dip,
+        update.action == workload::UpdateAction::kAddDip);
   }
   // Mint the intent span; the stamped id rides in every channel copy and
   // survives retransmits, duplicates, and resync escalation. Sends happen
@@ -227,6 +267,23 @@ void SilkRoadFleet::deliver_to(std::size_t index,
     }
     if (!duplicate) note_applied_locked(index);
   }
+  if (observer_ != nullptr) {
+    // Mirror mutation and watermark advance as one fused feed: the digest
+    // check at the new position sees the state that position produced.
+    if (!duplicate && update.log_pos != 0) {
+      observer_->on_delivery(index, update.vip, update.dip,
+                             update.action == workload::UpdateAction::kAddDip,
+                             update.log_pos, sim_.now());
+    } else if (!duplicate) {
+      observer_->on_mirror_update(
+          index, update.vip, update.dip,
+          update.action == workload::UpdateAction::kAddDip, update.log_pos,
+          sim_.now());
+    } else if (update.log_pos != 0) {
+      // Content-deduped duplicate: still confirms the position.
+      observer_->on_watermark(index, update.log_pos, sim_.now());
+    }
+  }
   if (duplicate) {
     spans_.record(update.update_id, obs::SpanEventKind::kSkipped, leg,
                   sim_.now(), 0, 1);
@@ -270,6 +327,13 @@ void SilkRoadFleet::begin_resync_session(std::size_t index) {
   }
   resync_started_[index] = sim_.now();
   const std::uint64_t session = channels_[index]->active_resync_id();
+  if (observer_ != nullptr) {
+    const auto kind = full ? obs::FleetObserver::ResyncKind::kFull
+                     : records.empty()
+                         ? obs::FleetObserver::ResyncKind::kEmpty
+                         : obs::FleetObserver::ResyncKind::kDelta;
+    observer_->on_resync_begin(index, session, kind, sim_.now());
+  }
   const auto leg = static_cast<std::uint32_t>(index);
   // An empty delta still sends one (empty, final) chunk: the switch rejoins
   // ECMP only once a chunk confirms the round trip, and the chunk's
@@ -326,6 +390,9 @@ void SilkRoadFleet::apply_chunk(std::size_t index,
     // next session from this chunk's watermark, not from zero.
     checkpoint_switch_locked(index);
   }
+  if (observer_ != nullptr) {
+    observer_->on_watermark(index, chunk.watermark_after, sim_.now());
+  }
   const auto leg = static_cast<std::uint32_t>(index);
   spans_.record(chunk.span_id, obs::SpanEventKind::kResyncApply, leg,
                 sim_.now(), chunk.chunk_index, chunk.entries.size());
@@ -339,6 +406,9 @@ void SilkRoadFleet::apply_chunk(std::size_t index,
     alive_[index] = true;
     if (membership_cb_) membership_cb_(index, true);
   }
+  if (observer_ != nullptr) {
+    observer_->on_resync_end(index, chunk.resync_id, sim_.now());
+  }
 }
 
 void SilkRoadFleet::apply_vip_config(std::size_t index,
@@ -350,6 +420,10 @@ void SilkRoadFleet::apply_vip_config(std::size_t index,
       const sr::MutexLock lock(mu_);
       applied_[index][config.vip] =
           DipSet(config.dips.begin(), config.dips.end());
+    }
+    if (observer_ != nullptr) {
+      observer_->on_mirror_config(index, config.vip, config.dips, 0,
+                                  sim_.now());
     }
     sw.add_vip(config.vip, config.dips);
     return;
@@ -393,6 +467,9 @@ void SilkRoadFleet::apply_vip_config(std::size_t index,
     }
     have = want;
   }
+  if (observer_ != nullptr) {
+    observer_->on_mirror_config(index, config.vip, config.dips, 0, sim_.now());
+  }
   for (auto& update : deltas) {
     spans_.begin_update(update, sim_.now(), parent_id);
     sw.request_update(update);
@@ -419,6 +496,11 @@ void SilkRoadFleet::apply_journaled_update(std::size_t index,
   // Already applied (the snapshot or an earlier delivery carried it): the
   // replay is idempotent, nothing to re-execute.
   if (duplicate) return;
+  if (observer_ != nullptr) {
+    observer_->on_mirror_update(
+        index, update.vip, update.dip,
+        update.action == workload::UpdateAction::kAddDip, 0, sim_.now());
+  }
   workload::DipUpdate replay = update;
   replay.at = sim_.now();
   replay.update_id = 0;
@@ -507,6 +589,7 @@ void SilkRoadFleet::fail_switch(std::size_t index) {
     // in snapshots_ survives — that is the restore-time recovery anchor.
     applied_[index].clear();
   }
+  if (observer_ != nullptr) observer_->on_switch_down(index, sim_.now());
   if (membership_cb_) membership_cb_(index, false);
   // Flows the failed switch carried re-hash to survivors on their next
   // packet; callers audit the re-mapping with route_of() + probes (see the
@@ -531,6 +614,12 @@ void SilkRoadFleet::restore_switch(std::size_t index) {
     }
     applied_through_[index] = snapshot.watermark;
     since_checkpoint_[index] = 0;
+  }
+  if (observer_ != nullptr) {
+    observer_->on_restore_begin(index, snapshot.watermark, sim_.now());
+    for (const auto& entry : snapshot.vips) {
+      observer_->on_mirror_config(index, entry.vip, entry.dips, 0, sim_.now());
+    }
   }
   for (const auto& entry : snapshot.vips) {
     switches_[index]->add_vip(entry.vip, entry.dips);
@@ -657,6 +746,24 @@ obs::Snapshot SilkRoadFleet::metrics_snapshot() const {
 
 std::function<obs::Snapshot()> SilkRoadFleet::snapshot_source() const {
   return [this] { return metrics_snapshot(); };
+}
+
+void SilkRoadFleet::inject_mirror_corruption(std::size_t index,
+                                             const net::Endpoint& vip,
+                                             const net::Endpoint& dip,
+                                             bool add) {
+  {
+    const sr::MutexLock lock(mu_);
+    auto& dips = applied_.at(index)[vip];
+    if (add) {
+      dips.insert(dip);
+    } else {
+      dips.erase(dip);
+    }
+  }
+  if (observer_ != nullptr) {
+    observer_->on_mirror_update(index, vip, dip, add, 0, sim_.now());
+  }
 }
 
 }  // namespace silkroad::deploy

@@ -27,6 +27,8 @@
 #include "deploy/snapshot.h"
 #include "fault/control_channel.h"
 #include "lb/load_balancer.h"
+#include "obs/convergence.h"
+#include "obs/forensics.h"
 
 namespace silkroad::deploy {
 
@@ -43,6 +45,11 @@ struct SyncConfig {
   /// Checkpoint a switch's snapshot every N applied mutations (resync
   /// chunk boundaries always checkpoint in addition).
   std::size_t checkpoint_every = 8;
+  /// Feed the convergence observatory (DESIGN.md §17): watermark-lag SLO,
+  /// digest divergence detection, /fleet scrape data.
+  bool observe_convergence = true;
+  /// Observer tuning (lag hysteresis, SLO target, digest history).
+  obs::FleetObserver::Options observer;
 };
 
 class SilkRoadFleet : public lb::LoadBalancer {
@@ -180,6 +187,29 @@ class SilkRoadFleet : public lb::LoadBalancer {
   /// obs::TimeSeriesRecorder so one recorder tracks the whole fleet.
   std::function<obs::Snapshot()> snapshot_source() const;
 
+  // --- Convergence observatory (DESIGN.md §17) --------------------------------
+
+  /// The fleet's convergence observer, or nullptr when
+  /// SyncConfig::observe_convergence is off. Fed on every journal append,
+  /// in-order delivery, and resync-session transition; renders /fleet.
+  obs::FleetObserver* observer() noexcept { return observer_.get(); }
+  const obs::FleetObserver* observer() const noexcept {
+    return observer_.get();
+  }
+
+  /// ForensicsReports assembled by the observer's divergence callback —
+  /// one per silent-divergence episode, with per-VIP attribution attached.
+  const std::vector<obs::ForensicsReport>& divergence_reports() const {
+    return divergence_reports_;
+  }
+
+  /// Test hook: mutates switch `index`'s applied mirror out of band,
+  /// modeling a buggy apply path. The mutation is fed to the observer the
+  /// same way a real (buggy) apply would be — which is exactly what lets
+  /// the digest comparison catch it as silent divergence.
+  void inject_mirror_corruption(std::size_t index, const net::Endpoint& vip,
+                                const net::Endpoint& dip, bool add);
+
  private:
   using DipSet = std::unordered_set<net::Endpoint, net::EndpointHash>;
 
@@ -262,6 +292,11 @@ class SilkRoadFleet : public lb::LoadBalancer {
   obs::Histogram* h_resync_duration_ = nullptr;
   MappingRiskCallback risk_cb_;
   MembershipCallback membership_cb_;
+  /// Convergence observatory (simulation-thread fed, own internal mutex;
+  /// always called outside mu_, after the guarded mutation it mirrors).
+  std::unique_ptr<obs::FleetObserver> observer_;
+  /// One report per detected silent-divergence episode (sim-thread-only).
+  std::vector<obs::ForensicsReport> divergence_reports_;
 };
 
 }  // namespace silkroad::deploy

@@ -68,6 +68,13 @@ class ControlChannel {
   using ResyncFn = std::function<void()>;
   /// Fault-injection hook: returns true to force-drop this transmission.
   using LossHook = std::function<bool(sim::Time now)>;
+  /// Resync-session state notification, fired at the window-wipe edge of
+  /// force_resync() — before the ResyncFn computes the catch-up — with the
+  /// freshly minted session span id (0 when no span collector is bound).
+  /// The convergence observatory (DESIGN.md §17) uses it to suspend digest
+  /// checks for the duration of the session.
+  using SessionHook = std::function<void(std::uint64_t session_id,
+                                         sim::Time now)>;
 
   ControlChannel(sim::Simulator& simulator, const Config& config,
                  DeliverFn deliver, ResyncFn resync);
@@ -93,6 +100,7 @@ class ControlChannel {
   void force_resync();
 
   void set_loss_hook(LossHook hook) { loss_hook_ = std::move(hook); }
+  void set_session_hook(SessionHook hook) { session_hook_ = std::move(hook); }
 
   /// Registers this channel's counters in `registry` under the
   /// silkroad_ctrl_* names with `labels` (e.g. switch="2").
@@ -157,6 +165,7 @@ class ControlChannel {
   DeliverFn deliver_;
   ResyncFn resync_;
   LossHook loss_hook_;
+  SessionHook session_hook_;
   sim::Rng rng_;
 
   obs::SpanCollector* spans_ = nullptr;

@@ -177,6 +177,10 @@ std::string ForensicsReport::to_text() const {
            static_cast<double>(entry.at) / 1e6, entry.source.c_str(),
            entry.line.c_str());
   }
+  if (!divergence_text.empty()) {
+    out += "\n";
+    out += divergence_text;
+  }
   if (!capacity_text.empty()) {
     out += "\n";
     out += capacity_text;
@@ -213,6 +217,12 @@ std::string ForensicsReport::to_json() const {
            json_escape(entry.line).c_str());
   }
   out += "\n]";
+  if (!divergence_json.empty()) {
+    // divergence_json is a DivergenceFinding::to_json() document; embed it
+    // as a sub-object rather than re-encoding.
+    out += ",\"divergence\":";
+    out += divergence_json;
+  }
   if (!capacity_json.empty()) {
     // capacity_json is the ResourceLedger's own JSON document; embed it as a
     // sub-object (trimming its trailing newline) rather than re-encoding.

@@ -52,6 +52,17 @@ struct ForensicsReport {
     capacity_json = std::move(json);
   }
 
+  /// Silent-divergence attribution (DESIGN.md §17): the DivergenceFinding's
+  /// per-VIP membership deltas and resync-session records, as text and JSON
+  /// (DivergenceFinding::to_text/to_json). Both empty unless the report was
+  /// assembled by the convergence observatory's divergence callback.
+  std::string divergence_text;
+  std::string divergence_json;
+  void attach_divergence(std::string text, std::string json) {
+    divergence_text = std::move(text);
+    divergence_json = std::move(json);
+  }
+
   std::string to_text() const;
   std::string to_json() const;
 };

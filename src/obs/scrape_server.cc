@@ -174,7 +174,17 @@ void ScrapeServer::serve_one(int fd) {
       return;
     }
   }
-  send_all(fd, http_response(404, "Not Found", "text/plain", "not found\n"));
+  // Unknown path: answer with an index of every registered route instead of
+  // a bare 404, so a mistyped scrape is self-correcting. routes_ is a
+  // std::map, so the listing is sorted and deterministic.
+  std::string body = "not found: " + path + "\nroutes:\n";
+  for (const auto& entry : routes_) {
+    body += "  " + entry.first + "\n";
+  }
+  for (const auto& entry : prefix_routes_) {
+    body += "  " + entry.first + "/<id>\n";
+  }
+  send_all(fd, http_response(404, "Not Found", "text/plain", body));
 }
 
 bool scrape_port_from_env(std::uint16_t& port) {

@@ -22,6 +22,7 @@
 // In this mode every seed always dumps its span tree and per-switch capacity
 // JSON under SILKROAD_TELEMETRY_DIR (CI bundles them into the forensics
 // artifact even when the seed passes).
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -268,6 +269,10 @@ bool run_seed(std::uint64_t seed, bool restore_heavy) {
 
   const bool converged = fleet.converged();
   const std::size_t outstanding = fleet.ctrl_outstanding();
+  // Quiescence evaluation of the convergence observatory (DESIGN.md §17):
+  // recompute lags + SLO and run the digest comparison on every switch.
+  obs::FleetObserver& observer = *fleet.observer();
+  observer.evaluate(sim.now());
   const auto fleet_snap = fleet.metrics_snapshot();
   std::printf(
       "seed %3llu: flows=%llu violations=%llu faults=%llu "
@@ -276,7 +281,9 @@ bool run_seed(std::uint64_t seed, bool restore_heavy) {
       "sync[delta=%llu full=%llu empty=%llu chunks=%llu bytes=%llu] "
       "degraded_transitions=%.0f "
       "shed=%.0f relearns=%.0f blast[routed=%llu pinned=%llu] "
-      "checker[fail=%llu recover=%llu suppressed=%llu] converged=%d\n",
+      "checker[fail=%llu recover=%llu suppressed=%llu] converged=%d "
+      "obs[lag_max=%llu slo_ok=%d burn_ms=%.3f diverged=%llu "
+      "selfchecks=%llu]\n",
       static_cast<unsigned long long>(seed),
       static_cast<unsigned long long>(stats.flows),
       static_cast<unsigned long long>(stats.violations),
@@ -310,7 +317,18 @@ bool run_seed(std::uint64_t seed, bool restore_heavy) {
       static_cast<unsigned long long>(checker.failures_detected()),
       static_cast<unsigned long long>(checker.recoveries_detected()),
       static_cast<unsigned long long>(checker.recoveries_suppressed()),
-      converged ? 1 : 0);
+      converged ? 1 : 0,
+      static_cast<unsigned long long>([&observer] {
+        std::uint64_t max_lag = 0;
+        for (std::size_t i = 0; i < observer.switches(); ++i) {
+          max_lag = std::max(max_lag, observer.lag_positions(i));
+        }
+        return max_lag;
+      }()),
+      observer.slo_ok() ? 1 : 0,
+      static_cast<double>(observer.slo_burn_ns()) / 1e6,
+      static_cast<unsigned long long>(observer.divergences()),
+      static_cast<unsigned long long>(observer.selfchecks()));
 
   bool ok = true;
   if (stats.violations != 0) {
@@ -352,6 +370,25 @@ bool run_seed(std::uint64_t seed, bool restore_heavy) {
                  static_cast<unsigned long long>(seed));
     ok = false;
   }
+  // Convergence observatory (DESIGN.md §17): a quiesced, converged fleet
+  // must show zero silent divergences, a met SLO, and incrementally-
+  // maintained digests that survive a full recompute.
+  if (observer.divergences() != 0) {
+    std::fprintf(stderr, "seed %llu: %llu silent divergences detected\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(observer.divergences()));
+    ok = false;
+  }
+  if (!observer.slo_ok()) {
+    std::fprintf(stderr, "seed %llu: convergence SLO violated at quiesce\n",
+                 static_cast<unsigned long long>(seed));
+    ok = false;
+  }
+  if (!observer.verify_digests()) {
+    std::fprintf(stderr, "seed %llu: digest self-check failed\n",
+                 static_cast<unsigned long long>(seed));
+    ok = false;
+  }
 
   // On failure, leave a durable incident record for the CI artifact upload:
   // the full span set, plus (when a flow actually broke) a forensics report
@@ -364,6 +401,15 @@ bool run_seed(std::uint64_t seed, bool restore_heavy) {
                     static_cast<unsigned long long>(seed));
       obs::write_file(dir + "/" + std::string(stem) + "_spans.json",
                       fleet.spans().to_json());
+      obs::write_file(dir + "/" + std::string(stem) + "_fleet.json",
+                      observer.to_json());
+      // Divergence episodes carry their own ForensicsReports (assembled by
+      // the observer's callback with per-VIP attribution attached).
+      for (std::size_t i = 0; i < fleet.divergence_reports().size(); ++i) {
+        char name[96];
+        std::snprintf(name, sizeof name, "%s_divergence%zu", stem, i);
+        obs::write_forensics(fleet.divergence_reports()[i], dir, name);
+      }
       const auto& records = scenario.tracker().violation_records();
       if (!records.empty()) {
         const auto& record = records.front();
@@ -396,11 +442,12 @@ bool run_seed(std::uint64_t seed, bool restore_heavy) {
                     static_cast<unsigned long long>(seed));
       obs::write_file(dir + "/" + std::string(stem) + "_spans.json",
                       fleet.spans().to_json());
+      obs::write_file(dir + "/" + std::string(stem) + "_fleet.json",
+                      observer.to_json());
       for (std::size_t i = 0; i < fleet.size(); ++i) {
-        char name[96];
-        std::snprintf(name, sizeof name, "%s/%s_sw%zu_capacity.json",
-                      dir.c_str(), stem, i);
-        obs::write_file(name, fleet.switch_at(i).capacity().to_json());
+        obs::write_file(dir + "/" + std::string(stem) + "_sw" +
+                            std::to_string(i) + "_capacity.json",
+                        fleet.switch_at(i).capacity().to_json());
       }
     }
   }

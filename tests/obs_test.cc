@@ -733,6 +733,33 @@ TEST(ScrapeServer, ServesAllEndpointsOverLoopback) {
   server.stop();  // idempotent
 }
 
+TEST(ScrapeServer, UnknownPathAnswersWithRouteIndex) {
+  ScrapeServer server;
+  server.handle("/fleet", "text/plain", [] { return std::string("fleet\n"); });
+  server.handle("/capacity", "text/plain", [] { return std::string("{}"); });
+  server.handle("/profile", "application/json",
+                [] { return std::string("{}"); });
+  server.handle("/imbalance.json", "application/json",
+                [] { return std::string("{}"); });
+  server.handle_prefix("/update", "text/plain",
+                       [](const std::string&) { return std::string("{}"); });
+  ASSERT_TRUE(server.start());
+
+  // A mistyped scrape is self-correcting: the 404 body indexes every
+  // registered route (sorted — routes_ is a std::map), including the
+  // implicit /healthz and the prefix routes.
+  const std::string missing = http_get(server.port(), "/flee");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_NE(missing.find("not found: /flee"), std::string::npos);
+  EXPECT_NE(missing.find("/fleet"), std::string::npos);
+  EXPECT_NE(missing.find("/capacity"), std::string::npos);
+  EXPECT_NE(missing.find("/profile"), std::string::npos);
+  EXPECT_NE(missing.find("/imbalance.json"), std::string::npos);
+  EXPECT_NE(missing.find("/healthz"), std::string::npos);
+  EXPECT_NE(missing.find("/update/<id>"), std::string::npos);
+  server.stop();
+}
+
 TEST(ScrapeServer, EnvPortParsing) {
   std::uint16_t port = 1;
   ::unsetenv("SILKROAD_SCRAPE_PORT");

@@ -1,0 +1,41 @@
+// R14: hash primitives XOR-folded into an ad-hoc membership digest in the
+// digest-consuming directories (src/deploy/, src/obs/) — per-VIP membership
+// digests are single-sourced by obs::VipDigest / obs::FleetObserver
+// (src/obs/convergence.{h,cc} is the exempted implementation).
+#include "net/hash.h"
+
+std::uint64_t positives(const std::vector<std::uint64_t>& members,
+                        std::uint64_t seed) {
+  // Folding hash results with ^/^= is the banned digest shape.
+  std::uint64_t digest = 0;
+  for (const std::uint64_t m : members) {
+    digest ^= silkroad::net::mix64(m);  // srlint-expect: R14
+  }
+  digest = digest ^ silkroad::net::hash_bytes(nullptr, seed);  // srlint-expect: R14
+  // A fold on the right-hand side of the ^ is the same shape.
+  return silkroad::net::mix64(seed) ^ digest;  // srlint-expect: R14
+}
+
+std::uint64_t negatives(const silkroad::net::FiveTuple& flow,
+                        std::uint64_t seed, std::uint64_t limit) {
+  // Plain assignment / ranking is not digest folding: ECMP weight.
+  const std::uint64_t weight = silkroad::net::hash_five_tuple(flow, seed);
+  // Arithmetic combination is not the XOR-fold shape.
+  const std::uint64_t mixed = silkroad::net::mix64(seed) + weight;
+  // Comparisons never flag.
+  if (silkroad::net::mix64(limit) == mixed) return 0;
+  // A declaration of an unrelated symbol is clean.
+  std::uint64_t mix64;
+  (void)mix64;
+  return weight;
+  // digest ^= mix64(m) in a comment is clean
+}
+
+const char* strings() {
+  return "digest ^= mix64(m) ^ hash_bytes(p, s) in a string is clean";
+}
+
+std::uint64_t suppressed(std::uint64_t channel_seed, std::uint64_t salt) {
+  // Non-digest XOR uses (seed derivation) carry a justified allow.
+  return channel_seed ^ silkroad::net::mix64(salt);  // srlint: allow(R14) seed derivation
+}

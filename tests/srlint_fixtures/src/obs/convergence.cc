@@ -1,0 +1,14 @@
+// R14 carve-out: src/obs/convergence.cc IS the sanctioned digest
+// implementation (obs::VipDigest / obs::FleetObserver), so its XOR folds of
+// the hash primitives are the single source the rule protects — every line
+// here must stay silent.
+#include "net/hash.h"
+
+std::uint64_t member_token(std::uint64_t vip_key, std::uint64_t dip_hash) {
+  return silkroad::net::mix64(vip_key ^ silkroad::net::mix64(dip_hash));
+}
+
+std::uint64_t fold(std::uint64_t digest, std::uint64_t token) {
+  digest ^= silkroad::net::mix64(token);
+  return digest ^ silkroad::net::hash_bytes(nullptr, token);
+}

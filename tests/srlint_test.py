@@ -6,12 +6,17 @@ Two halves:
 1. Fixtures: runs srlint over tests/srlint_fixtures/ (a miniature repo tree)
    and compares the reported (file, line, rule) triples — exact line
    numbers — against the `// srlint-expect: RN` markers embedded in the
-   fixture files. Every rule R1–R10 and the S1/S2 suppression diagnostics
+   fixture files. Every rule R1–R14 and the S1/S2 suppression diagnostics
    have positive cases; negative cases (tokens in strings/comments/raw
    strings, scope carve-outs, member calls) must stay silent.
 
 2. Real tree: the repository itself must lint clean — this is the same
    invocation the `lint` ctest and CI run.
+
+3. Mutation: a fresh ad-hoc digest fold injected into a synthetic tree must
+   be caught by R14 (the fixtures alone could pass with a rule that merely
+   memorizes their lines), and the identical code at the VipDigest carve-out
+   path must stay silent.
 
 Registered as the `srlint_test` ctest.
 """
@@ -22,6 +27,7 @@ import json
 import re
 import subprocess
 import sys
+import tempfile
 from collections import Counter
 from pathlib import Path
 
@@ -87,7 +93,7 @@ def check_fixtures() -> list[str]:
         errors.append("no srlint-expect markers found — fixture tree broken")
     # Every rule must have at least one positive fixture.
     covered = {rule for (_, _, rule) in expected}
-    for rule in [f"R{n}" for n in range(1, 14)] + ["S1", "S2"]:
+    for rule in [f"R{n}" for n in range(1, 15)] + ["S1", "S2"]:
         if rule not in covered:
             errors.append(f"rule {rule} has no positive fixture")
     return errors
@@ -108,13 +114,58 @@ def check_list_rules() -> list[str]:
     if proc.returncode != 0:
         return [f"--list-rules failed: {proc.stderr}"]
     missing = [
-        f"R{n}" for n in range(1, 14) if f"R{n}" not in proc.stdout.split()
+        f"R{n}" for n in range(1, 15) if f"R{n}" not in proc.stdout.split()
     ]
     return [f"--list-rules missing {missing}"] if missing else []
 
 
+def check_r14_mutation() -> list[str]:
+    """R14 must catch a digest fold it has never seen, and the carve-out for
+    the sanctioned implementation must be path-exact, not name-based."""
+    snippet = (
+        "#include <cstdint>\n"
+        "std::uint64_t fold(std::uint64_t d, std::uint64_t x) {\n"
+        "  d ^= silkroad::net::mix64(x);\n"
+        "  return d;\n"
+        "}\n"
+    )
+    errors: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        mutant = root / "src" / "deploy" / "mutant.cc"
+        carved = root / "src" / "obs" / "convergence.cc"
+        for path in (mutant, carved):
+            path.parent.mkdir(parents=True)
+            path.write_text(snippet, encoding="utf-8")
+        proc = run_srlint("--root", str(root), "--format", "json")
+        if proc.returncode != 1:
+            return [
+                f"mutation run: expected exit 1, got {proc.returncode}\n"
+                f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+            ]
+        reported = {
+            (v["file"], v["line"], v["rule"])
+            for v in json.loads(proc.stdout)["violations"]
+        }
+        if ("src/deploy/mutant.cc", 3, "R14") not in reported:
+            errors.append(
+                f"mutated digest fold not caught by R14: {sorted(reported)}"
+            )
+        carved_hits = [r for r in reported if r[0] == "src/obs/convergence.cc"]
+        if carved_hits:
+            errors.append(
+                f"carve-out file reported violations: {sorted(carved_hits)}"
+            )
+    return errors
+
+
 def main() -> int:
-    errors = check_fixtures() + check_real_tree() + check_list_rules()
+    errors = (
+        check_fixtures()
+        + check_real_tree()
+        + check_list_rules()
+        + check_r14_mutation()
+    )
     if errors:
         print(f"srlint_test: {len(errors)} failure(s)")
         for e in errors:
